@@ -1,0 +1,91 @@
+//! Measures the offline conversion pipeline: k-means codebook fitting,
+//! baseline soft-assignment calibration, and eLUT-NN calibration on a small
+//! transformer (the paper's conversion front-end cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdl_lutnn::calibrate::{
+    calibrate_elutnn, calibrate_lutnn_baseline, init_quantizers, BaselineLutNnConfig,
+    CalibrationConfig, CentroidInit,
+};
+use pimdl_nn::data::{nlp_dataset, NlpTask};
+use pimdl_nn::transformer::{InputKind, ModelConfig, TransformerClassifier};
+use pimdl_tensor::rng::DataRng;
+
+fn setup() -> (TransformerClassifier, pimdl_nn::data::Dataset) {
+    let mut rng = DataRng::new(5);
+    let ds = nlp_dataset(NlpTask::Majority, 48, 16, 8, &mut rng);
+    let cfg = ModelConfig {
+        input: InputKind::Tokens { vocab: 16 },
+        hidden: 32,
+        heads: 4,
+        layers: 2,
+        ffn_dim: 64,
+        max_seq: 8,
+        classes: 3,
+    };
+    (TransformerClassifier::new(&cfg, &mut rng), ds)
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    let (model, ds) = setup();
+
+    group.bench_function("kmeans_init", |b| {
+        b.iter(|| {
+            let mut rng = DataRng::new(6);
+            init_quantizers(
+                black_box(&model),
+                &ds.inputs,
+                4,
+                8,
+                CentroidInit::KMeans,
+                10,
+                2048,
+                &mut rng,
+            )
+            .expect("init")
+        })
+    });
+
+    let ecfg = CalibrationConfig {
+        v: 4,
+        ct: 8,
+        init: CentroidInit::Random,
+        kmeans_iters: 0,
+        beta: 1e-3,
+        lr: 2e-3,
+        epochs: 1,
+        batch_size: 8,
+        seed: 7,
+        max_activation_rows: 2048,
+    };
+    group.bench_function("elutnn_epoch", |b| {
+        b.iter(|| calibrate_elutnn(black_box(&model), black_box(&ds), &ecfg).expect("calib"))
+    });
+
+    let bcfg = BaselineLutNnConfig {
+        v: 4,
+        ct: 8,
+        init: CentroidInit::Random,
+        kmeans_iters: 0,
+        tau: 1.0,
+        gumbel_noise: true,
+        lr: 2e-3,
+        epochs: 1,
+        batch_size: 8,
+        seed: 7,
+        max_activation_rows: 2048,
+    };
+    group.bench_function("soft_baseline_epoch", |b| {
+        b.iter(|| {
+            calibrate_lutnn_baseline(black_box(&model), black_box(&ds), &bcfg).expect("calib")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Measured companion to Fig. 3: wall-clock time of this repository's real
+//! host kernels — dense GEMM vs the LUT-NN path (CCS + gather-accumulate) —
+//! across the paper's `V` and `CT` sweeps.
+//!
+//! The analytical claim (3.66×–18.29× op reduction) should show up as a
+//! wall-clock gap between the dense and LUT paths that widens with `V` and
+//! narrows with `CT`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pimdl_lutnn::lut::{lut_linear, LutTable};
+use pimdl_lutnn::pq::ProductQuantizer;
+use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{gemm, Matrix};
+
+const DIM: usize = 256; // N = H = F (scaled-down Fig. 3 square workload)
+
+fn setup(v: usize, ct: usize) -> (Matrix, Matrix, ProductQuantizer, LutTable) {
+    let mut rng = DataRng::new(42);
+    let calib = rng.normal_matrix(512, DIM, 0.0, 1.0);
+    let weight = rng.normal_matrix(DIM, DIM, 0.0, 0.5);
+    let pq = ProductQuantizer::fit(&calib, v, ct, 10, &mut rng).expect("fit");
+    let lut = LutTable::build(&pq, &weight).expect("build");
+    let x = rng.normal_matrix(DIM, DIM, 0.0, 1.0);
+    (x, weight, pq, lut)
+}
+
+fn bench_gemm_vs_lut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_vs_lut");
+    group.sample_size(10);
+
+    let (x, weight, _, _) = setup(4, 16);
+    group.bench_function("dense_gemm_f32", |b| {
+        b.iter(|| gemm::matmul(black_box(&x), black_box(&weight)).expect("gemm"))
+    });
+
+    // INT8 GEMM (i32 accumulation) — the CPU INT8 baseline's arithmetic.
+    let qx = pimdl_tensor::quant::QuantMatrix::quantize(&x);
+    let qw = pimdl_tensor::quant::QuantMatrix::quantize(&weight);
+    group.bench_function("dense_gemm_int8", |b| {
+        b.iter(|| gemm::matmul_quant(black_box(&qx), black_box(&qw)).expect("gemm"))
+    });
+
+    // Fig. 3 left panel: V sweep at CT = 16.
+    for v in [2usize, 4, 8, 16] {
+        let (x, _, pq, lut) = setup(v, 16);
+        group.bench_with_input(BenchmarkId::new("lut_v", v), &v, |b, _| {
+            b.iter(|| lut_linear(black_box(&x), black_box(&pq), black_box(&lut)).expect("lut"))
+        });
+    }
+
+    // Fig. 3 right panel: CT sweep at V = 4.
+    for ct in [64usize, 32, 16, 8] {
+        let (x, _, pq, lut) = setup(4, ct);
+        group.bench_with_input(BenchmarkId::new("lut_ct", ct), &ct, |b, _| {
+            b.iter(|| lut_linear(black_box(&x), black_box(&pq), black_box(&lut)).expect("lut"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm_vs_lut);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Measures codebook fitting: raw k-means and full per-layer product
+//! quantizer fits (the offline LUT-NN conversion cost, §3.1 step ❶).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pimdl_lutnn::kmeans::kmeans;
+use pimdl_lutnn::pq::ProductQuantizer;
+use pimdl_tensor::rng::DataRng;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+
+    for n in [256usize, 1024] {
+        let mut rng = DataRng::new(1);
+        let points = rng.normal_matrix(n, 4, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("lloyd_k16", n), &n, |b, _| {
+            b.iter(|| {
+                kmeans(black_box(&points), 16, 15, &mut DataRng::new(2)).expect("kmeans")
+            })
+        });
+    }
+
+    for ct in [8usize, 16, 64] {
+        let mut rng = DataRng::new(3);
+        let acts = rng.normal_matrix(1024, 128, 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("pq_fit_ct", ct), &ct, |b, _| {
+            b.iter(|| {
+                ProductQuantizer::fit(black_box(&acts), 4, ct, 10, &mut DataRng::new(4))
+                    .expect("fit")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation bench for the three LUT load schemes (P4, Fig. 9 / Fig. 13
+//! panels a–c): at a fixed sub-LUT partition and micro-kernel tiling, how
+//! does each scheme's *simulated* latency compare, and how expensive is the
+//! functional execution under each?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdl_sim::cost::estimate_cost;
+use pimdl_sim::exec::{run_lut_kernel, LutKernelData};
+use pimdl_sim::mapping::MicroKernel;
+use pimdl_sim::{LoadScheme, LutWorkload, Mapping, PlatformConfig, TraversalOrder};
+use pimdl_tensor::rng::DataRng;
+
+fn bench_load_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_schemes");
+    group.sample_size(10);
+
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 64;
+    let w = LutWorkload::new(512, 32, 16, 128).expect("shape");
+    let mut rng = DataRng::new(11);
+    let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
+    let table: Vec<i8> = (0..w.cb * w.ct * w.f)
+        .map(|_| (rng.index(255) as i32 - 127) as i8)
+        .collect();
+
+    let schemes = [
+        ("static", LoadScheme::Static),
+        (
+            "coarse",
+            LoadScheme::CoarseGrain {
+                cb_load: 4,
+                f_load: 4,
+            },
+        ),
+        (
+            "fine",
+            LoadScheme::FineGrain {
+                f_load: 8,
+                threads: 16,
+            },
+        ),
+    ];
+    for (name, scheme) in schemes {
+        let mapping = Mapping {
+            n_stile: 64,
+            f_stile: 16,
+            kernel: MicroKernel {
+                n_mtile: 8,
+                f_mtile: 8,
+                cb_mtile: 8,
+                traversal: TraversalOrder::Nfc,
+                load_scheme: scheme,
+            },
+        };
+        // Report the simulated latency once so bench output doubles as an
+        // ablation table.
+        let sim = estimate_cost(&platform, &w, &mapping).expect("cost");
+        eprintln!(
+            "load_schemes/{name}: simulated kernel latency = {:.3} ms (lut load {:.3} ms)",
+            sim.time.total_s() * 1e3,
+            sim.time.kernel_lut_s * 1e3
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_lut_kernel(
+                    black_box(&platform),
+                    black_box(&w),
+                    black_box(&mapping),
+                    LutKernelData {
+                        indices: &indices,
+                        table: &table,
+                        scale: 0.01,
+                    },
+                )
+                .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_schemes);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation bench for limitation L1 (broadcast vs scatter host↔PIM
+//! transfers): evaluates the transfer model across sizes and patterns, and
+//! prints the modeled bandwidth table so the bench output documents the
+//! broadcast advantage the sub-LUT partition exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdl_sim::config::TransferPattern;
+use pimdl_sim::PlatformConfig;
+
+fn bench_transfer_model(c: &mut Criterion) {
+    let platform = PlatformConfig::upmem();
+    let t = platform.host_transfer;
+
+    for size in [1024.0_f64, 64.0 * 1024.0, 4.0 * 1024.0 * 1024.0] {
+        for (name, pattern) in [
+            ("broadcast", TransferPattern::ToPimBroadcast),
+            ("scatter", TransferPattern::ToPimDistinct),
+            ("gather", TransferPattern::FromPim),
+        ] {
+            eprintln!(
+                "transfer_model/{name} @ {:.0} KiB: {:.2} GB/s effective",
+                size / 1024.0,
+                t.effective_gbps(pattern, size)
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("transfer_model");
+    group.bench_function("eval_rate", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100u32 {
+                let bytes = (i as f64) * 4096.0;
+                acc += t.transfer_time_s(
+                    black_box(TransferPattern::ToPimBroadcast),
+                    bytes * 64.0,
+                    bytes,
+                );
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer_model);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! `reproduce` — regenerates every table and figure of the PIM-DL paper.
+//!
+//! ```text
+//! reproduce <experiment> [--json DIR] [--quick]
+//!
+//! experiments:
+//!   table1  fig3  fig4  table4  table5  fig10  fig11  fig12  fig13
+//!   fig14  fig15  tuner-error  data-efficiency  discussion  scaling  serving
+//!   elutnn-ablation  all
+//! ```
+//!
+//! `--quick` shrinks the workload sizes (useful for smoke runs); the
+//! paper-scale defaults are used otherwise. `--json DIR` additionally
+//! writes each result as JSON for EXPERIMENTS.md bookkeeping.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pimdl_bench::experiments::{
+    accuracy, data_efficiency, discussion, elutnn_ablation, fig10, fig11, fig12, fig13, fig14,
+    fig15, fig3, fig4, scaling, serving, table1, tuner_error,
+};
+use pimdl_bench::report::write_json;
+
+struct Options {
+    json_dir: Option<PathBuf>,
+    quick: bool,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(which) = args.next() else {
+        eprintln!("usage: reproduce <experiment|all> [--json DIR] [--quick]");
+        return ExitCode::FAILURE;
+    };
+    let mut options = Options {
+        json_dir: None,
+        quick: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(dir) => options.json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => options.quick = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let experiments: Vec<&str> = if which == "all" {
+        vec![
+            "table1",
+            "fig3",
+            "fig4",
+            "table4",
+            "table5",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "tuner-error",
+            "data-efficiency",
+            "discussion",
+            "scaling",
+            "serving",
+            "elutnn-ablation",
+        ]
+    } else {
+        vec![which.as_str()]
+    };
+
+    for exp in experiments {
+        let started = Instant::now();
+        match dispatch(exp, &options) {
+            Ok(output) => {
+                println!("{output}");
+                println!(
+                    "[{exp} completed in {:.1} s]\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("{exp} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn dispatch(which: &str, options: &Options) -> Result<String, Box<dyn std::error::Error>> {
+    let json = |name: &str, value: &dyn erased::Json| -> std::io::Result<()> {
+        if let Some(dir) = &options.json_dir {
+            value.write(dir, name)?;
+        }
+        Ok(())
+    };
+    match which {
+        "table1" => {
+            let r = table1::run();
+            json("table1", &r)?;
+            Ok(table1::render(&r))
+        }
+        "fig3" => {
+            let r = fig3::run(1024);
+            json("fig3", &r)?;
+            Ok(fig3::render(&r))
+        }
+        "fig4" => {
+            let r = fig4::run();
+            json("fig4", &r)?;
+            Ok(fig4::render(&r))
+        }
+        "table4" => {
+            let cfg = if options.quick {
+                accuracy::AccuracyConfig::quick()
+            } else {
+                accuracy::AccuracyConfig::default()
+            };
+            let r = accuracy::run_nlp(&cfg)?;
+            json("table4", &r)?;
+            Ok(accuracy::render(&r))
+        }
+        "table5" => {
+            let cfg = if options.quick {
+                accuracy::AccuracyConfig::quick()
+            } else {
+                accuracy::AccuracyConfig::default()
+            };
+            let r = accuracy::run_vision(&cfg)?;
+            json("table5", &r)?;
+            Ok(accuracy::render(&r))
+        }
+        "fig10" => {
+            let r = fig10::run()?;
+            json("fig10", &r)?;
+            Ok(fig10::render(&r))
+        }
+        "fig11" => {
+            let (batch, seq) = if options.quick { (8, 64) } else { (64, 512) };
+            let r = fig11::run(batch, seq)?;
+            json("fig11", &r)?;
+            Ok(fig11::render(&r))
+        }
+        "fig12" => {
+            let cfg = if options.quick {
+                fig12::Fig12Config {
+                    batch: 8,
+                    seq_len: 64,
+                }
+            } else {
+                fig12::Fig12Config::default()
+            };
+            let r = fig12::run(&cfg)?;
+            json("fig12", &r)?;
+            Ok(fig12::render(&r))
+        }
+        "fig13" => {
+            let r = if options.quick {
+                let mut p = pimdl_sim::PlatformConfig::upmem();
+                p.num_pes = 64;
+                let w = pimdl_sim::LutWorkload::new(1024, 64, 16, 256)?;
+                fig13::run_with(&p, &w, (128, 16), (256, 16), 1000)
+            } else {
+                fig13::run()
+            };
+            json("fig13", &r)?;
+            Ok(fig13::render(&r))
+        }
+        "fig14" => {
+            let r = if options.quick {
+                fig14::run_with(&[1024], &[1, 8], 128, 4)?
+            } else {
+                fig14::run()?
+            };
+            json("fig14", &r)?;
+            Ok(fig14::render(&r))
+        }
+        "fig15" => {
+            let r = if options.quick {
+                fig15::run_with(&[1024], &[1, 8], 128, 4)?
+            } else {
+                fig15::run()?
+            };
+            json("fig15", &r)?;
+            Ok(fig15::render(&r))
+        }
+        "data-efficiency" => {
+            let (budgets, train): (&[usize], usize) = if options.quick {
+                (&[16, 48], 200)
+            } else {
+                (&[8, 16, 32, 48, 96, 192], 460)
+            };
+            let r = data_efficiency::run(budgets, train, 7)?;
+            json("data_efficiency", &r)?;
+            Ok(data_efficiency::render(&r))
+        }
+        "scaling" => {
+            let (batch, seq) = if options.quick { (8, 64) } else { (64, 512) };
+            let r = scaling::run(batch, seq)?;
+            json("scaling", &r)?;
+            Ok(scaling::render(&r))
+        }
+        "elutnn-ablation" => {
+            let r = if options.quick {
+                elutnn_ablation::run_with(24, 21, 2, 8, 240)?
+            } else {
+                elutnn_ablation::run(48, 21)?
+            };
+            json("elutnn_ablation", &r)?;
+            Ok(elutnn_ablation::render(&r))
+        }
+        "serving" => {
+            let shape = pimdl_engine::shapes::TransformerShape::bert_base();
+            let (seq, horizon) = if options.quick { (64, 120.0) } else { (128, 400.0) };
+            let r = serving::run(&shape, seq, &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0], horizon)?;
+            json("serving", &r)?;
+            Ok(serving::render(&r))
+        }
+        "discussion" => {
+            let (batch, seq) = if options.quick { (4, 32) } else { (64, 512) };
+            let r = discussion::run(batch, seq)?;
+            json("discussion", &r)?;
+            Ok(discussion::render(&r))
+        }
+        "tuner-error" => {
+            let cap = if options.quick { 200 } else { 1500 };
+            let r = tuner_error::run(cap)?;
+            json("tuner_error", &r)?;
+            Ok(tuner_error::render(&r))
+        }
+        other => Err(format!("unknown experiment: {other}").into()),
+    }
+}
+
+/// Minimal type-erased JSON writing so `dispatch` can treat heterogeneous
+/// result types uniformly.
+mod erased {
+    use std::io;
+    use std::path::Path;
+
+    pub trait Json {
+        fn write(&self, dir: &Path, name: &str) -> io::Result<()>;
+    }
+
+    impl<T: serde::Serialize> Json for T {
+        fn write(&self, dir: &Path, name: &str) -> io::Result<()> {
+            super::write_json(dir, name, self)
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Fig. 12 — sensitivity analysis on the UPMEM platform: sub-vector length,
+//! centroid number, batch size, and hidden dim. All speedups are normalized
+//! to the CPU server's INT8 inference (the paper's normalization).
+
+use serde::Serialize;
+
+use pimdl_engine::baseline::{host_inference, HostModel};
+use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_sim::PlatformConfig;
+
+use crate::report::TextTable;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Model name.
+    pub model: String,
+    /// Swept parameter value.
+    pub value: usize,
+    /// Speedup of PIM-DL over CPU INT8.
+    pub speedup: f64,
+}
+
+/// One Fig. 12 panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Panel name ("sub-vector length", ...).
+    pub parameter: String,
+    /// Sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Full Fig. 12 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Result {
+    /// Panels (a)–(d).
+    pub panels: Vec<Panel>,
+}
+
+/// Default serving parameters of §6.5 (scaled by the caller if desired):
+/// V = 4, CT = 16, batch from `batch`, sequence length from `seq_len`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fig12Config {
+    /// Baseline batch size (paper: 64).
+    pub batch: usize,
+    /// Sequence length (paper: 512).
+    pub seq_len: usize,
+}
+
+impl Default for Fig12Config {
+    fn default() -> Self {
+        Fig12Config {
+            batch: 64,
+            seq_len: 512,
+        }
+    }
+}
+
+fn speedup_for(
+    engine: &PimDlEngine,
+    cpu: &HostModel,
+    shape: &TransformerShape,
+    cfg: &ServingConfig,
+) -> Result<f64, pimdl_engine::EngineError> {
+    let pimdl = engine.serve(shape, cfg)?.total_s;
+    let host = host_inference(cpu, shape, cfg.batch, cfg.seq_len, 1).total_s();
+    Ok(host / pimdl)
+}
+
+/// Runs all four panels.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(c: &Fig12Config) -> Result<Fig12Result, pimdl_engine::EngineError> {
+    let engine = PimDlEngine::new(PlatformConfig::upmem());
+    let cpu = HostModel::cpu_int8();
+    let models = TransformerShape::evaluation_models();
+    let base = ServingConfig {
+        batch: c.batch,
+        seq_len: c.seq_len,
+        v: 4,
+        ct: 16,
+    };
+
+    // (a) Sub-vector length.
+    let mut a = Vec::new();
+    for v in [2usize, 4, 8, 16, 32] {
+        for shape in &models {
+            if shape.hidden % v != 0 {
+                continue;
+            }
+            let cfg = ServingConfig { v, ..base };
+            a.push(SweepPoint {
+                model: shape.name.clone(),
+                value: v,
+                speedup: speedup_for(&engine, &cpu, shape, &cfg)?,
+            });
+        }
+    }
+
+    // (b) Centroid number.
+    let mut b = Vec::new();
+    for ct in [128usize, 64, 32, 16, 8] {
+        for shape in &models {
+            let cfg = ServingConfig { ct, ..base };
+            b.push(SweepPoint {
+                model: shape.name.clone(),
+                value: ct,
+                speedup: speedup_for(&engine, &cpu, shape, &cfg)?,
+            });
+        }
+    }
+
+    // (c) Batch size.
+    let mut cc = Vec::new();
+    for batch in [8usize, 16, 32, 64, 128] {
+        for shape in &models {
+            let cfg = ServingConfig { batch, ..base };
+            let pimdl = engine.serve(shape, &cfg)?.total_s;
+            let host = host_inference(&cpu, shape, batch, c.seq_len, 1).total_s();
+            cc.push(SweepPoint {
+                model: shape.name.clone(),
+                value: batch,
+                speedup: host / pimdl,
+            });
+        }
+    }
+
+    // (d) Hidden dim (OPT-family sizes, 24-layer shell).
+    let mut d = Vec::new();
+    for hidden in [1024usize, 2048, 2560, 4096, 5120] {
+        let shape = TransformerShape::with_hidden(hidden, 24);
+        let cfg = base;
+        let pimdl = engine.serve(&shape, &cfg)?.total_s;
+        let host = host_inference(&cpu, &shape, cfg.batch, cfg.seq_len, 1).total_s();
+        d.push(SweepPoint {
+            model: shape.name.clone(),
+            value: hidden,
+            speedup: host / pimdl,
+        });
+    }
+
+    Ok(Fig12Result {
+        panels: vec![
+            Panel {
+                parameter: "sub-vector length (V)".to_string(),
+                points: a,
+            },
+            Panel {
+                parameter: "centroid number (CT)".to_string(),
+                points: b,
+            },
+            Panel {
+                parameter: "batch size".to_string(),
+                points: cc,
+            },
+            Panel {
+                parameter: "hidden dim".to_string(),
+                points: d,
+            },
+        ],
+    })
+}
+
+/// Renders the four panels.
+pub fn render(result: &Fig12Result) -> String {
+    let mut out = String::from(
+        "Fig. 12 — Sensitivity analysis (UPMEM; speedup normalized to CPU INT8)\n\n",
+    );
+    for panel in &result.panels {
+        let mut t = TextTable::new(vec!["Model", panel.parameter.as_str(), "Speedup"]);
+        for p in &panel.points {
+            t.row(vec![
+                p.model.clone(),
+                p.value.to_string(),
+                format!("{:.2}x", p.speedup),
+            ]);
+        }
+        out.push_str(&format!("Panel: {}\n{}\n", panel.parameter, t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Fig12Config {
+        Fig12Config {
+            batch: 8,
+            seq_len: 64,
+        }
+    }
+
+    #[test]
+    fn speedup_improves_with_v_and_batch() {
+        // Reduced sweep exercising two panels' monotonicity claims.
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let cpu = HostModel::cpu_int8();
+        let shape = TransformerShape::bert_base();
+        let c = quick();
+        let sp = |v: usize, batch: usize| {
+            let cfg = ServingConfig {
+                batch,
+                seq_len: c.seq_len,
+                v,
+                ct: 16,
+            };
+            speedup_for(&engine, &cpu, &shape, &cfg).unwrap()
+        };
+        // (a): larger V → faster PIM-DL → higher speedup.
+        assert!(sp(8, 8) > sp(2, 8), "V=8 {} vs V=2 {}", sp(8, 8), sp(2, 8));
+        // (c): larger batch → better PIM utilization → higher speedup.
+        assert!(
+            sp(4, 32) > sp(4, 8),
+            "batch 32 {} vs batch 8 {}",
+            sp(4, 32),
+            sp(4, 8)
+        );
+    }
+
+    #[test]
+    fn render_has_four_panels() {
+        // Tiny run for rendering structure only.
+        let result = Fig12Result {
+            panels: vec![
+                Panel {
+                    parameter: "sub-vector length (V)".to_string(),
+                    points: vec![SweepPoint {
+                        model: "m".to_string(),
+                        value: 2,
+                        speedup: 1.0,
+                    }],
+                },
+                Panel {
+                    parameter: "centroid number (CT)".to_string(),
+                    points: vec![],
+                },
+                Panel {
+                    parameter: "batch size".to_string(),
+                    points: vec![],
+                },
+                Panel {
+                    parameter: "hidden dim".to_string(),
+                    points: vec![],
+                },
+            ],
+        };
+        let s = render(&result);
+        assert_eq!(s.matches("Panel:").count(), 4);
+    }
+}

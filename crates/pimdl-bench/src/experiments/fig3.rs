@@ -1,0 +1,76 @@
+//! Fig. 3 — computation-reduction analysis of LUT-NN vs GEMM
+//! (N = H = F = 1024).
+
+use serde::Serialize;
+
+use pimdl_lutnn::flops::{fig3_sweep, ReductionPoint};
+
+use crate::report::{fmt_f, TextTable};
+
+/// Result of the Fig. 3 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Result {
+    /// Square-workload dimension (the paper uses 1024).
+    pub dim: usize,
+    /// Sweep points: four `V` values at CT = 16, then four `CT` values at
+    /// V = 4.
+    pub points: Vec<ReductionPoint>,
+}
+
+/// Runs the Fig. 3 sweep.
+pub fn run(dim: usize) -> Fig3Result {
+    Fig3Result {
+        dim,
+        points: fig3_sweep(dim),
+    }
+}
+
+/// Renders the Fig. 3 series.
+pub fn render(result: &Fig3Result) -> String {
+    let mut t = TextTable::new(vec![
+        "V",
+        "CT",
+        "LUT GFLOPs",
+        "mult %",
+        "GEMM GFLOPs",
+        "Reduction",
+    ]);
+    for p in &result.points {
+        t.row(vec![
+            p.v.to_string(),
+            p.ct.to_string(),
+            fmt_f(p.lut_ops.total() as f64 / 1e9),
+            format!("{:.1}%", 100.0 * p.lut_ops.multiply_fraction()),
+            fmt_f(p.gemm_ops.total() as f64 / 1e9),
+            format!("{:.2}x", p.reduction),
+        ]);
+    }
+    format!(
+        "Fig. 3 — Computation Reduction Analysis (N=H=F={})\n\
+         Paper: 3.66x-18.29x reduction; multiplies 2.9%-14.3% of LUT-NN ops\n\n{}",
+        result.dim,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_sweep() {
+        let r = run(1024);
+        assert_eq!(r.points.len(), 8);
+        let reductions: Vec<f64> = r.points.iter().map(|p| p.reduction).collect();
+        let min = reductions.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = reductions.iter().copied().fold(0.0, f64::max);
+        assert!(min > 3.0 && max < 22.0, "range {min}..{max}");
+    }
+
+    #[test]
+    fn render_mentions_reduction() {
+        let s = render(&run(256));
+        assert!(s.contains("Reduction"));
+        assert!(s.contains("Fig. 3"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4 — roofline analysis of the INT8 LUT kernels on the dual-socket
+//! Xeon 4210.
+
+use serde::Serialize;
+
+use pimdl_lutnn::roofline::{fig4_points, Fig4Point, RooflineMachine};
+
+use crate::report::TextTable;
+
+/// Result of the Fig. 4 analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// CPU peak throughput (GOPS).
+    pub cpu_peak_gops: f64,
+    /// CPU ridge point (ops/byte).
+    pub ridge_point: f64,
+    /// Per-operator intensity points.
+    pub points: Vec<Fig4Point>,
+}
+
+/// Runs the Fig. 4 analysis.
+pub fn run() -> Fig4Result {
+    let machine = RooflineMachine::XEON_4210_DUAL;
+    Fig4Result {
+        cpu_peak_gops: machine.peak_gops,
+        ridge_point: machine.ridge_point(),
+        points: fig4_points(),
+    }
+}
+
+/// Renders the Fig. 4 points.
+pub fn render(result: &Fig4Result) -> String {
+    let mut t = TextTable::new(vec!["Model", "Operator", "AI (ops/B)", "Attainable (GOPS)", "Bound"]);
+    for p in &result.points {
+        t.row(vec![
+            p.model.to_string(),
+            p.operator.to_string(),
+            format!("{:.3}", p.ai),
+            format!("{:.2}", p.attainable_gops),
+            if p.ai < result.ridge_point {
+                "memory".to_string()
+            } else {
+                "compute".to_string()
+            },
+        ]);
+    }
+    format!(
+        "Fig. 4 — Roofline Analysis of LUT Kernels (batch 64, seq 512, INT8 LUTs)\n\
+         CPU peak = {:.2} GOPS, ridge point = {:.2} ops/byte\n\
+         Paper: AI of all operators in 0.204-0.288, all memory-bound\n\n{}",
+        result.cpu_peak_gops,
+        result.ridge_point,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_points_memory_bound() {
+        let r = run();
+        assert_eq!(r.points.len(), 12);
+        assert!((r.cpu_peak_gops - 795.11).abs() < 0.01);
+        for p in &r.points {
+            assert!(p.ai < r.ridge_point);
+        }
+    }
+
+    #[test]
+    fn render_has_all_models() {
+        let s = render(&run());
+        for m in ["Bert-Base", "Bert-Large", "ViT-Huge"] {
+            assert!(s.contains(m));
+        }
+        assert!(s.contains("memory"));
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per paper artifact (see DESIGN.md §4 for the experiment
+//! index). Each module exposes a `run(...)` returning a serializable result
+//! and a `render(&result)` producing the text report.
+
+pub mod accuracy;
+pub mod data_efficiency;
+pub mod discussion;
+pub mod elutnn_ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig3;
+pub mod scaling;
+pub mod serving;
+pub mod fig4;
+pub mod table1;
+pub mod tuner_error;
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Extension experiment — serving under load: the latency/throughput curve
+//! of a dynamically batched PIM-DL serving system (the paper's §2.2 cloud
+//! motivation made concrete).
+//!
+//! Sweeps the offered Poisson arrival rate and reports achieved throughput,
+//! latency percentiles, and the batch sizes the scheduler forms. The
+//! expected shape: throughput tracks the offered rate until saturation;
+//! batches grow with load (riding the Fig. 12-(c) efficiency curve); tail
+//! latency explodes past the knee.
+
+use serde::Serialize;
+
+use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
+use pimdl_engine::scheduler::{BatchScheduler, BatchingPolicy, ServingStats, Workload};
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_sim::PlatformConfig;
+
+use crate::report::TextTable;
+
+/// One load point.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadPoint {
+    /// Offered arrival rate (requests/s).
+    pub offered_rps: f64,
+    /// Serving statistics at this rate.
+    pub stats: ServingStats,
+}
+
+/// Full serving-curve result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServingResult {
+    /// Model served.
+    pub model: String,
+    /// Batching policy used.
+    pub policy: BatchingPolicy,
+    /// Single-request execution latency (the no-batching floor), seconds.
+    pub single_request_s: f64,
+    /// Per-rate points.
+    pub points: Vec<LoadPoint>,
+}
+
+/// Runs the load sweep.
+///
+/// `rates_x` are offered rates expressed as multiples of the single-request
+/// service rate (`1 / single_request_latency`).
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run(
+    shape: &TransformerShape,
+    seq_len: usize,
+    rates_x: &[f64],
+    horizon_requests: f64,
+) -> Result<ServingResult, pimdl_engine::EngineError> {
+    let engine = PimDlEngine::new(PlatformConfig::upmem());
+    let base = ServingConfig {
+        batch: 1,
+        seq_len,
+        v: 4,
+        ct: 16,
+    };
+    let policy = BatchingPolicy::default();
+    let mut sched = BatchScheduler::new(&engine, shape, base, policy);
+    let single = sched.batch_latency_s(1)?;
+
+    let mut points = Vec::new();
+    for &x in rates_x {
+        let rate = x / single;
+        let stats = sched.simulate(&Workload {
+            rate_rps: rate,
+            duration_s: horizon_requests / rate,
+            seed: 99,
+        })?;
+        points.push(LoadPoint {
+            offered_rps: rate,
+            stats,
+        });
+    }
+    Ok(ServingResult {
+        model: shape.name.clone(),
+        policy,
+        single_request_s: single,
+        points,
+    })
+}
+
+/// Renders the serving curve.
+pub fn render(result: &ServingResult) -> String {
+    let mut t = TextTable::new(vec![
+        "Offered (rps)",
+        "Achieved (rps)",
+        "Mean batch",
+        "p50 latency",
+        "p95 latency",
+    ]);
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.2}", p.offered_rps),
+            format!("{:.2}", p.stats.throughput_rps),
+            format!("{:.1}", p.stats.mean_batch),
+            format!("{:.2} s", p.stats.p50_latency_s),
+            format!("{:.2} s", p.stats.p95_latency_s),
+        ]);
+    }
+    format!(
+        "Extension — serving {} under Poisson load (dynamic batching, max_batch {}, window {:.0} ms)\n\
+         single-request execution = {:.2} s\n\n{}",
+        result.model,
+        result.policy.max_batch,
+        result.policy.max_wait_s * 1e3,
+        result.single_request_s,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_batching_beyond_single_rate() {
+        let shape = TransformerShape::tiny();
+        let r = run(&shape, 16, &[0.5, 4.0, 16.0], 150.0).unwrap();
+        assert_eq!(r.points.len(), 3);
+        let light = &r.points[0];
+        let heavy = &r.points[2];
+        // Batching lets achieved throughput exceed 1/single by a wide
+        // margin under heavy load.
+        assert!(
+            heavy.stats.throughput_rps > 2.0 / r.single_request_s,
+            "heavy throughput {}",
+            heavy.stats.throughput_rps
+        );
+        assert!(heavy.stats.mean_batch > light.stats.mean_batch);
+        // Light load is served at near the offered rate.
+        assert!(light.stats.throughput_rps > 0.35 / r.single_request_s);
+    }
+
+    #[test]
+    fn render_shows_curve() {
+        let shape = TransformerShape::tiny();
+        let r = run(&shape, 16, &[1.0], 60.0).unwrap();
+        let s = render(&r);
+        assert!(s.contains("Poisson load"));
+        assert!(s.contains("p95"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness for the PIM-DL reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a module
+//! under [`experiments`]; the `reproduce` binary dispatches to them and
+//! renders text tables (optionally writing JSON artifacts for
+//! EXPERIMENTS.md). The Criterion benches under `benches/` measure this
+//! repository's *real* host kernels (GEMM vs LUT, CCS, k-means, the
+//! auto-tuner itself) to confirm the analytical shapes with wall-clock data.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

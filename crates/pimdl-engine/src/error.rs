@@ -1,0 +1,76 @@
+use std::fmt;
+
+use pimdl_sim::SimError;
+use pimdl_tuner::TuneError;
+
+/// Error type for the inference engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The serving configuration is invalid for the model shape.
+    Config {
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// The auto-tuner failed to find a mapping for a LUT workload.
+    Tune(TuneError),
+    /// A simulator operation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config { detail } => write!(f, "invalid serving config: {detail}"),
+            EngineError::Tune(e) => write!(f, "auto-tuning failed: {e}"),
+            EngineError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Tune(e) => Some(e),
+            EngineError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TuneError> for EngineError {
+    fn from(e: TuneError) -> Self {
+        EngineError::Tune(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = EngineError::Config {
+            detail: "bad".to_string(),
+        };
+        assert!(e.to_string().contains("invalid serving config"));
+        assert!(e.source().is_none());
+
+        let e = EngineError::from(TuneError::NoLegalMapping {
+            detail: "x".to_string(),
+        });
+        assert!(e.source().is_some());
+
+        let e = EngineError::from(SimError::Execution {
+            detail: "y".to_string(),
+        });
+        assert!(e.to_string().contains("simulation failed"));
+    }
+}

@@ -1,0 +1,45 @@
+//! PIM-DL inference engine: end-to-end transformer serving on DRAM-PIM
+//! platforms (paper §4.3, Fig. 6).
+//!
+//! The engine assembles the operator graph of a transformer model
+//! ([`shapes`]), partitions it between host and PIM (LUT operators →
+//! PIM; CCS, attention, and the remaining operators → host — §5.2), obtains
+//! a tuned mapping for every LUT workload from `pimdl_tuner`, prices each
+//! operator with the simulator/host cost models, and reports end-to-end
+//! latency, per-stage breakdowns and energy ([`pipeline`]).
+//!
+//! The comparison systems of §6 live in [`baseline`]:
+//! CPU FP32/INT8 GGML-style inference, V100 GPU inference, and GEMM-based
+//! inference offloaded to the same DRAM-PIM platforms.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimdl_engine::shapes::TransformerShape;
+//! use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
+//! use pimdl_sim::PlatformConfig;
+//!
+//! let engine = PimDlEngine::new(PlatformConfig::upmem());
+//! let cfg = ServingConfig { batch: 4, seq_len: 32, v: 4, ct: 16 };
+//! let report = engine.serve(&TransformerShape::tiny(), &cfg)?;
+//! assert!(report.total_s > 0.0);
+//! # Ok::<(), pimdl_engine::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+
+pub mod baseline;
+pub mod pipeline;
+pub mod residency;
+pub mod scheduler;
+pub mod shapes;
+
+pub use error::EngineError;
+pub use pipeline::{InferenceReport, PimDlEngine, ServingConfig};
+pub use shapes::TransformerShape;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,546 @@
+//! The PIM-DL serving pipeline: operator partitioning, per-workload
+//! auto-tuning, and end-to-end latency/energy estimation.
+//!
+//! Operator placement follows §5.2 and Fig. 6-(b): the **LUT** operator of
+//! every linear layer runs on the PIM modules; the **CCS** operator (a
+//! GEMM-shaped distance computation), attention, and the element-wise /
+//! normalization operators run on the platform's host.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use pimdl_sim::cost::estimate_cost;
+use pimdl_sim::energy::EnergyReport;
+use pimdl_sim::{LutWorkload, Mapping, PlatformConfig};
+use pimdl_tuner::tune;
+
+use crate::baseline::HostModel;
+use crate::residency::{plan, OperatorFootprint, ResidencyPlan};
+use crate::shapes::TransformerShape;
+use crate::{EngineError, Result};
+
+/// Serving-time configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length (tokens per sequence / patches per image).
+    pub seq_len: usize,
+    /// LUT-NN sub-vector length `V`.
+    pub v: usize,
+    /// LUT-NN centroid count `CT`.
+    pub ct: usize,
+}
+
+impl ServingConfig {
+    /// The paper's default throughput setting: batch 64, seq 512, V = 4,
+    /// CT = 16 (§6.3).
+    pub fn paper_default() -> Self {
+        ServingConfig {
+            batch: 64,
+            seq_len: 512,
+            v: 4,
+            ct: 16,
+        }
+    }
+}
+
+/// Cost of one converted linear operator (aggregated over all layers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearCost {
+    /// Operator name (QKV / O / FFN1 / FFN2).
+    pub name: String,
+    /// LUT workload shape.
+    pub workload: LutWorkload,
+    /// Tuned mapping.
+    pub mapping: Mapping,
+    /// PIM LUT-operator time across all layers (s).
+    pub lut_s: f64,
+    /// Host CCS time across all layers (s).
+    pub ccs_s: f64,
+    /// Host↔PIM bytes across all layers.
+    pub host_pim_bytes: u64,
+}
+
+/// End-to-end PIM-DL inference report (the Fig. 10/11 quantities).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Total latency (s).
+    pub total_s: f64,
+    /// PIM LUT-operator latency (s).
+    pub lut_s: f64,
+    /// Host CCS latency (s).
+    pub ccs_s: f64,
+    /// Host attention latency (s).
+    pub attention_s: f64,
+    /// Other host operators (element-wise, norms) latency (s).
+    pub other_s: f64,
+    /// Per-linear-operator costs.
+    pub per_linear: Vec<LinearCost>,
+    /// LUT residency plan (which operators' LUTs stay in PIM local memory
+    /// and the staging penalty of those that do not fit).
+    pub residency: ResidencyPlan,
+    /// Energy consumed.
+    pub energy: EnergyReport,
+}
+
+impl InferenceReport {
+    /// Fraction of total latency spent in LUT-NN inference (CCS + LUT) —
+    /// the Fig. 11-(a) "LUT" + "CCS" share.
+    pub fn lutnn_fraction(&self) -> f64 {
+        if self.total_s <= 0.0 {
+            0.0
+        } else {
+            (self.lut_s + self.ccs_s) / self.total_s
+        }
+    }
+
+    /// Throughput in sequences per second for the given batch.
+    pub fn throughput(&self, batch: usize) -> f64 {
+        if self.total_s <= 0.0 {
+            0.0
+        } else {
+            batch as f64 / self.total_s
+        }
+    }
+}
+
+/// The PIM-DL serving engine for one platform.
+#[derive(Debug)]
+pub struct PimDlEngine {
+    platform: PlatformConfig,
+    host: HostModel,
+    mapping_cache: Mutex<HashMap<LutWorkload, Mapping>>,
+}
+
+impl PimDlEngine {
+    /// Creates an engine for a platform with its default host.
+    pub fn new(platform: PlatformConfig) -> Self {
+        let host = HostModel::host_of(&platform);
+        PimDlEngine {
+            platform,
+            host,
+            mapping_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The platform this engine serves on.
+    pub fn platform(&self) -> &PlatformConfig {
+        &self.platform
+    }
+
+    /// The host model running CCS/attention/element-wise operators.
+    pub fn host(&self) -> &HostModel {
+        &self.host
+    }
+
+    /// Returns the tuned mapping for a LUT workload (cached per shape —
+    /// "each model need to be tuned only once", §5.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuner failures.
+    pub fn mapping_for(&self, workload: &LutWorkload) -> Result<Mapping> {
+        if let Some(m) = self.mapping_cache.lock().expect("cache poisoned").get(workload) {
+            return Ok(*m);
+        }
+        let result = tune(&self.platform, workload)?;
+        self.mapping_cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(*workload, result.mapping);
+        Ok(result.mapping)
+    }
+
+    /// Estimates end-to-end PIM-DL inference for a model shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `V` does not divide every linear
+    /// input dim, or tuning/simulation errors.
+    pub fn serve(&self, shape: &TransformerShape, cfg: &ServingConfig) -> Result<InferenceReport> {
+        if cfg.batch == 0 || cfg.seq_len == 0 || cfg.v == 0 || cfg.ct == 0 {
+            return Err(EngineError::Config {
+                detail: format!("zero field in serving config {cfg:?}"),
+            });
+        }
+        let n = cfg.batch * cfg.seq_len;
+        let layers = shape.layers as f64;
+
+        let mut per_linear = Vec::new();
+        let mut footprints = Vec::new();
+        let mut lut_s = 0.0;
+        let mut ccs_s = 0.0;
+        let mut host_pim_bytes = 0u64;
+        for op in shape.linear_ops() {
+            if op.in_dim % cfg.v != 0 {
+                return Err(EngineError::Config {
+                    detail: format!(
+                        "V = {} does not divide {}'s input dim {}",
+                        cfg.v, op.name, op.in_dim
+                    ),
+                });
+            }
+            let workload = LutWorkload::new(n, op.in_dim / cfg.v, cfg.ct, op.out_dim)?;
+            let mapping = self.mapping_for(&workload)?;
+            let report = estimate_cost(&self.platform, &workload, &mapping)?;
+            // Serving keeps the LUTs resident in PIM memory (distributed
+            // once at model load, exactly like the GEMM baseline's
+            // weights), so per-inference latency excludes the LUT staging
+            // transfer.
+            let op_lut_s = report.time.total_resident_s() * layers;
+
+            // CCS on the host: 3·N·H·CT ops (§3.3), streaming the f32
+            // activations and writing one index byte per sub-vector. The
+            // argmin-shaped kernel sustains only CCS_EFFICIENCY of the
+            // host's dense-GEMM throughput.
+            let ccs_flops = ((3 * n * op.in_dim * cfg.ct) as f64
+                / crate::baseline::CCS_EFFICIENCY) as u64;
+            let ccs_bytes = (n * op.in_dim * 4) as u64 + workload.index_bytes();
+            let op_ccs_s = self.host.gemm_time_s(ccs_flops, ccs_bytes) * layers;
+
+            lut_s += op_lut_s;
+            ccs_s += op_ccs_s;
+            let op_bytes =
+                (report.host_pim_bytes - report.lut_stage_bytes) * shape.layers as u64;
+            host_pim_bytes += op_bytes;
+            per_linear.push(LinearCost {
+                name: op.name.to_string(),
+                workload,
+                mapping,
+                lut_s: op_lut_s,
+                ccs_s: op_ccs_s,
+                host_pim_bytes: op_bytes,
+            });
+            footprints.push((op.name, workload, mapping, report));
+        }
+
+        // Residency: operators whose LUT tiles do not fit the per-PE local
+        // memory must re-stage their tables every inference.
+        let footprint_refs: Vec<OperatorFootprint<'_>> = footprints
+            .iter()
+            .map(|(name, workload, mapping, report)| OperatorFootprint {
+                name,
+                workload: *workload,
+                mapping: *mapping,
+                report: *report,
+                layers: shape.layers,
+            })
+            .collect();
+        let residency = plan(&self.platform, &footprint_refs);
+        lut_s += residency.staging_penalty_s;
+        for (entry, (_, _, _, report)) in residency.entries.iter().zip(&footprints) {
+            if !entry.resident {
+                host_pim_bytes += report.lut_stage_bytes * shape.layers as u64;
+            }
+        }
+
+        let attn_flops = shape.attention_flops_per_layer(cfg.batch, cfg.seq_len);
+        let attn_bytes = (3 * n * shape.hidden) as u64 * 4
+            + (cfg.batch * shape.heads * cfg.seq_len * cfg.seq_len) as u64 * 4;
+        let attention_s = self.host.gemm_time_s(attn_flops, attn_bytes) * layers;
+        let other_s = self
+            .host
+            .elementwise_time_s(shape.elementwise_bytes_per_layer(cfg.batch, cfg.seq_len))
+            * layers;
+
+        let total_s = lut_s + ccs_s + attention_s + other_s;
+        let energy = EnergyReport::from_window(
+            total_s,
+            self.platform.pim_power_w,
+            self.host.power_w,
+            host_pim_bytes as f64,
+            self.platform.transfer_energy_pj_per_byte,
+        );
+        Ok(InferenceReport {
+            total_s,
+            lut_s,
+            ccs_s,
+            attention_s,
+            other_s,
+            per_linear,
+            residency,
+            energy,
+        })
+    }
+
+    /// Extension beyond the paper: estimates serving latency when the host
+    /// CCS of the *next* LUT operator overlaps the PIM execution of the
+    /// current one (the host and PIM are independent resources, so a
+    /// double-buffered index matrix hides the shorter of the two phases).
+    ///
+    /// The sequential engine of the paper charges `lut + ccs`; pipelined
+    /// steady state charges `max(lut, ccs)` per operator, keeping the first
+    /// CCS exposed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`PimDlEngine::serve`].
+    pub fn serve_overlapped(
+        &self,
+        shape: &TransformerShape,
+        cfg: &ServingConfig,
+    ) -> Result<InferenceReport> {
+        let mut report = self.serve(shape, cfg)?;
+        let mut pipelined = 0.0;
+        let mut first_ccs = f64::INFINITY;
+        for lc in &report.per_linear {
+            let per_layer_lut = lc.lut_s / shape.layers as f64;
+            let per_layer_ccs = lc.ccs_s / shape.layers as f64;
+            pipelined += per_layer_lut.max(per_layer_ccs) * shape.layers as f64;
+            first_ccs = first_ccs.min(per_layer_ccs);
+        }
+        if !first_ccs.is_finite() {
+            first_ccs = 0.0;
+        }
+        let linear_s = pipelined + first_ccs + report.residency.staging_penalty_s;
+        report.total_s = linear_s + report.attention_s + report.other_s;
+        // Attribute the overlapped phase to `lut_s` and keep only the
+        // exposed pipeline-fill CCS; the breakdown still sums to the total.
+        report.lut_s = pipelined + report.residency.staging_penalty_s;
+        report.ccs_s = first_ccs;
+        report.energy = EnergyReport::from_window(
+            report.total_s,
+            self.platform.pim_power_w,
+            self.host.power_w,
+            report
+                .per_linear
+                .iter()
+                .map(|l| l.host_pim_bytes)
+                .sum::<u64>() as f64,
+            self.platform.transfer_energy_pj_per_byte,
+        );
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{host_inference, pim_gemm_inference};
+
+    fn small_platform() -> PlatformConfig {
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = 64;
+        p
+    }
+
+    fn tiny_cfg() -> ServingConfig {
+        ServingConfig {
+            batch: 4,
+            seq_len: 32,
+            v: 4,
+            ct: 16,
+        }
+    }
+
+    #[test]
+    fn serve_produces_consistent_breakdown() {
+        let engine = PimDlEngine::new(small_platform());
+        let report = engine.serve(&TransformerShape::tiny(), &tiny_cfg()).unwrap();
+        let sum = report.lut_s + report.ccs_s + report.attention_s + report.other_s;
+        assert!((report.total_s - sum).abs() < 1e-12);
+        assert_eq!(report.per_linear.len(), 4);
+        assert!(report.lut_s > 0.0 && report.ccs_s > 0.0);
+        assert!(report.energy.total_j() > 0.0);
+        assert!(report.throughput(4) > 0.0);
+    }
+
+    #[test]
+    fn serve_rejects_bad_config() {
+        let engine = PimDlEngine::new(small_platform());
+        let shape = TransformerShape::tiny();
+        let mut cfg = tiny_cfg();
+        cfg.v = 0;
+        assert!(engine.serve(&shape, &cfg).is_err());
+        // V = 5 does not divide hidden 64.
+        let mut cfg = tiny_cfg();
+        cfg.v = 5;
+        assert!(matches!(
+            engine.serve(&shape, &cfg),
+            Err(EngineError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_cache_reuses_tunes() {
+        let engine = PimDlEngine::new(small_platform());
+        let w = LutWorkload::new(128, 16, 16, 192).unwrap();
+        let m1 = engine.mapping_for(&w).unwrap();
+        let m2 = engine.mapping_for(&w).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(
+            engine
+                .mapping_cache
+                .lock()
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lutnn_dominates_latency_like_fig11a() {
+        // Fig. 11-(a): LUT-NN inference (CCS + LUT) is ~74–79 % of total.
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let cfg = ServingConfig {
+            batch: 16,
+            seq_len: 128,
+            v: 4,
+            ct: 16,
+        };
+        let report = engine
+            .serve(&TransformerShape::bert_base(), &cfg)
+            .unwrap();
+        let frac = report.lutnn_fraction();
+        assert!((0.5..1.0).contains(&frac), "LUT-NN fraction {frac}");
+    }
+
+    #[test]
+    fn pimdl_beats_gemm_on_pim_by_an_order_of_magnitude() {
+        // The headline claim (Fig. 10): vs GEMM-based inference on the same
+        // PIM hardware, PIM-DL wins by >10×.
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let shape = TransformerShape::bert_base();
+        let cfg = ServingConfig {
+            batch: 64,
+            seq_len: 512,
+            v: 4,
+            ct: 16,
+        };
+        let pimdl = engine.serve(&shape, &cfg).unwrap();
+        let gemm = pim_gemm_inference(engine.platform(), &shape, 64, 512);
+        let speedup = gemm.total_s() / pimdl.total_s;
+        assert!(speedup > 8.0, "speedup over GEMM-on-PIM = {speedup}");
+    }
+
+    #[test]
+    fn pimdl_beats_cpu_at_large_batch_loses_at_tiny_batch() {
+        // Fig. 10 + Fig. 12-(c): PIM-DL outpaces the CPU server at batch 64
+        // but loses at very small batches (host↔PIM bandwidth dominates).
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let shape = TransformerShape::bert_base();
+
+        let big = engine
+            .serve(
+                &shape,
+                &ServingConfig {
+                    batch: 64,
+                    seq_len: 512,
+                    v: 4,
+                    ct: 16,
+                },
+            )
+            .unwrap();
+        let cpu_big = host_inference(&HostModel::cpu_int8(), &shape, 64, 512, 1);
+        let speedup_big = cpu_big.total_s() / big.total_s;
+        assert!(speedup_big > 1.0, "batch-64 speedup {speedup_big}");
+
+        let small = engine
+            .serve(
+                &shape,
+                &ServingConfig {
+                    batch: 1,
+                    seq_len: 128,
+                    v: 4,
+                    ct: 16,
+                },
+            )
+            .unwrap();
+        let cpu_small = host_inference(&HostModel::cpu_int8(), &shape, 1, 128, 1);
+        let speedup_small = cpu_small.total_s() / small.total_s;
+        assert!(
+            speedup_small < speedup_big,
+            "small-batch speedup {speedup_small} should trail {speedup_big}"
+        );
+    }
+
+    #[test]
+    fn larger_v_is_faster() {
+        // Fig. 12-(a): larger sub-vector length shrinks CB and the LUTs.
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let shape = TransformerShape::bert_base();
+        let t = |v: usize| {
+            engine
+                .serve(
+                    &shape,
+                    &ServingConfig {
+                        batch: 16,
+                        seq_len: 128,
+                        v,
+                        ct: 16,
+                    },
+                )
+                .unwrap()
+                .total_s
+        };
+        assert!(t(8) < t(2), "V=8 {} should beat V=2 {}", t(8), t(2));
+    }
+
+    #[test]
+    fn fewer_centroids_is_not_slower() {
+        // Fig. 12-(b): smaller CT shrinks LUT footprints.
+        let engine = PimDlEngine::new(PlatformConfig::upmem());
+        let shape = TransformerShape::bert_base();
+        let t = |ct: usize| {
+            engine
+                .serve(
+                    &shape,
+                    &ServingConfig {
+                        batch: 16,
+                        seq_len: 128,
+                        v: 4,
+                        ct,
+                    },
+                )
+                .unwrap()
+                .total_s
+        };
+        assert!(t(8) <= t(64) * 1.01, "CT=8 {} vs CT=64 {}", t(8), t(64));
+    }
+
+    #[test]
+    fn overlapped_serving_is_faster_but_bounded() {
+        let engine = PimDlEngine::new(small_platform());
+        let shape = TransformerShape::tiny();
+        let cfg = tiny_cfg();
+        let seq = engine.serve(&shape, &cfg).unwrap();
+        let pipe = engine.serve_overlapped(&shape, &cfg).unwrap();
+        assert!(pipe.total_s < seq.total_s, "pipe {} seq {}", pipe.total_s, seq.total_s);
+        // Overlap can hide at most the whole CCS phase.
+        assert!(pipe.total_s >= seq.total_s - seq.ccs_s - 1e-12);
+        // Breakdown remains consistent.
+        let sum = pipe.lut_s + pipe.ccs_s + pipe.attention_s + pipe.other_s;
+        assert!((pipe.total_s - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_mram_adds_staging_penalty() {
+        let shape = TransformerShape::tiny();
+        let cfg = tiny_cfg();
+        let roomy = PimDlEngine::new(small_platform());
+        let fit = roomy.serve(&shape, &cfg).unwrap();
+        assert!(fit.residency.fully_resident());
+
+        let mut p = small_platform();
+        p.mram_bytes = 256; // far below any LUT tile
+        let cramped = PimDlEngine::new(p);
+        let staged = cramped.serve(&shape, &cfg).unwrap();
+        assert!(!staged.residency.fully_resident());
+        assert!(staged.residency.staging_penalty_s > 0.0);
+        assert!(
+            staged.total_s > fit.total_s,
+            "staged {} should exceed resident {}",
+            staged.total_s,
+            fit.total_s
+        );
+    }
+
+    #[test]
+    fn paper_default_config() {
+        let cfg = ServingConfig::paper_default();
+        assert_eq!((cfg.batch, cfg.seq_len, cfg.v, cfg.ct), (64, 512, 4, 16));
+    }
+}

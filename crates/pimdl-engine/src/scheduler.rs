@@ -1,0 +1,364 @@
+//! Dynamic-batching serving scheduler.
+//!
+//! The paper motivates PIM-DL with cloud serving, where "cloud-based
+//! scenarios often require batched inference" (§2.2). This module closes
+//! that loop: a discrete-event simulation of a serving front end that
+//! collects arriving requests into batches (bounded by a maximum batch size
+//! and a maximum queueing delay) and executes each batch with the PIM-DL
+//! engine's latency model. The output is the classic serving curve:
+//! throughput and latency percentiles as functions of the arrival rate.
+//!
+//! Batching interacts with PIM-DL exactly as Fig. 12-(c) suggests: larger
+//! batches amortize the host↔PIM fixed costs, so the scheduler's batch-size
+//! choice trades queueing delay against kernel efficiency.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pimdl_tensor::rng::DataRng;
+
+use crate::pipeline::{PimDlEngine, ServingConfig};
+use crate::shapes::TransformerShape;
+use crate::Result;
+
+/// Batching policy of the serving front end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchingPolicy {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request may wait before the batch is
+    /// dispatched anyway (seconds).
+    pub max_wait_s: f64,
+}
+
+impl Default for BatchingPolicy {
+    fn default() -> Self {
+        BatchingPolicy {
+            max_batch: 64,
+            max_wait_s: 0.050,
+        }
+    }
+}
+
+/// Offered load: Poisson arrivals at `rate_rps` for `duration_s` simulated
+/// seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Mean request arrival rate (requests per second).
+    pub rate_rps: f64,
+    /// Simulated wall-clock horizon (seconds).
+    pub duration_s: f64,
+    /// Arrival-process seed.
+    pub seed: u64,
+}
+
+/// Result of one load simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingStats {
+    /// Requests completed within the horizon.
+    pub completed: usize,
+    /// Achieved throughput (requests per simulated second).
+    pub throughput_rps: f64,
+    /// Mean end-to-end request latency (queueing + execution), seconds.
+    pub mean_latency_s: f64,
+    /// Median latency (seconds).
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency (seconds).
+    pub p95_latency_s: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Batches dispatched.
+    pub batches: usize,
+}
+
+/// A dynamic-batching serving simulator over a PIM-DL engine.
+#[derive(Debug)]
+pub struct BatchScheduler<'a> {
+    engine: &'a PimDlEngine,
+    shape: &'a TransformerShape,
+    /// Per-request serving parameters (seq_len, V, CT); the batch dimension
+    /// comes from the scheduler.
+    base: ServingConfig,
+    policy: BatchingPolicy,
+    latency_cache: HashMap<usize, f64>,
+}
+
+impl<'a> BatchScheduler<'a> {
+    /// Creates a scheduler for a model on an engine.
+    pub fn new(
+        engine: &'a PimDlEngine,
+        shape: &'a TransformerShape,
+        base: ServingConfig,
+        policy: BatchingPolicy,
+    ) -> Self {
+        BatchScheduler {
+            engine,
+            shape,
+            base,
+            policy,
+            latency_cache: HashMap::new(),
+        }
+    }
+
+    /// Engine latency of one batch of the given size (memoized — the
+    /// engine's own mapping cache makes repeat sizes cheap, but the sweep
+    /// hits the same handful of sizes thousands of times).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn batch_latency_s(&mut self, batch: usize) -> Result<f64> {
+        if let Some(&t) = self.latency_cache.get(&batch) {
+            return Ok(t);
+        }
+        let cfg = ServingConfig {
+            batch,
+            ..self.base
+        };
+        let t = self.engine.serve(self.shape, &cfg)?.total_s;
+        self.latency_cache.insert(batch, t);
+        Ok(t)
+    }
+
+    /// Simulates the serving system under Poisson load.
+    ///
+    /// Single execution lane (the PIM modules serve one batch at a time, as
+    /// on the real platform); requests arriving while a batch executes
+    /// queue for the next one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn simulate(&mut self, workload: &Workload) -> Result<ServingStats> {
+        // Poisson arrivals: exponential inter-arrival times.
+        let mut rng = DataRng::new(workload.seed);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0;
+        while t < workload.duration_s {
+            let u: f64 = f64::from(rng.uniform(1e-7, 1.0));
+            t += -u.ln() / workload.rate_rps;
+            if t < workload.duration_s {
+                arrivals.push(t);
+            }
+        }
+
+        let mut latencies: Vec<f64> = Vec::with_capacity(arrivals.len());
+        let mut batches = 0usize;
+        let mut batched_total = 0usize;
+        let mut engine_free_at = 0.0f64;
+        let mut i = 0usize;
+        while i < arrivals.len() {
+            // The next batch forms from the queue head. Dispatch when the
+            // engine is free AND (the batch is full OR the oldest request
+            // has waited max_wait_s).
+            let head_arrival = arrivals[i];
+            let earliest_dispatch = head_arrival.max(engine_free_at);
+            let deadline = head_arrival + self.policy.max_wait_s;
+            let dispatch_at = earliest_dispatch.max(
+                // If the engine frees up before the deadline, wait for more
+                // arrivals until the deadline (or until full).
+                if engine_free_at < deadline { deadline } else { engine_free_at },
+            );
+
+            // Collect everything that has arrived by dispatch time, capped.
+            let mut batch_end = i;
+            while batch_end < arrivals.len()
+                && arrivals[batch_end] <= dispatch_at
+                && batch_end - i < self.policy.max_batch
+            {
+                batch_end += 1;
+            }
+            // A full batch can dispatch as soon as the engine is free and
+            // its last member has arrived — no need to sit out the window.
+            let actual_dispatch = if batch_end - i == self.policy.max_batch {
+                arrivals[batch_end - 1].max(engine_free_at)
+            } else {
+                dispatch_at
+            };
+
+            let batch_size = batch_end - i;
+            let exec_s = self.batch_latency_s(batch_size)?;
+            let finish = actual_dispatch + exec_s;
+            for &arr in &arrivals[i..batch_end] {
+                latencies.push(finish - arr);
+            }
+            engine_free_at = finish;
+            batches += 1;
+            batched_total += batch_size;
+            i = batch_end;
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let completed = latencies.len();
+        let percentile = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((completed as f64 - 1.0) * p).round() as usize;
+                latencies[idx.min(completed - 1)]
+            }
+        };
+        Ok(ServingStats {
+            completed,
+            throughput_rps: completed as f64 / workload.duration_s.max(1e-9),
+            mean_latency_s: latencies.iter().sum::<f64>() / completed.max(1) as f64,
+            p50_latency_s: percentile(0.50),
+            p95_latency_s: percentile(0.95),
+            mean_batch: batched_total as f64 / batches.max(1) as f64,
+            batches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimdl_sim::PlatformConfig;
+
+    fn setup() -> (PimDlEngine, TransformerShape) {
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = 64;
+        (PimDlEngine::new(p), TransformerShape::tiny())
+    }
+
+    fn base_cfg() -> ServingConfig {
+        ServingConfig {
+            batch: 1,
+            seq_len: 16,
+            v: 4,
+            ct: 16,
+        }
+    }
+
+    #[test]
+    fn light_load_gives_small_batches_and_low_latency() {
+        let (engine, shape) = setup();
+        let mut sched = BatchScheduler::new(
+            &engine,
+            &shape,
+            base_cfg(),
+            BatchingPolicy {
+                max_batch: 16,
+                max_wait_s: 0.001,
+            },
+        );
+        let single = sched.batch_latency_s(1).unwrap();
+        let stats = sched
+            .simulate(&Workload {
+                rate_rps: 0.5 / single, // far below capacity
+                duration_s: single * 400.0,
+                seed: 1,
+            })
+            .unwrap();
+        assert!(stats.completed > 50, "completed {}", stats.completed);
+        assert!(stats.mean_batch < 3.0, "mean batch {}", stats.mean_batch);
+        // At light load latency ≈ execution time + small wait.
+        assert!(
+            stats.p50_latency_s < 3.0 * single,
+            "p50 {} vs single {}",
+            stats.p50_latency_s,
+            single
+        );
+    }
+
+    #[test]
+    fn heavy_load_forms_large_batches() {
+        let (engine, shape) = setup();
+        let mut sched = BatchScheduler::new(
+            &engine,
+            &shape,
+            base_cfg(),
+            BatchingPolicy {
+                max_batch: 16,
+                max_wait_s: 0.001,
+            },
+        );
+        let single = sched.batch_latency_s(1).unwrap();
+        let light = sched
+            .simulate(&Workload {
+                rate_rps: 0.5 / single,
+                duration_s: single * 200.0,
+                seed: 2,
+            })
+            .unwrap();
+        let heavy = sched
+            .simulate(&Workload {
+                rate_rps: 20.0 / single,
+                duration_s: single * 200.0,
+                seed: 2,
+            })
+            .unwrap();
+        assert!(
+            heavy.mean_batch > light.mean_batch + 1.0,
+            "heavy {} vs light {}",
+            heavy.mean_batch,
+            light.mean_batch
+        );
+        // Batching lifts throughput well above the single-request rate.
+        assert!(heavy.throughput_rps > 2.0 / single);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let (engine, shape) = setup();
+        let mut sched =
+            BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
+        let single = sched.batch_latency_s(1).unwrap();
+        let stats = sched
+            .simulate(&Workload {
+                rate_rps: 4.0 / single,
+                duration_s: single * 150.0,
+                seed: 3,
+            })
+            .unwrap();
+        assert!(stats.p50_latency_s <= stats.p95_latency_s);
+        assert!(stats.mean_latency_s > 0.0);
+        assert!(stats.batches > 0);
+    }
+
+    #[test]
+    fn backlog_drains_in_fifo_order_without_starvation() {
+        // A burst far above capacity: every request still completes, and
+        // latencies are non-decreasing in arrival order within the backlog
+        // regime (FIFO batching does not starve early arrivals).
+        let (engine, shape) = setup();
+        let mut sched = BatchScheduler::new(
+            &engine,
+            &shape,
+            base_cfg(),
+            BatchingPolicy {
+                max_batch: 4,
+                max_wait_s: 0.001,
+            },
+        );
+        let single = sched.batch_latency_s(1).unwrap();
+        let stats = sched
+            .simulate(&Workload {
+                rate_rps: 50.0 / single,
+                duration_s: single * 20.0,
+                seed: 5,
+            })
+            .unwrap();
+        assert!(stats.completed > 100, "completed {}", stats.completed);
+        // With max_batch 4 the mean batch is pinned at ~4 under overload.
+        assert!(
+            stats.mean_batch > 3.5,
+            "mean batch {} under overload",
+            stats.mean_batch
+        );
+        // p95 under overload far exceeds p50 (queueing tail).
+        assert!(stats.p95_latency_s > stats.p50_latency_s);
+    }
+
+    #[test]
+    fn latency_cache_hits() {
+        let (engine, shape) = setup();
+        let mut sched =
+            BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
+        let a = sched.batch_latency_s(4).unwrap();
+        let b = sched.batch_latency_s(4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sched.latency_cache.len(), 1);
+    }
+}

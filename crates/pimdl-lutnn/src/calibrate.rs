@@ -1,0 +1,1354 @@
+//! Model calibration: the baseline LUT-NN algorithm and the paper's
+//! **eLUT-NN** algorithm (§4.2).
+//!
+//! Both algorithms replace every linear layer's input with a
+//! centroid-coded approximation during training and jointly update
+//! centroids and model weights; they differ exactly where §4.2 says they
+//! do:
+//!
+//! * **Baseline LUT-NN** (the paper's comparison algorithm \[84\],
+//!   [`calibrate_lutnn_baseline`]): gradients reach the centroids through a
+//!   *soft assignment* — a temperature softmax over negative sub-vector
+//!   distances (the deterministic core of Gumbel-softmax estimation) — and
+//!   the loss is the model loss alone, propagated layer by layer. Under
+//!   full-layer replacement this estimator converges poorly (vanishing,
+//!   noisy centroid gradients; train-time soft vs. inference-time hard
+//!   assignment mismatch), which is the paper's Tables 4–5 baseline
+//!   collapse.
+//! * **eLUT-NN** ([`calibrate_elutnn`]): adds the reconstruction loss of
+//!   Eq. 1,
+//!
+//!   ```text
+//!   L = ModelLoss + β · Σ_l ||A_l·W_l − Â_l·W_l||²
+//!   ```
+//!
+//!   whose gradient reaches each centroid *directly* (each sub-vector's
+//!   gradient scatters onto its assigned centroid), and replaces the soft
+//!   estimator with the straight-through estimator of Eq. 2 (`∂Â/∂A ≈ I`).
+//!   Under STE the reconstruction term's gradient w.r.t. the layer input
+//!   cancels (`+2βEWᵀ` via `Â`, `−2βEWᵀ` via `A`), so it reaches only
+//!   centroids and weights — the "direct gradient propagation" property the
+//!   paper highlights.
+//!
+//! Following §6.2, centroids can be initialized randomly (the paper's
+//! setting) or by k-means on calibration activations
+//! ([`CentroidInit`]). [`convert_kmeans_only`] additionally exposes the
+//! no-finetuning conversion (clustering only) as an ablation point.
+
+use pimdl_nn::data::Dataset;
+use pimdl_nn::embedding::SequenceInput;
+use pimdl_nn::loss::cross_entropy;
+use pimdl_nn::optim::Adam;
+use pimdl_nn::transformer::{EncoderBlock, TransformerClassifier};
+use pimdl_nn::Linear;
+use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{elementwise, gemm, norm, Matrix};
+
+use crate::convert::{attention_arithmetic, LutClassifier};
+use crate::kmeans::sq_dist;
+use crate::pq::{IndexMatrix, ProductQuantizer};
+use crate::{LutError, Result};
+
+/// How centroids are initialized before fine-tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CentroidInit {
+    /// Random Gaussian centroids matched to the activation scale — the
+    /// paper's §6.2 setting ("the centroids are initialized randomly").
+    Random,
+    /// Per-column k-means on calibration activations (§3.1 step ❶).
+    KMeans,
+}
+
+/// Hyper-parameters of an eLUT-NN conversion/calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Sub-vector length `V` (paper default 2 for accuracy experiments).
+    pub v: usize,
+    /// Centroids per codebook `CT` (paper default 16).
+    pub ct: usize,
+    /// Centroid initialization method.
+    pub init: CentroidInit,
+    /// Lloyd iterations per codebook when `init` is k-means.
+    pub kmeans_iters: usize,
+    /// Reconstruction-loss weight β (paper: 1e-3 BERT, 1e-4 ViT).
+    pub beta: f32,
+    /// Adam learning rate for fine-tuning.
+    pub lr: f32,
+    /// Fine-tuning epochs over the calibration set.
+    pub epochs: usize,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+    /// Cap on activation rows gathered for k-means initialization.
+    pub max_activation_rows: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            v: 2,
+            ct: 16,
+            init: CentroidInit::KMeans,
+            kmeans_iters: 15,
+            beta: 1e-3,
+            lr: 1e-3,
+            epochs: 3,
+            batch_size: 8,
+            seed: 0,
+            max_activation_rows: 4096,
+        }
+    }
+}
+
+/// Hyper-parameters of the baseline LUT-NN calibration (the \[84\]
+/// comparison algorithm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineLutNnConfig {
+    /// Sub-vector length `V`.
+    pub v: usize,
+    /// Centroids per codebook `CT`.
+    pub ct: usize,
+    /// Centroid initialization (the paper evaluates random init).
+    pub init: CentroidInit,
+    /// Lloyd iterations when `init` is k-means.
+    pub kmeans_iters: usize,
+    /// Softmax temperature of the soft assignment.
+    pub tau: f32,
+    /// Whether to add Gumbel(0,1) noise to the assignment logits
+    /// (stochastic Gumbel-softmax sampling, as in the original LUT-NN
+    /// estimator).
+    pub gumbel_noise: bool,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on activation rows gathered for initialization.
+    pub max_activation_rows: usize,
+}
+
+impl Default for BaselineLutNnConfig {
+    fn default() -> Self {
+        BaselineLutNnConfig {
+            v: 2,
+            ct: 16,
+            init: CentroidInit::Random,
+            kmeans_iters: 15,
+            tau: 1.0,
+            gumbel_noise: true,
+            lr: 1e-3,
+            epochs: 3,
+            batch_size: 8,
+            seed: 0,
+            max_activation_rows: 4096,
+        }
+    }
+}
+
+/// Per-epoch statistics of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibStats {
+    /// Mean model (cross-entropy) loss per epoch.
+    pub losses: Vec<f32>,
+    /// Mean reconstruction-loss component per epoch (zero for the
+    /// baseline algorithm, which has no reconstruction term).
+    pub recon_losses: Vec<f32>,
+}
+
+// ---------------------------------------------------------------------------
+// Activation collection & quantizer initialization
+// ---------------------------------------------------------------------------
+
+/// Collects the input activation matrix of every convertible layer over the
+/// given sequences (layer order: per block, QKV / O / FFN1 / FFN2 — see
+/// [`crate::convert::layer_index`]).
+///
+/// At most `max_rows` activation rows are retained per layer (the paper's
+/// point A1: <1 % of the training set suffices).
+///
+/// # Errors
+///
+/// Propagates shape errors from the forward pass.
+pub fn collect_activations(
+    model: &TransformerClassifier,
+    inputs: &[SequenceInput],
+    max_rows: usize,
+) -> Result<Vec<Matrix>> {
+    let n_layers = 4 * model.num_blocks();
+    let mut collected: Vec<Vec<Matrix>> = vec![Vec::new(); n_layers];
+    let mut rows_so_far = vec![0usize; n_layers];
+
+    for input in inputs {
+        let (mut x, _) = model.embedding.forward(input)?;
+        for (b, block) in model.blocks.iter().enumerate() {
+            let hidden = block.attn.qkv.in_features();
+            let heads = block.attn.heads();
+            push_rows(&mut collected[b * 4], &mut rows_so_far[b * 4], &x, max_rows);
+            let (concat, attn_out) = attention_arithmetic(
+                &x,
+                hidden,
+                heads,
+                |x| Ok(block.attn.qkv.forward(x)?),
+                |c| Ok(block.attn.proj.forward(c)?),
+            )?;
+            push_rows(
+                &mut collected[b * 4 + 1],
+                &mut rows_so_far[b * 4 + 1],
+                &concat,
+                max_rows,
+            );
+            let res1 = x.add(&attn_out)?;
+            let (x1, _) = block.ln1.forward(&res1)?;
+            push_rows(
+                &mut collected[b * 4 + 2],
+                &mut rows_so_far[b * 4 + 2],
+                &x1,
+                max_rows,
+            );
+            let gelu_out = elementwise::gelu(&block.ffn1.forward(&x1)?);
+            push_rows(
+                &mut collected[b * 4 + 3],
+                &mut rows_so_far[b * 4 + 3],
+                &gelu_out,
+                max_rows,
+            );
+            let ffn2_out = block.ffn2.forward(&gelu_out)?;
+            let res2 = x1.add(&ffn2_out)?;
+            x = block.ln2.forward(&res2)?.0;
+        }
+    }
+
+    collected
+        .into_iter()
+        .enumerate()
+        .map(|(l, parts)| {
+            if parts.is_empty() {
+                return Err(LutError::Config {
+                    op: "collect_activations",
+                    detail: format!("no activations collected for layer {l}"),
+                });
+            }
+            let refs: Vec<&Matrix> = parts.iter().collect();
+            Ok(Matrix::vcat(&refs)?)
+        })
+        .collect()
+}
+
+fn push_rows(store: &mut Vec<Matrix>, rows_so_far: &mut usize, m: &Matrix, max_rows: usize) {
+    if *rows_so_far >= max_rows {
+        return;
+    }
+    let take = (max_rows - *rows_so_far).min(m.rows());
+    if take == m.rows() {
+        store.push(m.clone());
+    } else if let Ok(sub) = m.submatrix(0, 0, take, m.cols()) {
+        store.push(sub);
+    }
+    *rows_so_far += take;
+}
+
+/// Initializes one [`ProductQuantizer`] per convertible layer.
+///
+/// With [`CentroidInit::KMeans`], codebooks come from per-column k-means on
+/// the collected activations; with [`CentroidInit::Random`], centroids are
+/// Gaussian samples scaled to each layer's activation standard deviation
+/// (the §6.2 "initialized randomly" setting).
+///
+/// # Errors
+///
+/// Propagates collection and clustering errors.
+#[allow(clippy::too_many_arguments)]
+pub fn init_quantizers(
+    model: &TransformerClassifier,
+    inputs: &[SequenceInput],
+    v: usize,
+    ct: usize,
+    init: CentroidInit,
+    kmeans_iters: usize,
+    max_rows: usize,
+    rng: &mut DataRng,
+) -> Result<Vec<ProductQuantizer>> {
+    let activations = collect_activations(model, inputs, max_rows)?;
+    activations
+        .iter()
+        .map(|acts| match init {
+            CentroidInit::KMeans => ProductQuantizer::fit(acts, v, ct, kmeans_iters, rng),
+            CentroidInit::Random => {
+                let mean = acts.mean();
+                let var =
+                    acts.map(|x| (x - mean) * (x - mean)).mean().max(1e-8);
+                let std = var.sqrt();
+                if acts.cols() % v != 0 || v == 0 {
+                    return Err(LutError::Config {
+                        op: "init_quantizers",
+                        detail: format!("V = {v} does not divide H = {}", acts.cols()),
+                    });
+                }
+                let cb = acts.cols() / v;
+                let centroids = rng.normal_matrix(cb * ct, v, mean, std);
+                ProductQuantizer::from_centroids(centroids, v, ct)
+            }
+        })
+        .collect()
+}
+
+/// Clustering-only conversion (no fine-tuning at all): k-means codebooks
+/// straight into LUTs. An ablation point between the two trained
+/// algorithms.
+///
+/// # Errors
+///
+/// Propagates collection, clustering, and conversion errors.
+pub fn convert_kmeans_only(
+    model: &TransformerClassifier,
+    calib: &Dataset,
+    v: usize,
+    ct: usize,
+    kmeans_iters: usize,
+    max_rows: usize,
+    rng: &mut DataRng,
+) -> Result<LutClassifier> {
+    let quantizers = init_quantizers(
+        model,
+        &calib.inputs,
+        v,
+        ct,
+        CentroidInit::KMeans,
+        kmeans_iters,
+        max_rows,
+        rng,
+    )?;
+    LutClassifier::convert(model, quantizers)
+}
+
+// ---------------------------------------------------------------------------
+// Generic instrumented forward/backward over a quantized-linear operator
+// ---------------------------------------------------------------------------
+
+/// One quantized-linear strategy: how a layer's input is approximated
+/// during calibration and how gradients reach centroids/inputs.
+trait QuantOp {
+    type Cache;
+
+    fn forward(
+        &self,
+        linear: &Linear,
+        pq: &ProductQuantizer,
+        x: &Matrix,
+    ) -> Result<(Matrix, Self::Cache)>;
+
+    /// Accumulates weight/bias/centroid gradients; returns `dX` and adds
+    /// any auxiliary loss (reconstruction) to `aux_loss`.
+    fn backward(
+        &self,
+        linear: &mut Linear,
+        pq: &ProductQuantizer,
+        centroid_grad: &mut Matrix,
+        cache: &Self::Cache,
+        dy: &Matrix,
+        aux_loss: &mut f32,
+    ) -> Result<Matrix>;
+}
+
+fn accumulate_bias_grad(linear: &mut Linear, dy: &Matrix) {
+    let mut db = Matrix::zeros(1, dy.cols());
+    for r in 0..dy.rows() {
+        for (acc, v) in db.row_mut(0).iter_mut().zip(dy.row(r)) {
+            *acc += v;
+        }
+    }
+    linear.bias.accumulate_grad(&db);
+}
+
+// ----- eLUT-NN: hard assignment + STE + reconstruction loss -----
+
+struct SteOp {
+    beta: f32,
+}
+
+struct SteCache {
+    x: Matrix,
+    x_hat: Matrix,
+    indices: IndexMatrix,
+}
+
+impl QuantOp for SteOp {
+    type Cache = SteCache;
+
+    fn forward(
+        &self,
+        linear: &Linear,
+        pq: &ProductQuantizer,
+        x: &Matrix,
+    ) -> Result<(Matrix, SteCache)> {
+        let (x_hat, indices) = pq.snap(x)?;
+        let y = linear.forward(&x_hat)?;
+        Ok((
+            y,
+            SteCache {
+                x: x.clone(),
+                x_hat,
+                indices,
+            },
+        ))
+    }
+
+    fn backward(
+        &self,
+        linear: &mut Linear,
+        pq: &ProductQuantizer,
+        centroid_grad: &mut Matrix,
+        cache: &SteCache,
+        dy: &Matrix,
+        aux_loss: &mut f32,
+    ) -> Result<Matrix> {
+        // Model-loss path (Â is the effective layer input).
+        let dw_model = gemm::matmul(&cache.x_hat.transpose(), dy)?;
+        linear.weight.accumulate_grad(&dw_model);
+        accumulate_bias_grad(linear, dy);
+        let dx_hat_model = gemm::matmul(dy, &linear.weight.data.transpose())?;
+
+        // Reconstruction term: E = (Â − A)·W (Eq. 1).
+        let diff = cache.x_hat.sub(&cache.x)?;
+        let e = gemm::matmul(&diff, &linear.weight.data)?;
+        *aux_loss += self.beta * e.frobenius_sq();
+        let dx_hat_recon =
+            gemm::matmul(&e, &linear.weight.data.transpose())?.scale(2.0 * self.beta);
+        let dw_recon = gemm::matmul(&diff.transpose(), &e)?.scale(2.0 * self.beta);
+        linear.weight.accumulate_grad(&dw_recon);
+
+        // Centroid gradients: scatter dÂ (model + recon) onto assigned
+        // centroids — the direct gradient path.
+        let dx_hat_total = dx_hat_model.add(&dx_hat_recon)?;
+        let (v, ct) = (pq.v(), pq.ct());
+        for r in 0..cache.indices.rows() {
+            for cb in 0..cache.indices.cols() {
+                let k = cache.indices.get(r, cb) as usize;
+                let grad_row = centroid_grad.row_mut(cb * ct + k);
+                let src = &dx_hat_total.row(r)[cb * v..(cb + 1) * v];
+                for (g, s) in grad_row.iter_mut().zip(src) {
+                    *g += s;
+                }
+            }
+        }
+
+        // STE (Eq. 2): the model-loss input gradient passes straight
+        // through H(·); the reconstruction term's two input paths cancel.
+        Ok(dx_hat_model)
+    }
+}
+
+// ----- Baseline LUT-NN: soft assignment (Gumbel-softmax-style) -----
+
+struct SoftOp {
+    tau: f32,
+    /// Gumbel-noise source for stochastic assignment sampling (the \[84\]
+    /// estimator); `None` disables noise (deterministic softmax
+    /// relaxation).
+    noise: Option<std::cell::RefCell<DataRng>>,
+}
+
+impl SoftOp {
+    fn deterministic(tau: f32) -> Self {
+        SoftOp { tau, noise: None }
+    }
+
+    fn gumbel(tau: f32, seed: u64) -> Self {
+        SoftOp {
+            tau,
+            noise: Some(std::cell::RefCell::new(DataRng::new(seed))),
+        }
+    }
+}
+
+struct SoftCache {
+    x: Matrix,
+    x_soft: Matrix,
+    /// Soft assignment weights, `(n, cb*ct)` row-major.
+    weights: Matrix,
+}
+
+impl QuantOp for SoftOp {
+    type Cache = SoftCache;
+
+    fn forward(
+        &self,
+        linear: &Linear,
+        pq: &ProductQuantizer,
+        x: &Matrix,
+    ) -> Result<(Matrix, SoftCache)> {
+        if x.cols() != pq.hidden() {
+            return Err(LutError::Config {
+                op: "SoftOp::forward",
+                detail: format!("input width {} != H = {}", x.cols(), pq.hidden()),
+            });
+        }
+        let (n, v, ct, cb) = (x.rows(), pq.v(), pq.ct(), pq.cb());
+        let mut x_soft = Matrix::zeros(n, x.cols());
+        let mut weights = Matrix::zeros(n, cb * ct);
+        for r in 0..n {
+            for c in 0..cb {
+                let sub = &x.row(r)[c * v..(c + 1) * v];
+                // Soft assignment: softmax(−d²/τ) over centroids.
+                let mut logits: Vec<f32> = (0..ct)
+                    .map(|k| -sq_dist(sub, pq.centroid(c, k)) / self.tau)
+                    .collect();
+                if let Some(noise) = &self.noise {
+                    // Gumbel(0,1) perturbation: g = −ln(−ln(u)).
+                    let mut rng = noise.borrow_mut();
+                    for l in logits.iter_mut() {
+                        let u: f32 = rng.uniform(1e-7, 1.0);
+                        *l += -(-u.ln()).ln();
+                    }
+                }
+                norm::softmax_row(&mut logits);
+                for (k, &w) in logits.iter().enumerate() {
+                    weights.set(r, c * ct + k, w);
+                    let centroid = pq.centroid(c, k);
+                    for (d, &cv) in centroid.iter().enumerate() {
+                        let cur = x_soft.get(r, c * v + d);
+                        x_soft.set(r, c * v + d, cur + w * cv);
+                    }
+                }
+            }
+        }
+        let y = linear.forward(&x_soft)?;
+        Ok((
+            y,
+            SoftCache {
+                x: x.clone(),
+                x_soft,
+                weights,
+            },
+        ))
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    #[allow(clippy::needless_range_loop)]
+    fn backward(
+        &self,
+        linear: &mut Linear,
+        pq: &ProductQuantizer,
+        centroid_grad: &mut Matrix,
+        cache: &SoftCache,
+        dy: &Matrix,
+        _aux_loss: &mut f32,
+    ) -> Result<Matrix> {
+        let dw = gemm::matmul(&cache.x_soft.transpose(), dy)?;
+        linear.weight.accumulate_grad(&dw);
+        accumulate_bias_grad(linear, dy);
+        let dx_soft = gemm::matmul(dy, &linear.weight.data.transpose())?;
+
+        let (n, v, ct, cb) = (cache.x.rows(), pq.v(), pq.ct(), pq.cb());
+        let mut dx = Matrix::zeros(n, cache.x.cols());
+        for r in 0..n {
+            for c in 0..cb {
+                let sub = &cache.x.row(r)[c * v..(c + 1) * v];
+                let d_soft_sub = &dx_soft.row(r)[c * v..(c + 1) * v];
+                // Path 1: through the convex combination (w fixed).
+                // dc_k += w_k · dâ; dw_k = dâ · c_k.
+                let mut dw_soft = vec![0.0f32; ct];
+                for k in 0..ct {
+                    let w = cache.weights.get(r, c * ct + k);
+                    let centroid = pq.centroid(c, k);
+                    let grad_row = centroid_grad.row_mut(c * ct + k);
+                    let mut dot = 0.0;
+                    for d in 0..v {
+                        grad_row[d] += w * d_soft_sub[d];
+                        dot += d_soft_sub[d] * centroid[d];
+                    }
+                    dw_soft[k] = dot;
+                }
+                // Path 2: through the softmax weights.
+                // ds_k = w_k (dw_k − Σ_j w_j dw_j); dd_k = −ds_k / τ.
+                let avg: f32 = (0..ct)
+                    .map(|k| cache.weights.get(r, c * ct + k) * dw_soft[k])
+                    .sum();
+                for k in 0..ct {
+                    let w = cache.weights.get(r, c * ct + k);
+                    let ds = w * (dw_soft[k] - avg);
+                    let dd = -ds / self.tau;
+                    let centroid = pq.centroid(c, k);
+                    let grad_row = centroid_grad.row_mut(c * ct + k);
+                    for d in 0..v {
+                        // ∂d²/∂c = 2(c − sub); ∂d²/∂sub = 2(sub − c).
+                        grad_row[d] += dd * 2.0 * (centroid[d] - sub[d]);
+                        let cur = dx.get(r, c * v + d);
+                        dx.set(r, c * v + d, cur + dd * 2.0 * (sub[d] - centroid[d]));
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+}
+
+// ----- Generic block plumbing -----
+
+struct GenBlockCache<C> {
+    qkv_c: C,
+    proj_c: C,
+    ffn1_c: C,
+    ffn2_c: C,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    probs: Vec<Matrix>,
+    ln1_cache: norm::LayerNormCache,
+    ln2_cache: norm::LayerNormCache,
+    ffn1_pre: Matrix,
+}
+
+fn gen_block_forward<O: QuantOp>(
+    op: &O,
+    block: &EncoderBlock,
+    pqs: &[ProductQuantizer],
+    x: &Matrix,
+) -> Result<(Matrix, GenBlockCache<O::Cache>)> {
+    let hidden = block.attn.qkv.in_features();
+    let heads = block.attn.heads();
+    let dk = hidden / heads;
+    let scale = 1.0 / (dk as f32).sqrt();
+    let n = x.rows();
+
+    let (qkv_out, qkv_c) = op.forward(&block.attn.qkv, &pqs[0], x)?;
+    let q = qkv_out.submatrix(0, 0, n, hidden)?;
+    let k = qkv_out.submatrix(0, hidden, n, hidden)?;
+    let v = qkv_out.submatrix(0, 2 * hidden, n, hidden)?;
+    let mut concat = Matrix::zeros(n, hidden);
+    let mut probs = Vec::with_capacity(heads);
+    for head in 0..heads {
+        let qh = q.submatrix(0, head * dk, n, dk)?;
+        let kh = k.submatrix(0, head * dk, n, dk)?;
+        let vh = v.submatrix(0, head * dk, n, dk)?;
+        let scores = gemm::matmul(&qh, &kh.transpose())?.scale(scale);
+        let p = norm::softmax(&scores);
+        let oh = gemm::matmul(&p, &vh)?;
+        concat.set_submatrix(0, head * dk, &oh)?;
+        probs.push(p);
+    }
+    let (proj_out, proj_c) = op.forward(&block.attn.proj, &pqs[1], &concat)?;
+    let res1 = x.add(&proj_out)?;
+    let (x1, ln1_cache) = block.ln1.forward(&res1)?;
+
+    let (ffn1_pre, ffn1_c) = op.forward(&block.ffn1, &pqs[2], &x1)?;
+    let gelu_out = elementwise::gelu(&ffn1_pre);
+    let (ffn2_out, ffn2_c) = op.forward(&block.ffn2, &pqs[3], &gelu_out)?;
+    let res2 = x1.add(&ffn2_out)?;
+    let (x2, ln2_cache) = block.ln2.forward(&res2)?;
+
+    Ok((
+        x2,
+        GenBlockCache {
+            qkv_c,
+            proj_c,
+            ffn1_c,
+            ffn2_c,
+            q,
+            k,
+            v,
+            probs,
+            ln1_cache,
+            ln2_cache,
+            ffn1_pre,
+        },
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_block_backward<O: QuantOp>(
+    op: &O,
+    block: &mut EncoderBlock,
+    pqs: &[ProductQuantizer],
+    centroid_grads: &mut [Matrix],
+    cache: &GenBlockCache<O::Cache>,
+    dy: &Matrix,
+    aux_loss: &mut f32,
+) -> Result<Matrix> {
+    let hidden = block.attn.qkv.in_features();
+    let heads = block.attn.heads();
+    let dk = hidden / heads;
+    let scale = 1.0 / (dk as f32).sqrt();
+    let n = dy.rows();
+
+    let d_res2 = block.ln2.backward(&cache.ln2_cache, dy)?;
+    let d_gelu_out = op.backward(
+        &mut block.ffn2,
+        &pqs[3],
+        &mut centroid_grads[3],
+        &cache.ffn2_c,
+        &d_res2,
+        aux_loss,
+    )?;
+    let d_ffn1_pre = d_gelu_out.hadamard(&elementwise::gelu_grad(&cache.ffn1_pre))?;
+    let dx1_ffn = op.backward(
+        &mut block.ffn1,
+        &pqs[2],
+        &mut centroid_grads[2],
+        &cache.ffn1_c,
+        &d_ffn1_pre,
+        aux_loss,
+    )?;
+    let dx1 = d_res2.add(&dx1_ffn)?;
+    let d_res1 = block.ln1.backward(&cache.ln1_cache, &dx1)?;
+
+    // Attention backward.
+    let dconcat = op.backward(
+        &mut block.attn.proj,
+        &pqs[1],
+        &mut centroid_grads[1],
+        &cache.proj_c,
+        &d_res1,
+        aux_loss,
+    )?;
+    let mut dqkv = Matrix::zeros(n, 3 * hidden);
+    for head in 0..heads {
+        let qh = cache.q.submatrix(0, head * dk, n, dk)?;
+        let kh = cache.k.submatrix(0, head * dk, n, dk)?;
+        let vh = cache.v.submatrix(0, head * dk, n, dk)?;
+        let p = &cache.probs[head];
+        let doh = dconcat.submatrix(0, head * dk, n, dk)?;
+
+        let dvh = gemm::matmul(&p.transpose(), &doh)?;
+        let dp = gemm::matmul(&doh, &vh.transpose())?;
+        let mut ds = Matrix::zeros(n, n);
+        for i in 0..n {
+            let p_row = p.row(i);
+            let dp_row = dp.row(i);
+            let dot: f32 = p_row.iter().zip(dp_row).map(|(a, b)| a * b).sum();
+            for j in 0..n {
+                ds.set(i, j, p_row[j] * (dp_row[j] - dot));
+            }
+        }
+        let ds = ds.scale(scale);
+        let dqh = gemm::matmul(&ds, &kh)?;
+        let dkh = gemm::matmul(&ds.transpose(), &qh)?;
+        dqkv.set_submatrix(0, head * dk, &dqh)?;
+        dqkv.set_submatrix(0, hidden + head * dk, &dkh)?;
+        dqkv.set_submatrix(0, 2 * hidden + head * dk, &dvh)?;
+    }
+    let dx_attn = op.backward(
+        &mut block.attn.qkv,
+        &pqs[0],
+        &mut centroid_grads[0],
+        &cache.qkv_c,
+        &dqkv,
+        aux_loss,
+    )?;
+    Ok(d_res1.add(&dx_attn)?)
+}
+
+// ---------------------------------------------------------------------------
+// Generic training loop
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn calibrate_with_op<O: QuantOp>(
+    op: &O,
+    model: &TransformerClassifier,
+    calib: &Dataset,
+    mut quantizers: Vec<ProductQuantizer>,
+    lr: f32,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+    train_weights: bool,
+) -> Result<(TransformerClassifier, Vec<ProductQuantizer>, CalibStats)> {
+    let mut rng = DataRng::new(seed);
+    let mut model = model.clone();
+    let n_blocks = model.num_blocks();
+
+    let mut opt = Adam::new(lr);
+    let mut order: Vec<usize> = (0..calib.len()).collect();
+    let mut losses = Vec::with_capacity(epochs);
+    let mut recon_losses = Vec::with_capacity(epochs);
+
+    let mut n_model_params = 0usize;
+    model.visit_params(&mut |_| n_model_params += 1);
+
+    for _ in 0..epochs {
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0;
+        let mut epoch_aux = 0.0;
+        for batch in order.chunks(batch_size.max(1)) {
+            model.zero_grads();
+            let mut centroid_grads: Vec<Matrix> = quantizers
+                .iter()
+                .map(|pq| Matrix::zeros(pq.cb() * pq.ct(), pq.v()))
+                .collect();
+
+            for &i in batch {
+                let input = &calib.inputs[i];
+                let label = calib.labels[i];
+
+                let (mut x, emb_cache) = model.embedding.forward(input)?;
+                let mut block_caches = Vec::with_capacity(n_blocks);
+                for (b, block) in model.blocks.iter().enumerate() {
+                    let (next, cache) =
+                        gen_block_forward(op, block, &quantizers[b * 4..b * 4 + 4], &x)?;
+                    block_caches.push(cache);
+                    x = next;
+                }
+                let seq_len = x.rows();
+                let hidden = model.hidden();
+                let mut pooled = Matrix::zeros(1, hidden);
+                for r in 0..seq_len {
+                    for (acc, v) in pooled.row_mut(0).iter_mut().zip(x.row(r)) {
+                        *acc += v / seq_len as f32;
+                    }
+                }
+                let logits = model.head.forward(&pooled)?;
+                let ce = cross_entropy(&logits, &[label])?;
+                epoch_loss += ce.loss;
+
+                let dlogits = ce.dlogits.scale(1.0 / batch.len() as f32);
+                let d_pooled = model.head.backward(&pooled, &dlogits)?;
+                let mut dx = Matrix::zeros(seq_len, hidden);
+                for r in 0..seq_len {
+                    for (v, g) in dx.row_mut(r).iter_mut().zip(d_pooled.row(0)) {
+                        *v = g / seq_len as f32;
+                    }
+                }
+                let mut aux = 0.0;
+                for (b, block) in model.blocks.iter_mut().enumerate().rev() {
+                    dx = gen_block_backward(
+                        op,
+                        block,
+                        &quantizers[b * 4..b * 4 + 4],
+                        &mut centroid_grads[b * 4..b * 4 + 4],
+                        &block_caches[b],
+                        &dx,
+                        &mut aux,
+                    )?;
+                }
+                epoch_aux += aux;
+                model.embedding.backward(&emb_cache, &dx)?;
+            }
+
+            opt.begin_step();
+            let mut idx = 0;
+            model.visit_params(&mut |p| {
+                if train_weights {
+                    let grad = p.grad.as_slice().to_vec();
+                    opt.step(idx, p.data.as_mut_slice(), &grad);
+                }
+                idx += 1;
+            });
+            for (qi, pq) in quantizers.iter_mut().enumerate() {
+                let grad = centroid_grads[qi].as_slice().to_vec();
+                opt.step(
+                    n_model_params + qi,
+                    pq.centroids_mut().as_mut_slice(),
+                    &grad,
+                );
+            }
+        }
+        losses.push(epoch_loss / calib.len().max(1) as f32);
+        recon_losses.push(epoch_aux / calib.len().max(1) as f32);
+    }
+
+    Ok((
+        model,
+        quantizers,
+        CalibStats {
+            losses,
+            recon_losses,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Runs eLUT-NN calibration: centroid initialization, then joint Adam
+/// fine-tuning of model parameters and centroids under Eq. 1 with STE.
+///
+/// Returns the fine-tuned model, the calibrated quantizers, and per-epoch
+/// stats.
+///
+/// # Errors
+///
+/// Propagates shape/clustering errors.
+pub fn calibrate_elutnn(
+    model: &TransformerClassifier,
+    calib: &Dataset,
+    cfg: &CalibrationConfig,
+) -> Result<(TransformerClassifier, Vec<ProductQuantizer>, CalibStats)> {
+    let mut rng = DataRng::new(cfg.seed);
+    let quantizers = init_quantizers(
+        model,
+        &calib.inputs,
+        cfg.v,
+        cfg.ct,
+        cfg.init,
+        cfg.kmeans_iters,
+        cfg.max_activation_rows,
+        &mut rng,
+    )?;
+    // eLUT-NN jointly calibrates centroids and model weights ("minor
+    // parameter updates", §4.2).
+    calibrate_with_op(
+        &SteOp { beta: cfg.beta },
+        model,
+        calib,
+        quantizers,
+        cfg.lr,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.seed ^ 0x1111,
+        true,
+    )
+}
+
+/// Full eLUT-NN conversion: calibrate, then build the LUT inference model.
+///
+/// # Errors
+///
+/// Propagates calibration and conversion errors.
+pub fn convert_elutnn(
+    model: &TransformerClassifier,
+    calib: &Dataset,
+    cfg: &CalibrationConfig,
+) -> Result<(LutClassifier, CalibStats)> {
+    let (tuned, quantizers, stats) = calibrate_elutnn(model, calib, cfg)?;
+    Ok((LutClassifier::convert(&tuned, quantizers)?, stats))
+}
+
+/// Runs the baseline LUT-NN calibration (the paper's comparison algorithm):
+/// soft-assignment (Gumbel-softmax-style) gradient estimation, model loss
+/// only.
+///
+/// # Errors
+///
+/// Propagates shape/clustering errors.
+pub fn calibrate_lutnn_baseline(
+    model: &TransformerClassifier,
+    train_set: &Dataset,
+    cfg: &BaselineLutNnConfig,
+) -> Result<(TransformerClassifier, Vec<ProductQuantizer>, CalibStats)> {
+    let mut rng = DataRng::new(cfg.seed);
+    let quantizers = init_quantizers(
+        model,
+        &train_set.inputs,
+        cfg.v,
+        cfg.ct,
+        cfg.init,
+        cfg.kmeans_iters,
+        cfg.max_activation_rows,
+        &mut rng,
+    )?;
+    let op = if cfg.gumbel_noise {
+        SoftOp::gumbel(cfg.tau, cfg.seed ^ 0x6b1)
+    } else {
+        SoftOp::deterministic(cfg.tau)
+    };
+    // The baseline learns centroids only (layer-by-layer backprop through
+    // the soft estimator); model weights stay at their pre-trained values.
+    calibrate_with_op(
+        &op,
+        model,
+        train_set,
+        quantizers,
+        cfg.lr,
+        cfg.epochs,
+        cfg.batch_size,
+        cfg.seed ^ 0x2222,
+        false,
+    )
+}
+
+/// Full baseline LUT-NN conversion: soft-assignment training, then hard
+/// (argmin) LUT inference — the train/inference mismatch is part of the
+/// baseline's failure mode.
+///
+/// # Errors
+///
+/// Propagates calibration and conversion errors.
+pub fn convert_lutnn_baseline(
+    model: &TransformerClassifier,
+    train_set: &Dataset,
+    cfg: &BaselineLutNnConfig,
+) -> Result<(LutClassifier, CalibStats)> {
+    let (tuned, quantizers, stats) = calibrate_lutnn_baseline(model, train_set, cfg)?;
+    Ok((LutClassifier::convert(&tuned, quantizers)?, stats))
+}
+
+/// Backwards-compatible alias: the clustering-only conversion used as an
+/// additional ablation in the examples and tests.
+///
+/// # Errors
+///
+/// Propagates collection, clustering, and conversion errors.
+pub fn convert_baseline(
+    model: &TransformerClassifier,
+    calib: &Dataset,
+    cfg: &CalibrationConfig,
+    rng: &mut DataRng,
+) -> Result<LutClassifier> {
+    let quantizers = init_quantizers(
+        model,
+        &calib.inputs,
+        cfg.v,
+        cfg.ct,
+        CentroidInit::KMeans,
+        cfg.kmeans_iters,
+        cfg.max_activation_rows,
+        rng,
+    )?;
+    LutClassifier::convert(model, quantizers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::lut_accuracy;
+    use pimdl_nn::data::{nlp_dataset, NlpTask};
+    use pimdl_nn::train::{evaluate, train, TrainConfig};
+    use pimdl_nn::transformer::{InputKind, ModelConfig};
+
+    fn trained_model_and_data(
+        seed: u64,
+    ) -> (TransformerClassifier, Dataset, Dataset, DataRng) {
+        let mut rng = DataRng::new(seed);
+        let mut ds = nlp_dataset(NlpTask::ContainsAnswer, 180, 12, 6, &mut rng);
+        let test = ds.split_off(40);
+        let cfg = ModelConfig {
+            input: InputKind::Tokens { vocab: 12 },
+            hidden: 16,
+            heads: 2,
+            layers: 2,
+            ffn_dim: 32,
+            max_seq: 6,
+            classes: 2,
+        };
+        let mut model = TransformerClassifier::new(&cfg, &mut rng);
+        train(
+            &mut model,
+            &ds,
+            &TrainConfig {
+                epochs: 8,
+                batch_size: 8,
+                lr: 3e-3,
+                schedule: Default::default(),
+                seed: 1,
+            },
+        )
+        .unwrap();
+        (model, ds, test, rng)
+    }
+
+    #[test]
+    fn collect_activations_shapes() {
+        let (model, ds, _, _) = trained_model_and_data(0);
+        let acts = collect_activations(&model, &ds.inputs[..10], 1000).unwrap();
+        assert_eq!(acts.len(), 8); // 2 blocks * 4 layers
+        assert_eq!(acts[0].cols(), 16);
+        assert_eq!(acts[1].cols(), 16);
+        assert_eq!(acts[2].cols(), 16);
+        assert_eq!(acts[3].cols(), 32);
+        assert_eq!(acts[0].rows(), 60); // 10 sequences of length 6
+    }
+
+    #[test]
+    fn collect_activations_respects_row_cap() {
+        let (model, ds, _, _) = trained_model_and_data(1);
+        let acts = collect_activations(&model, &ds.inputs[..10], 25).unwrap();
+        for a in &acts {
+            assert!(a.rows() <= 25 + 6, "rows={}", a.rows());
+        }
+    }
+
+    #[test]
+    fn random_init_quantizers_match_activation_scale() {
+        let (model, ds, _, mut rng) = trained_model_and_data(2);
+        let qs = init_quantizers(
+            &model,
+            &ds.inputs[..10],
+            4,
+            8,
+            CentroidInit::Random,
+            5,
+            1000,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 8);
+        for pq in &qs {
+            assert!(pq.centroids().iter().all(|v| v.is_finite()));
+            assert!(pq.centroids().max_abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn kmeans_only_conversion_runs() {
+        let (model, ds, test, mut rng) = trained_model_and_data(3);
+        let converted =
+            convert_kmeans_only(&model, &ds.take(30), 2, 16, 10, 2048, &mut rng).unwrap();
+        let acc = lut_accuracy(&converted, &test, false).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn elutnn_recovers_from_random_init() {
+        // The A2 claim in miniature: starting from *random* centroids
+        // (§6.2's setting), eLUT-NN calibration recovers accuracy close to
+        // the original model.
+        let (model, ds, test, _) = trained_model_and_data(4);
+        let original_acc = evaluate(&model, &test).unwrap();
+
+        let cfg = CalibrationConfig {
+            v: 4,
+            ct: 8,
+            init: CentroidInit::Random,
+            kmeans_iters: 0,
+            beta: 1e-3,
+            lr: 3e-3,
+            epochs: 8,
+            batch_size: 8,
+            seed: 5,
+            max_activation_rows: 2048,
+        };
+        let calib_set = ds.take(60);
+        let (elut, stats) = convert_elutnn(&model, &calib_set, &cfg).unwrap();
+        let elut_acc = lut_accuracy(&elut, &test, false).unwrap();
+        assert!(!stats.losses.is_empty());
+        assert!(
+            elut_acc >= original_acc - 0.3,
+            "eLUT-NN {elut_acc} too far below original {original_acc}"
+        );
+    }
+
+    #[test]
+    fn elutnn_beats_soft_baseline_from_random_init() {
+        // The Tables 4/5 ordering: from random centroid init, the
+        // soft-assignment baseline trails eLUT-NN.
+        let (model, ds, test, _) = trained_model_and_data(6);
+        let calib_set = ds.take(60);
+
+        let bcfg = BaselineLutNnConfig {
+            v: 4,
+            ct: 8,
+            init: CentroidInit::Random,
+            kmeans_iters: 0,
+            tau: 1.0,
+            gumbel_noise: true,
+            lr: 3e-3,
+            epochs: 8,
+            batch_size: 8,
+            seed: 5,
+            max_activation_rows: 2048,
+        };
+        let (baseline, _) = convert_lutnn_baseline(&model, &calib_set, &bcfg).unwrap();
+        let baseline_acc = lut_accuracy(&baseline, &test, false).unwrap();
+
+        let ecfg = CalibrationConfig {
+            v: 4,
+            ct: 8,
+            init: CentroidInit::Random,
+            kmeans_iters: 0,
+            beta: 1e-3,
+            lr: 3e-3,
+            epochs: 8,
+            batch_size: 8,
+            seed: 5,
+            max_activation_rows: 2048,
+        };
+        let (elut, _) = convert_elutnn(&model, &calib_set, &ecfg).unwrap();
+        let elut_acc = lut_accuracy(&elut, &test, false).unwrap();
+
+        assert!(
+            elut_acc >= baseline_acc - 0.05,
+            "eLUT-NN {elut_acc} should not trail the soft baseline {baseline_acc}"
+        );
+    }
+
+    #[test]
+    fn calibration_reduces_combined_loss() {
+        let (model, ds, _, _) = trained_model_and_data(4);
+        let cfg = CalibrationConfig {
+            v: 4,
+            ct: 8,
+            epochs: 5,
+            lr: 2e-3,
+            ..CalibrationConfig::default()
+        };
+        let (_, _, stats) = calibrate_elutnn(&model, &ds.take(40), &cfg).unwrap();
+        assert_eq!(stats.losses.len(), 5);
+        let first_ce = stats.losses[0];
+        let last_ce = *stats.losses.last().unwrap();
+        assert!(
+            last_ce <= first_ce * 1.1 + 1e-3,
+            "model losses regressed: {:?}",
+            stats.losses
+        );
+        for &r in &stats.recon_losses {
+            assert!(r.is_finite() && r >= 0.0, "recon={:?}", stats.recon_losses);
+        }
+        assert!(
+            *stats.recon_losses.last().unwrap() <= stats.recon_losses[0] * 5.0 + 1e-3,
+            "recon blew up: {:?}",
+            stats.recon_losses
+        );
+    }
+
+    #[test]
+    fn baseline_reports_zero_recon_loss() {
+        let (model, ds, _, _) = trained_model_and_data(7);
+        let cfg = BaselineLutNnConfig {
+            v: 4,
+            ct: 8,
+            epochs: 2,
+            ..BaselineLutNnConfig::default()
+        };
+        let (_, _, stats) = calibrate_lutnn_baseline(&model, &ds.take(30), &cfg).unwrap();
+        assert!(stats.recon_losses.iter().all(|&r| r == 0.0));
+        assert_eq!(stats.losses.len(), 2);
+    }
+
+    #[test]
+    fn soft_forward_approaches_hard_snap_at_low_temperature() {
+        // As τ → 0 the soft assignment concentrates on the nearest
+        // centroid, so SoftOp's forward converges to SteOp's snapped input.
+        let (model, ds, _, mut rng) = trained_model_and_data(8);
+        let qs = init_quantizers(
+            &model,
+            &ds.inputs[..10],
+            4,
+            4,
+            CentroidInit::KMeans,
+            10,
+            512,
+            &mut rng,
+        )
+        .unwrap();
+        let pq = &qs[0];
+        let linear = &model.blocks[0].attn.qkv;
+        let x = rng.normal_matrix(6, 16, 0.0, 1.0);
+
+        let cold = SoftOp::deterministic(1e-4);
+        let (_, soft_cache) = cold.forward(linear, pq, &x).unwrap();
+        let (hard, _) = pq.snap(&x).unwrap();
+        assert!(
+            soft_cache.x_soft.approx_eq(&hard, 1e-2),
+            "max diff {}",
+            soft_cache.x_soft.sub(&hard).unwrap().max_abs()
+        );
+
+        let hot = SoftOp::deterministic(1e6);
+        let (_, hot_cache) = hot.forward(linear, pq, &x).unwrap();
+        // At huge temperature every weight is ~1/CT.
+        let w0 = hot_cache.weights.get(0, 0);
+        assert!((w0 - 0.25).abs() < 1e-3, "w0={w0}");
+    }
+
+    #[test]
+    fn soft_backward_matches_finite_difference() {
+        // Gradient check of the soft-assignment estimator on a single
+        // layer: loss = sum(dy ⊙ forward(x)).
+        let mut rng = DataRng::new(60);
+        let mut linear = Linear::new(8, 4, &mut rng);
+        let acts = rng.normal_matrix(64, 8, 0.0, 1.0);
+        let pq = ProductQuantizer::fit(&acts, 4, 4, 10, &mut rng).unwrap();
+        let x = rng.normal_matrix(5, 8, 0.0, 1.0);
+        let dy = rng.normal_matrix(5, 4, 0.0, 1.0);
+        let op = SoftOp::deterministic(0.7);
+
+        let (_, cache) = op.forward(&linear, &pq, &x).unwrap();
+        let mut centroid_grad = Matrix::zeros(pq.cb() * pq.ct(), pq.v());
+        let mut aux = 0.0;
+        let dx = op
+            .backward(&mut linear, &pq, &mut centroid_grad, &cache, &dy, &mut aux)
+            .unwrap();
+
+        let loss = |pq: &ProductQuantizer, x: &Matrix| -> f32 {
+            let (y, _) = op.forward(&linear, pq, x).unwrap();
+            y.hadamard(&dy).unwrap().sum()
+        };
+        let h = 1e-3_f32;
+
+        // dX check.
+        let mut xp = x.clone();
+        xp.set(2, 3, x.get(2, 3) + h);
+        let mut xm = x.clone();
+        xm.set(2, 3, x.get(2, 3) - h);
+        let fd = (loss(&pq, &xp) - loss(&pq, &xm)) / (2.0 * h);
+        assert!(
+            (fd - dx.get(2, 3)).abs() < 5e-2,
+            "dx fd={fd} analytic={}",
+            dx.get(2, 3)
+        );
+
+        // Centroid gradient check.
+        let (cr, cc) = (3usize, 1usize);
+        let mut pp = pq.clone();
+        let v0 = pp.centroids().get(cr, cc);
+        pp.centroids_mut().set(cr, cc, v0 + h);
+        let mut pm = pq.clone();
+        pm.centroids_mut().set(cr, cc, v0 - h);
+        let fd = (loss(&pp, &x) - loss(&pm, &x)) / (2.0 * h);
+        let analytic = centroid_grad.get(cr, cc);
+        assert!(
+            (fd - analytic).abs() < 5e-2,
+            "dc fd={fd} analytic={analytic}"
+        );
+    }
+
+    #[test]
+    fn recon_gradient_descends_reconstruction_loss() {
+        // Isolate the reconstruction gradient: gradient-descend centroids of
+        // a single linear layer with zero model-loss signal (dy = 0) and
+        // verify β·||(Â − A)W||² strictly decreases.
+        let mut rng = DataRng::new(50);
+        let mut linear = Linear::new(8, 4, &mut rng);
+        let acts = rng.normal_matrix(128, 8, 0.0, 1.0);
+        let mut pq = ProductQuantizer::fit(&acts, 4, 4, 3, &mut rng).unwrap();
+        let x = rng.normal_matrix(32, 8, 0.0, 1.0);
+        let dy = Matrix::zeros(32, 4);
+        let op = SteOp { beta: 1.0 };
+
+        let mut losses = Vec::new();
+        for _ in 0..30 {
+            let (_, cache) = op.forward(&linear, &pq, &x).unwrap();
+            let mut centroid_grad = Matrix::zeros(pq.cb() * pq.ct(), pq.v());
+            let mut recon = 0.0;
+            linear.weight.zero_grad();
+            linear.bias.zero_grad();
+            op.backward(&mut linear, &pq, &mut centroid_grad, &cache, &dy, &mut recon)
+                .unwrap();
+            losses.push(recon);
+            for (c, g) in pq
+                .centroids_mut()
+                .iter_mut()
+                .zip(centroid_grad.iter())
+            {
+                *c -= 0.002 * g;
+            }
+        }
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(
+            last < first * 0.9,
+            "recon loss did not descend: first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn centroids_stay_finite_during_calibration() {
+        let (model, ds, _, _) = trained_model_and_data(6);
+        let cfg = CalibrationConfig {
+            v: 4,
+            ct: 8,
+            epochs: 2,
+            ..CalibrationConfig::default()
+        };
+        let (_, tuned, _) = calibrate_elutnn(&model, &ds.take(20), &cfg).unwrap();
+        for pq in &tuned {
+            assert!(pq.centroids().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+use pimdl_tensor::TensorError;
+
+/// Error type for LUT-NN conversion, inference, and calibration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LutError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The configuration (V, CT, CB, F, ...) is inconsistent with the data.
+    Config {
+        /// Human-readable description of the failing operation.
+        op: &'static str,
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// Clustering failed (for example too few samples for the requested
+    /// number of centroids).
+    Clustering {
+        /// Explanation of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LutError::Config { op, detail } => write!(f, "invalid config in {op}: {detail}"),
+            LutError::Clustering { detail } => write!(f, "clustering failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LutError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for LutError {
+    fn from(e: TensorError) -> Self {
+        LutError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let inner = TensorError::InvalidDimension {
+            op: "x",
+            detail: "bad".to_string(),
+        };
+        let err = LutError::from(inner.clone());
+        assert!(err.to_string().contains("tensor error"));
+        assert!(err.source().is_some());
+
+        let cfg = LutError::Config {
+            op: "fit",
+            detail: "V does not divide H".to_string(),
+        };
+        assert!(cfg.to_string().contains("fit"));
+        assert!(cfg.source().is_none());
+
+        let clus = LutError::Clustering {
+            detail: "too few samples".to_string(),
+        };
+        assert!(clus.to_string().contains("too few samples"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LutError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Computation-reduction analysis (paper §3.3 and Fig. 3).
+//!
+//! For GEMM with shapes `N x H @ H x F`: `2·N·H·F` operations, half of which
+//! are multiplies. For LUT-NN with `CT` centroids and sub-vector length `V`:
+//! `3·N·H·CT` operations for index calculation (of which `N·H·CT` are
+//! multiplies) plus `N·F·H/V` additions for result accumulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counts of one linear-layer evaluation under GEMM vs. LUT-NN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Multiply operations.
+    pub multiplies: u64,
+    /// Add (and compare, for argmin) operations.
+    pub adds: u64,
+}
+
+impl OpCounts {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.multiplies + self.adds
+    }
+
+    /// Fraction of operations that are multiplies.
+    pub fn multiply_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.multiplies as f64 / self.total() as f64
+        }
+    }
+}
+
+/// GEMM operation count for `N x H @ H x F` (§3.3: `2·N·H·F`, half
+/// multiplies).
+pub fn gemm_ops(n: usize, h: usize, f: usize) -> OpCounts {
+    let half = (n as u64) * (h as u64) * (f as u64);
+    OpCounts {
+        multiplies: half,
+        adds: half,
+    }
+}
+
+/// LUT-NN operation count for the same layer with `ct` centroids and
+/// sub-vector length `v` (§3.3: `3·N·H·CT` for index calculation of which
+/// `N·H·CT` are multiplies, plus `N·F·H/V` accumulation adds).
+///
+/// # Panics
+///
+/// Panics if `v == 0` or `v` does not divide `h`.
+pub fn lutnn_ops(n: usize, h: usize, f: usize, ct: usize, v: usize) -> OpCounts {
+    assert!(v > 0 && h.is_multiple_of(v), "v must divide h");
+    let index_mults = (n as u64) * (h as u64) * (ct as u64);
+    let index_adds = 2 * index_mults; // subtract+square / add+compare
+    let reduce_adds = (n as u64) * (f as u64) * (h as u64 / v as u64);
+    OpCounts {
+        multiplies: index_mults,
+        adds: index_adds + reduce_adds,
+    }
+}
+
+/// One row of the Fig. 3 analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReductionPoint {
+    /// Sub-vector length `V`.
+    pub v: usize,
+    /// Centroid count `CT`.
+    pub ct: usize,
+    /// LUT-NN total operations (GFLOP-scale; raw count).
+    pub lut_ops: OpCounts,
+    /// GEMM total operations.
+    pub gemm_ops: OpCounts,
+    /// FLOP reduction ratio `FLOP_GEMM / FLOP_LUT-NN`.
+    pub reduction: f64,
+}
+
+/// Reproduces Fig. 3: sweeps `V` at fixed `CT` and `CT` at fixed `V` for the
+/// square workload `N = H = F = dim` (paper uses 1024).
+pub fn fig3_sweep(dim: usize) -> Vec<ReductionPoint> {
+    let mut points = Vec::new();
+    // Left panel: CT = 16, V ∈ {2, 4, 8, 16}.
+    for v in [2usize, 4, 8, 16] {
+        points.push(point(dim, v, 16));
+    }
+    // Right panel: V = 4, CT ∈ {64, 32, 16, 8}.
+    for ct in [64usize, 32, 16, 8] {
+        points.push(point(dim, 4, ct));
+    }
+    points
+}
+
+fn point(dim: usize, v: usize, ct: usize) -> ReductionPoint {
+    let lut = lutnn_ops(dim, dim, dim, ct, v);
+    let gemm = gemm_ops(dim, dim, dim);
+    ReductionPoint {
+        v,
+        ct,
+        lut_ops: lut,
+        gemm_ops: gemm,
+        reduction: gemm.total() as f64 / lut.total() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_counts() {
+        let ops = gemm_ops(2, 3, 4);
+        assert_eq!(ops.multiplies, 24);
+        assert_eq!(ops.adds, 24);
+        assert_eq!(ops.total(), 48);
+        assert!((ops.multiply_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lutnn_counts() {
+        // N=H=F=8, CT=4, V=2: index mult = 8*8*4 = 256, index adds = 512,
+        // reduce = 8*8*4 = 256.
+        let ops = lutnn_ops(8, 8, 8, 4, 2);
+        assert_eq!(ops.multiplies, 256);
+        assert_eq!(ops.adds, 512 + 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "v must divide h")]
+    fn lutnn_rejects_bad_v() {
+        let _ = lutnn_ops(8, 10, 8, 4, 3);
+    }
+
+    #[test]
+    fn fig3_reduction_range_matches_paper() {
+        // Paper: 3.66×–18.29× reduction over the swept configurations at
+        // N=H=F=1024.
+        let points = fig3_sweep(1024);
+        let min = points.iter().map(|p| p.reduction).fold(f64::INFINITY, f64::min);
+        let max = points.iter().map(|p| p.reduction).fold(0.0, f64::max);
+        assert!((3.0..5.0).contains(&min), "min reduction {min}");
+        assert!((15.0..22.0).contains(&max), "max reduction {max}");
+    }
+
+    #[test]
+    fn fig3_multiply_fraction_matches_paper() {
+        // Paper: multiplies are 2.9 %–14.3 % of LUT-NN's total operations.
+        let points = fig3_sweep(1024);
+        for p in &points {
+            let frac = p.lut_ops.multiply_fraction();
+            assert!(
+                (0.02..0.20).contains(&frac),
+                "V={} CT={}: multiply fraction {frac}",
+                p.v,
+                p.ct
+            );
+        }
+    }
+
+    #[test]
+    fn larger_v_reduces_ops() {
+        let points = fig3_sweep(1024);
+        // First four points share CT=16 with V increasing: total ops must
+        // decrease (reduce term shrinks).
+        for w in points[..4].windows(2) {
+            assert!(w[1].lut_ops.total() < w[0].lut_ops.total());
+        }
+    }
+
+    #[test]
+    fn fewer_centroids_reduce_ops() {
+        let points = fig3_sweep(1024);
+        // Last four points share V=4 with CT decreasing: ops must decrease.
+        for w in points[4..].windows(2) {
+            assert!(w[1].lut_ops.total() < w[0].lut_ops.total());
+        }
+    }
+
+    #[test]
+    fn zero_total_multiply_fraction() {
+        let ops = OpCounts {
+            multiplies: 0,
+            adds: 0,
+        };
+        assert_eq!(ops.multiply_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! This is the centroid-clustering step of LUT-NN conversion (paper §3.1,
+//! step ❶): activation sub-vectors within one column are clustered into `CT`
+//! centroids of length `V`.
+
+use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::Matrix;
+
+use crate::{LutError, Result};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Centroid matrix, `k x dim`.
+    pub centroids: Matrix,
+    /// Cluster assignment of every input point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+    /// Number of Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on the rows of `points` (`n x dim`) with `k` clusters and at
+/// most `max_iters` Lloyd iterations.
+///
+/// Seeding is k-means++; empty clusters are re-seeded from the point that is
+/// currently farthest from its assigned centroid, so the result always has
+/// `k` usable centroids (possibly duplicated when `n < k`).
+///
+/// # Errors
+///
+/// Returns [`LutError::Clustering`] if `points` is empty or `k == 0`.
+#[allow(clippy::needless_range_loop)]
+pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut DataRng) -> Result<KMeansResult> {
+    let n = points.rows();
+    let dim = points.cols();
+    if n == 0 || dim == 0 {
+        return Err(LutError::Clustering {
+            detail: format!("cannot cluster {n} points of dim {dim}"),
+        });
+    }
+    if k == 0 {
+        return Err(LutError::Clustering {
+            detail: "k must be positive".to_string(),
+        });
+    }
+
+    let mut centroids = kmeanspp_init(points, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f32::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for (i, assignment) in assignments.iter_mut().enumerate() {
+            let row = points.row(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(row, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *assignment = best;
+            new_inertia += best_d;
+        }
+
+        // Update step.
+        let mut sums = Matrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            for (s, v) in sums.row_mut(a).iter_mut().zip(points.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                let row: Vec<f32> = sums.row(c).iter().map(|s| s * inv).collect();
+                centroids.row_mut(c).copy_from_slice(&row);
+            } else {
+                // Re-seed from the farthest point.
+                let far = farthest_point(points, &centroids, &assignments);
+                let row = points.row(far).to_vec();
+                centroids.row_mut(c).copy_from_slice(&row);
+            }
+        }
+
+        // Converged when inertia stops improving meaningfully.
+        let converged = (inertia - new_inertia).abs() <= 1e-7 * (1.0 + inertia.abs());
+        inertia = new_inertia;
+        if converged {
+            break;
+        }
+    }
+    let _ = inertia; // superseded by the final assignment pass below
+
+    // Final assignment pass so assignments are consistent with the returned
+    // (post-update) centroids.
+    inertia = 0.0;
+    for (i, assignment) in assignments.iter_mut().enumerate() {
+        let row = points.row(i);
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = sq_dist(row, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *assignment = best;
+        inertia += best_d;
+    }
+
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// Mini-batch k-means (Sculley 2010): each iteration samples `batch_size`
+/// points and moves their nearest centroids toward them with a per-centroid
+/// learning rate of `1 / count`. Far cheaper than Lloyd on large
+/// calibration sets at a small inertia cost; the per-layer activation
+/// matrices of a real calibration run (thousands of rows × hundreds of
+/// codebooks) are exactly that regime.
+///
+/// A final full assignment pass produces assignments/inertia consistent
+/// with the returned centroids.
+///
+/// # Errors
+///
+/// Returns [`LutError::Clustering`] on empty input or `k == 0`.
+pub fn kmeans_minibatch(
+    points: &Matrix,
+    k: usize,
+    iterations: usize,
+    batch_size: usize,
+    rng: &mut DataRng,
+) -> Result<KMeansResult> {
+    let n = points.rows();
+    let dim = points.cols();
+    if n == 0 || dim == 0 {
+        return Err(LutError::Clustering {
+            detail: format!("cannot cluster {n} points of dim {dim}"),
+        });
+    }
+    if k == 0 {
+        return Err(LutError::Clustering {
+            detail: "k must be positive".to_string(),
+        });
+    }
+    let batch_size = batch_size.clamp(1, n);
+    let mut centroids = kmeanspp_init(points, k, rng);
+    let mut counts = vec![1u64; k];
+
+    for _ in 0..iterations.max(1) {
+        for _ in 0..batch_size {
+            let i = rng.index(n);
+            let row = points.row(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(row, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            counts[best] += 1;
+            let eta = 1.0 / counts[best] as f32;
+            let centroid = centroids.row_mut(best);
+            for (cv, &pv) in centroid.iter_mut().zip(row) {
+                *cv += eta * (pv - *cv);
+            }
+        }
+    }
+
+    // Final assignment pass against the converged centroids.
+    let mut assignments = vec![0usize; n];
+    let mut inertia = 0.0;
+    for (i, assignment) in assignments.iter_mut().enumerate() {
+        let row = points.row(i);
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            let d = sq_dist(row, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *assignment = best;
+        inertia += best_d;
+    }
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+fn kmeanspp_init(points: &Matrix, k: usize, rng: &mut DataRng) -> Matrix {
+    let n = points.rows();
+    let dim = points.cols();
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.index(n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+
+    let mut dists: Vec<f32> = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f32 = dists.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.index(n)
+        } else {
+            let mut target = rng.uniform(0.0, total.max(f32::EPSILON));
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(chosen));
+        for (i, d) in dists.iter_mut().enumerate() {
+            *d = d.min(sq_dist(points.row(i), centroids.row(c)));
+        }
+    }
+    centroids
+}
+
+fn farthest_point(points: &Matrix, centroids: &Matrix, assignments: &[usize]) -> usize {
+    let mut far = 0;
+    let mut far_d = -1.0;
+    for (i, &a) in assignments.iter().enumerate() {
+        let d = sq_dist(points.row(i), centroids.row(a));
+        if d > far_d {
+            far_d = d;
+            far = i;
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_points(rng: &mut DataRng) -> Matrix {
+        let mut points = Matrix::zeros(100, 2);
+        for i in 0..50 {
+            points.set(i, 0, rng.normal(-5.0, 0.3));
+            points.set(i, 1, rng.normal(-5.0, 0.3));
+        }
+        for i in 50..100 {
+            points.set(i, 0, rng.normal(5.0, 0.3));
+            points.set(i, 1, rng.normal(5.0, 0.3));
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = DataRng::new(0);
+        let points = two_blob_points(&mut rng);
+        let result = kmeans(&points, 2, 50, &mut rng).unwrap();
+        // Centroids near (-5,-5) and (5,5) in some order.
+        let c0 = result.centroids.row(0);
+        let c1 = result.centroids.row(1);
+        let (neg, pos) = if c0[0] < 0.0 { (c0, c1) } else { (c1, c0) };
+        assert!((neg[0] + 5.0).abs() < 0.5 && (neg[1] + 5.0).abs() < 0.5);
+        assert!((pos[0] - 5.0).abs() < 0.5 && (pos[1] - 5.0).abs() < 0.5);
+        // All points in the same blob share an assignment.
+        let first_half = result.assignments[0];
+        assert!(result.assignments[..50].iter().all(|&a| a == first_half));
+        assert!(result.assignments[50..].iter().all(|&a| a != first_half));
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_clusters() {
+        let mut rng = DataRng::new(1);
+        let points = rng.normal_matrix(200, 4, 0.0, 1.0);
+        let mut prev = f32::INFINITY;
+        for k in [1, 2, 4, 8, 16] {
+            let result = kmeans(&points, k, 30, &mut DataRng::new(7)).unwrap();
+            assert!(
+                result.inertia <= prev * 1.05,
+                "k={k}: inertia {} vs prev {prev}",
+                result.inertia
+            );
+            prev = result.inertia;
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut rng = DataRng::new(2);
+        let points = rng.normal_matrix(8, 3, 0.0, 1.0);
+        let result = kmeans(&points, 8, 50, &mut rng).unwrap();
+        assert!(result.inertia < 1e-6, "inertia={}", result.inertia);
+    }
+
+    #[test]
+    fn k_greater_than_n_still_works() {
+        let mut rng = DataRng::new(3);
+        let points = rng.normal_matrix(3, 2, 0.0, 1.0);
+        let result = kmeans(&points, 8, 10, &mut rng).unwrap();
+        assert_eq!(result.centroids.rows(), 8);
+        assert!(result.assignments.iter().all(|&a| a < 8));
+    }
+
+    #[test]
+    fn identical_points_converge_immediately() {
+        let points = Matrix::full(10, 2, 3.0);
+        let mut rng = DataRng::new(4);
+        let result = kmeans(&points, 2, 50, &mut rng).unwrap();
+        assert!(result.inertia < 1e-10);
+        assert!(result.iterations <= 3);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let mut rng = DataRng::new(5);
+        assert!(kmeans(&Matrix::zeros(0, 2), 2, 10, &mut rng).is_err());
+        assert!(kmeans(&Matrix::zeros(5, 0), 2, 10, &mut rng).is_err());
+        assert!(kmeans(&Matrix::zeros(5, 2), 0, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let mut rng = DataRng::new(6);
+        let points = rng.normal_matrix(60, 3, 0.0, 2.0);
+        let result = kmeans(&points, 4, 40, &mut rng).unwrap();
+        for i in 0..60 {
+            let assigned = sq_dist(points.row(i), result.centroids.row(result.assignments[i]));
+            for c in 0..4 {
+                assert!(
+                    assigned <= sq_dist(points.row(i), result.centroids.row(c)) + 1e-5,
+                    "point {i} closer to centroid {c} than its assignment"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_separates_two_blobs() {
+        let mut rng = DataRng::new(10);
+        let points = two_blob_points(&mut rng);
+        let result = kmeans_minibatch(&points, 2, 40, 32, &mut rng).unwrap();
+        let c0 = result.centroids.row(0);
+        let c1 = result.centroids.row(1);
+        let (neg, pos) = if c0[0] < 0.0 { (c0, c1) } else { (c1, c0) };
+        assert!((neg[0] + 5.0).abs() < 1.0 && (pos[0] - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn minibatch_inertia_close_to_lloyd() {
+        let mut rng = DataRng::new(11);
+        let points = rng.normal_matrix(400, 4, 0.0, 1.0);
+        let lloyd = kmeans(&points, 8, 30, &mut DataRng::new(3)).unwrap();
+        let mb = kmeans_minibatch(&points, 8, 60, 64, &mut DataRng::new(3)).unwrap();
+        assert!(
+            mb.inertia <= lloyd.inertia * 1.4,
+            "mini-batch {} vs lloyd {}",
+            mb.inertia,
+            lloyd.inertia
+        );
+    }
+
+    #[test]
+    fn minibatch_rejects_bad_input() {
+        let mut rng = DataRng::new(12);
+        assert!(kmeans_minibatch(&Matrix::zeros(0, 2), 2, 5, 8, &mut rng).is_err());
+        assert!(kmeans_minibatch(&Matrix::zeros(4, 2), 0, 5, 8, &mut rng).is_err());
+    }
+
+    #[test]
+    fn minibatch_assignments_consistent() {
+        let mut rng = DataRng::new(13);
+        let points = rng.normal_matrix(60, 3, 0.0, 1.0);
+        let result = kmeans_minibatch(&points, 4, 20, 16, &mut rng).unwrap();
+        for i in 0..60 {
+            let assigned = sq_dist(points.row(i), result.centroids.row(result.assignments[i]));
+            for c in 0..4 {
+                assert!(assigned <= sq_dist(points.row(i), result.centroids.row(c)) + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_basics() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! LUT-NN core: the primary algorithmic contribution of PIM-DL.
+//!
+//! The LUT-based deep-learning paradigm (paper §3) replaces the GEMM of a
+//! linear layer with:
+//!
+//! 1. **Conversion** (offline): cluster activation sub-vectors into per-column
+//!    codebooks of `CT` centroids of length `V` ([`kmeans`], [`pq`]), then
+//!    precompute centroid×weight partial products into look-up tables
+//!    ([`lut`]).
+//! 2. **Inference** (online): closest-centroid search produces an index
+//!    matrix ([`pq::ProductQuantizer::encode`], the CCS operator), then the
+//!    LUT operator gathers and accumulates precomputed partial sums
+//!    ([`lut::LutTable::lookup`]).
+//!
+//! The [`calibrate`] module implements the paper's **eLUT-NN** algorithm
+//! (§4.2): joint fine-tuning of centroids and weights with a reconstruction
+//! loss (Eq. 1) and a straight-through estimator (Eq. 2), against the plain
+//! k-means **baseline LUT-NN**. [`flops`] and [`roofline`] reproduce the
+//! computation-reduction (Fig. 3) and arithmetic-intensity (Fig. 4) analyses.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimdl_lutnn::pq::ProductQuantizer;
+//! use pimdl_lutnn::lut::LutTable;
+//! use pimdl_tensor::{gemm, rng::DataRng};
+//!
+//! let mut rng = DataRng::new(0);
+//! let acts = rng.normal_matrix(64, 8, 0.0, 1.0);
+//! let weight = rng.normal_matrix(8, 4, 0.0, 1.0); // H x F
+//!
+//! let pq = ProductQuantizer::fit(&acts, 2, 16, 10, &mut rng)?;
+//! let lut = LutTable::build(&pq, &weight)?;
+//!
+//! let x = rng.normal_matrix(3, 8, 0.0, 1.0);
+//! let approx = lut.lookup(&pq.encode(&x)?)?;        // LUT-NN path
+//! let exact = gemm::matmul(&x, &weight)?;           // GEMM path
+//! assert_eq!(approx.shape(), exact.shape());
+//! # Ok::<(), pimdl_lutnn::LutError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+
+pub mod calibrate;
+pub mod convert;
+pub mod flops;
+pub mod kmeans;
+pub mod lut;
+pub mod pq;
+pub mod roofline;
+
+pub use error::LutError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LutError>;

@@ -1,0 +1,118 @@
+//! Property-based tests for the LUT-NN core invariants.
+
+use proptest::prelude::*;
+
+use pimdl_lutnn::kmeans::{kmeans, sq_dist};
+use pimdl_lutnn::lut::LutTable;
+use pimdl_lutnn::pq::ProductQuantizer;
+use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::gemm;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decoding any encoding yields sub-vectors that are actual centroids,
+    /// and each is the *nearest* centroid of its codebook.
+    #[test]
+    fn encode_picks_nearest(seed in any::<u64>(), cb in 1usize..4, v in 1usize..4, ct in 2usize..9) {
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let calib = rng.normal_matrix(32.max(4 * ct), h, 0.0, 1.0);
+        let pq = ProductQuantizer::fit(&calib, v, ct, 8, &mut rng).unwrap();
+        let x = rng.normal_matrix(6, h, 0.0, 1.0);
+        let idx = pq.encode(&x).unwrap();
+        for r in 0..x.rows() {
+            for c in 0..cb {
+                let sub = &x.row(r)[c * v..(c + 1) * v];
+                let chosen = sq_dist(sub, pq.centroid(c, idx.get(r, c) as usize));
+                for k in 0..ct {
+                    prop_assert!(chosen <= sq_dist(sub, pq.centroid(c, k)) + 1e-5);
+                }
+            }
+        }
+    }
+
+    /// Quantization MSE never increases when centroids are a superset-quality
+    /// fit (more Lloyd iterations with the same seed).
+    #[test]
+    fn more_iterations_do_not_hurt(seed in any::<u64>()) {
+        let mut rng = DataRng::new(seed);
+        let acts = rng.normal_matrix(64, 8, 0.0, 1.0);
+        let short = ProductQuantizer::fit(&acts, 2, 4, 1, &mut DataRng::new(7)).unwrap();
+        let long = ProductQuantizer::fit(&acts, 2, 4, 25, &mut DataRng::new(7)).unwrap();
+        let mse_short = short.quantization_mse(&acts).unwrap();
+        let mse_long = long.quantization_mse(&acts).unwrap();
+        prop_assert!(mse_long <= mse_short * 1.01 + 1e-6,
+            "long {mse_long} vs short {mse_short}");
+    }
+
+    /// INT8 LUT lookup error is bounded by CB × scale/2 per output element.
+    #[test]
+    fn quantized_lookup_error_bound(seed in any::<u64>(), cb in 1usize..5, f in 1usize..10) {
+        let v = 2usize;
+        let ct = 8usize;
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let calib = rng.normal_matrix(64, h, 0.0, 1.0);
+        let weight = rng.normal_matrix(h, f, 0.0, 0.5);
+        let pq = ProductQuantizer::fit(&calib, v, ct, 8, &mut rng).unwrap();
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let qlut = lut.quantize();
+        let x = rng.normal_matrix(4, h, 0.0, 1.0);
+        let idx = pq.encode(&x).unwrap();
+        let exact = lut.lookup(&idx).unwrap();
+        let quant = qlut.lookup(&idx).unwrap();
+        let bound = qlut.table().scale() * cb as f32 * 0.51 + 1e-5;
+        prop_assert!(exact.sub(&quant).unwrap().max_abs() <= bound);
+    }
+
+    /// k-means inertia equals the sum of squared distances to assigned
+    /// centroids, and assignments are optimal.
+    #[test]
+    fn kmeans_inertia_consistent(seed in any::<u64>(), n in 4usize..30, k in 1usize..6) {
+        let mut rng = DataRng::new(seed);
+        let points = rng.normal_matrix(n, 3, 0.0, 2.0);
+        let result = kmeans(&points, k, 20, &mut rng).unwrap();
+        let mut total = 0.0;
+        for (i, &a) in result.assignments.iter().enumerate() {
+            total += sq_dist(points.row(i), result.centroids.row(a));
+        }
+        prop_assert!((total - result.inertia).abs() <= 1e-3 * (1.0 + total));
+    }
+
+    /// LUT construction is linear in the weight: LUT(W1 + W2) entry-wise
+    /// equals LUT(W1) + LUT(W2).
+    #[test]
+    fn lut_linear_in_weight(seed in any::<u64>()) {
+        let mut rng = DataRng::new(seed);
+        let calib = rng.normal_matrix(32, 8, 0.0, 1.0);
+        let pq = ProductQuantizer::fit(&calib, 2, 4, 8, &mut rng).unwrap();
+        let w1 = rng.normal_matrix(8, 6, 0.0, 1.0);
+        let w2 = rng.normal_matrix(8, 6, 0.0, 1.0);
+        let sum = w1.add(&w2).unwrap();
+        let l1 = LutTable::build(&pq, &w1).unwrap();
+        let l2 = LutTable::build(&pq, &w2).unwrap();
+        let ls = LutTable::build(&pq, &sum).unwrap();
+        let combined = l1.table().add(l2.table()).unwrap();
+        prop_assert!(combined.approx_eq(ls.table(), 1e-4));
+    }
+
+    /// The approximation error of the full LUT path is exactly the error of
+    /// the snapped input propagated through W:
+    /// `LUT(encode(x)) − x·W == (x̂ − x)·W`.
+    #[test]
+    fn error_decomposition(seed in any::<u64>()) {
+        let mut rng = DataRng::new(seed);
+        let calib = rng.normal_matrix(48, 8, 0.0, 1.0);
+        let weight = rng.normal_matrix(8, 5, 0.0, 0.5);
+        let pq = ProductQuantizer::fit(&calib, 2, 4, 8, &mut rng).unwrap();
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let x = rng.normal_matrix(4, 8, 0.0, 1.0);
+        let (x_hat, idx) = pq.snap(&x).unwrap();
+        let approx = lut.lookup(&idx).unwrap();
+        let exact = gemm::matmul(&x, &weight).unwrap();
+        let lhs = approx.sub(&exact).unwrap();
+        let rhs = gemm::matmul(&x_hat.sub(&x).unwrap(), &weight).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+}

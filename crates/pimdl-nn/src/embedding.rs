@@ -1,0 +1,377 @@
+//! Input embeddings: token lookup (NLP) and patch projection (CV).
+//!
+//! BERT-style models embed discrete token ids; ViT-style models linearly
+//! project continuous patch vectors. [`InputEmbedding`] covers both so the
+//! same [`TransformerClassifier`](crate::TransformerClassifier) serves the
+//! synthetic GLUE and CIFAR substitutes. Both variants add a learned
+//! positional embedding.
+
+use pimdl_tensor::{Matrix, Result, TensorError};
+use pimdl_tensor::rng::DataRng;
+
+use crate::linear::Linear;
+use crate::param::Param;
+
+/// A batch item: either a token-id sequence or a sequence of continuous
+/// patch vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SequenceInput {
+    /// Discrete token ids (NLP tasks).
+    Tokens(Vec<usize>),
+    /// Continuous per-position feature vectors, `seq x input_dim` (CV tasks).
+    Patches(Matrix),
+}
+
+impl SequenceInput {
+    /// Sequence length of this input.
+    pub fn len(&self) -> usize {
+        match self {
+            SequenceInput::Tokens(t) => t.len(),
+            SequenceInput::Patches(p) => p.rows(),
+        }
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cache saved by the embedding forward pass.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    input: SequenceInput,
+}
+
+/// Input embedding module.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum InputEmbedding {
+    /// Learned token-embedding table, `vocab x hidden`, plus positions.
+    Token {
+        /// Embedding table (`vocab x hidden`).
+        table: Param,
+        /// Positional embeddings (`max_seq x hidden`).
+        positions: Param,
+    },
+    /// Linear projection of patch vectors plus positions.
+    Patch {
+        /// Patch projection layer (`input_dim x hidden`).
+        proj: Linear,
+        /// Positional embeddings (`max_seq x hidden`).
+        positions: Param,
+    },
+}
+
+impl InputEmbedding {
+    /// Creates a token embedding for `vocab` ids into `hidden` dims, with
+    /// positions up to `max_seq`.
+    pub fn token(vocab: usize, hidden: usize, max_seq: usize, rng: &mut DataRng) -> Self {
+        InputEmbedding::Token {
+            table: Param::new(rng.normal_matrix(vocab, hidden, 0.0, 0.02)),
+            positions: Param::new(rng.normal_matrix(max_seq, hidden, 0.0, 0.02)),
+        }
+    }
+
+    /// Creates a patch projection from `input_dim` features into `hidden`.
+    pub fn patch(input_dim: usize, hidden: usize, max_seq: usize, rng: &mut DataRng) -> Self {
+        InputEmbedding::Patch {
+            proj: Linear::new(input_dim, hidden, rng),
+            positions: Param::new(rng.normal_matrix(max_seq, hidden, 0.0, 0.02)),
+        }
+    }
+
+    /// Hidden dimension produced by this embedding.
+    pub fn hidden(&self) -> usize {
+        match self {
+            InputEmbedding::Token { table, .. } => table.data.cols(),
+            InputEmbedding::Patch { proj, .. } => proj.out_features(),
+        }
+    }
+
+    /// Maximum supported sequence length.
+    pub fn max_seq(&self) -> usize {
+        match self {
+            InputEmbedding::Token { positions, .. } | InputEmbedding::Patch { positions, .. } => {
+                positions.data.rows()
+            }
+        }
+    }
+
+    /// Embeds one sequence into `seq x hidden`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if the sequence is longer
+    /// than `max_seq`, a token id is out of vocabulary, or a patch input is
+    /// given to a token embedding (and vice versa).
+    pub fn forward(&self, input: &SequenceInput) -> Result<(Matrix, EmbeddingCache)> {
+        let n = input.len();
+        if n > self.max_seq() {
+            return Err(TensorError::InvalidDimension {
+                op: "embedding_forward",
+                detail: format!("sequence length {n} exceeds max {}", self.max_seq()),
+            });
+        }
+        let out = match (self, input) {
+            (InputEmbedding::Token { table, positions }, SequenceInput::Tokens(ids)) => {
+                let h = table.data.cols();
+                let mut out = Matrix::zeros(n, h);
+                for (i, &id) in ids.iter().enumerate() {
+                    if id >= table.data.rows() {
+                        return Err(TensorError::InvalidDimension {
+                            op: "embedding_forward",
+                            detail: format!(
+                                "token id {id} out of vocab {}",
+                                table.data.rows()
+                            ),
+                        });
+                    }
+                    let row: Vec<f32> = table
+                        .data
+                        .row(id)
+                        .iter()
+                        .zip(positions.data.row(i))
+                        .map(|(e, p)| e + p)
+                        .collect();
+                    out.row_mut(i).copy_from_slice(&row);
+                }
+                out
+            }
+            (InputEmbedding::Patch { proj, positions }, SequenceInput::Patches(patches)) => {
+                let mut out = proj.forward(patches)?;
+                for i in 0..n {
+                    for (v, p) in out.row_mut(i).iter_mut().zip(positions.data.row(i)) {
+                        *v += p;
+                    }
+                }
+                out
+            }
+            _ => {
+                return Err(TensorError::InvalidDimension {
+                    op: "embedding_forward",
+                    detail: "input kind does not match embedding kind".to_string(),
+                })
+            }
+        };
+        Ok((
+            out,
+            EmbeddingCache {
+                input: input.clone(),
+            },
+        ))
+    }
+
+    /// Backward pass: scatters gradients into the table / projection and the
+    /// positional embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `dy` is inconsistent with the cached input.
+    pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Matrix) -> Result<()> {
+        let n = cache.input.len();
+        if dy.rows() != n || dy.cols() != self.hidden() {
+            return Err(TensorError::ShapeMismatch {
+                op: "embedding_backward",
+                lhs: dy.shape(),
+                rhs: (n, self.hidden()),
+            });
+        }
+        match (self, &cache.input) {
+            (InputEmbedding::Token { table, positions }, SequenceInput::Tokens(ids)) => {
+                for (i, &id) in ids.iter().enumerate() {
+                    for (c, &g) in dy.row(i).iter().enumerate() {
+                        let cur = table.grad.get(id, c);
+                        table.grad.set(id, c, cur + g);
+                        let cur_p = positions.grad.get(i, c);
+                        positions.grad.set(i, c, cur_p + g);
+                    }
+                }
+                Ok(())
+            }
+            (InputEmbedding::Patch { proj, positions }, SequenceInput::Patches(patches)) => {
+                proj.backward(patches, dy)?;
+                for i in 0..n {
+                    for (c, &g) in dy.row(i).iter().enumerate() {
+                        let cur = positions.grad.get(i, c);
+                        positions.grad.set(i, c, cur + g);
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(TensorError::InvalidDimension {
+                op: "embedding_backward",
+                detail: "cache kind does not match embedding kind".to_string(),
+            }),
+        }
+    }
+
+    /// Visits parameters in stable order.
+    pub fn visit_params<F: FnMut(&mut Param)>(&mut self, f: &mut F) {
+        match self {
+            InputEmbedding::Token { table, positions } => {
+                f(table);
+                f(positions);
+            }
+            InputEmbedding::Patch { proj, positions } => {
+                proj.visit_params(f);
+                f(positions);
+            }
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        match self {
+            InputEmbedding::Token { table, positions } => table.len() + positions.len(),
+            InputEmbedding::Patch { proj, positions } => proj.num_params() + positions.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn token_embedding_lookup_adds_positions() {
+        let mut rng = DataRng::new(0);
+        let emb = InputEmbedding::token(10, 4, 8, &mut rng);
+        let input = SequenceInput::Tokens(vec![3, 3]);
+        let (out, _) = emb.forward(&input).unwrap();
+        assert_eq!(out.shape(), (2, 4));
+        // Same token at different positions differs by position embedding.
+        if let InputEmbedding::Token { positions, .. } = &emb {
+            let diff_expected: Vec<f32> = positions
+                .data
+                .row(0)
+                .iter()
+                .zip(positions.data.row(1))
+                .map(|(a, b)| a - b)
+                .collect();
+            for c in 0..4 {
+                let diff = out.get(0, c) - out.get(1, c);
+                assert!((diff - diff_expected[c]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn token_out_of_vocab_rejected() {
+        let mut rng = DataRng::new(1);
+        let emb = InputEmbedding::token(5, 4, 8, &mut rng);
+        let input = SequenceInput::Tokens(vec![5]);
+        assert!(emb.forward(&input).is_err());
+    }
+
+    #[test]
+    fn sequence_too_long_rejected() {
+        let mut rng = DataRng::new(2);
+        let emb = InputEmbedding::token(5, 4, 2, &mut rng);
+        let input = SequenceInput::Tokens(vec![0, 1, 2]);
+        assert!(emb.forward(&input).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut rng = DataRng::new(3);
+        let emb = InputEmbedding::token(5, 4, 8, &mut rng);
+        let input = SequenceInput::Patches(Matrix::zeros(2, 4));
+        assert!(emb.forward(&input).is_err());
+    }
+
+    #[test]
+    fn patch_embedding_projects() {
+        let mut rng = DataRng::new(4);
+        let emb = InputEmbedding::patch(6, 4, 8, &mut rng);
+        assert_eq!(emb.hidden(), 4);
+        let input = SequenceInput::Patches(rng.normal_matrix(3, 6, 0.0, 1.0));
+        let (out, _) = emb.forward(&input).unwrap();
+        assert_eq!(out.shape(), (3, 4));
+    }
+
+    #[test]
+    fn token_backward_scatters_to_used_ids_only() {
+        let mut rng = DataRng::new(5);
+        let mut emb = InputEmbedding::token(6, 3, 4, &mut rng);
+        let input = SequenceInput::Tokens(vec![2, 2, 4]);
+        let (_, cache) = emb.forward(&input).unwrap();
+        let dy = Matrix::full(3, 3, 1.0);
+        emb.backward(&cache, &dy).unwrap();
+        if let InputEmbedding::Token { table, positions } = &emb {
+            // Token 2 used twice, token 4 once, others never.
+            assert_eq!(table.grad.get(2, 0), 2.0);
+            assert_eq!(table.grad.get(4, 0), 1.0);
+            assert_eq!(table.grad.get(0, 0), 0.0);
+            // Positions 0..3 each used once.
+            assert_eq!(positions.grad.get(0, 0), 1.0);
+            assert_eq!(positions.grad.get(3, 0), 0.0);
+        } else {
+            panic!("expected token embedding");
+        }
+    }
+
+    #[test]
+    fn patch_backward_matches_finite_difference() {
+        let mut rng = DataRng::new(6);
+        let mut emb = InputEmbedding::patch(4, 3, 4, &mut rng);
+        let patches = rng.normal_matrix(2, 4, 0.0, 1.0);
+        let input = SequenceInput::Patches(patches.clone());
+        let dy = rng.normal_matrix(2, 3, 0.0, 1.0);
+        let (_, cache) = emb.forward(&input).unwrap();
+        emb.backward(&cache, &dy).unwrap();
+
+        let loss = |emb: &InputEmbedding| -> f32 {
+            let (y, _) = emb.forward(&input).unwrap();
+            y.hadamard(&dy).unwrap().sum()
+        };
+        if let InputEmbedding::Patch { proj, .. } = &emb {
+            let analytic = proj.weight.grad.get(1, 2);
+            let h = 1e-3_f32;
+            let mut ep = emb.clone();
+            if let InputEmbedding::Patch { proj, .. } = &mut ep {
+                let v = proj.weight.data.get(1, 2);
+                proj.weight.data.set(1, 2, v + h);
+            }
+            let mut em = emb.clone();
+            if let InputEmbedding::Patch { proj, .. } = &mut em {
+                let v = proj.weight.data.get(1, 2);
+                proj.weight.data.set(1, 2, v - h);
+            }
+            let fd = (loss(&ep) - loss(&em)) / (2.0 * h);
+            assert!((fd - analytic).abs() < 1e-2, "fd={fd} analytic={analytic}");
+        }
+    }
+
+    #[test]
+    fn backward_shape_mismatch() {
+        let mut rng = DataRng::new(7);
+        let mut emb = InputEmbedding::token(5, 4, 8, &mut rng);
+        let input = SequenceInput::Tokens(vec![0, 1]);
+        let (_, cache) = emb.forward(&input).unwrap();
+        assert!(emb.backward(&cache, &Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        let mut rng = DataRng::new(8);
+        let mut emb = InputEmbedding::token(5, 4, 8, &mut rng);
+        let mut count = 0;
+        emb.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 2);
+        assert_eq!(emb.num_params(), 5 * 4 + 8 * 4);
+
+        let mut emb = InputEmbedding::patch(6, 4, 8, &mut rng);
+        let mut count = 0;
+        emb.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 3); // proj weight, proj bias, positions
+        assert_eq!(emb.num_params(), 6 * 4 + 4 + 8 * 4);
+    }
+
+    #[test]
+    fn sequence_input_len() {
+        assert_eq!(SequenceInput::Tokens(vec![1, 2, 3]).len(), 3);
+        assert!(SequenceInput::Tokens(vec![]).is_empty());
+        assert_eq!(SequenceInput::Patches(Matrix::zeros(4, 2)).len(), 4);
+    }
+}

@@ -1,0 +1,43 @@
+//! Trainable transformer substrate for the PIM-DL reproduction.
+//!
+//! The paper calibrates BERT/ViT models with PyTorch; this crate is the
+//! stand-in: a from-scratch transformer encoder with **manual backprop**
+//! (no autodiff dependency), an [`optim::Adam`] optimizer, softmax
+//! cross-entropy, and the synthetic NLP/CV [`data`] tasks used as GLUE/CIFAR
+//! substitutes (see DESIGN.md §2 for why the substitution preserves the
+//! paper's accuracy claim).
+//!
+//! The model deliberately mirrors the operator inventory of the paper's
+//! Fig. 6-(b): fused QKV projection, attention, output projection, FFN1
+//! (+GELU), FFN2, residual Add & LayerNorm — exactly the layers PIM-DL later
+//! converts to LUT-NN operators.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pimdl_nn::{ModelConfig, TransformerClassifier};
+//! use pimdl_tensor::rng::DataRng;
+//!
+//! let cfg = ModelConfig::tiny(16, 4);
+//! let mut rng = DataRng::new(0);
+//! let model = TransformerClassifier::new(&cfg, &mut rng);
+//! assert_eq!(model.num_blocks(), cfg.layers);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attention;
+pub mod data;
+pub mod embedding;
+pub mod linear;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+pub mod train;
+pub mod transformer;
+
+pub use linear::Linear;
+pub use param::Param;
+pub use transformer::{EncoderBlock, ModelConfig, TransformerClassifier};

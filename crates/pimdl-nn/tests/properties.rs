@@ -1,0 +1,108 @@
+//! Property-based tests for the transformer substrate: gradient checks over
+//! random shapes and data.
+
+use proptest::prelude::*;
+
+use pimdl_nn::attention::MultiHeadAttention;
+use pimdl_nn::loss::cross_entropy;
+use pimdl_nn::Linear;
+use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::Matrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linear backward matches finite differences for arbitrary shapes and
+    /// probe positions.
+    #[test]
+    fn linear_gradcheck(
+        seed in any::<u64>(),
+        in_f in 1usize..6,
+        out_f in 1usize..6,
+        rows in 1usize..5,
+    ) {
+        let mut rng = DataRng::new(seed);
+        let mut layer = Linear::new(in_f, out_f, &mut rng);
+        let x = rng.normal_matrix(rows, in_f, 0.0, 1.0);
+        let dy = rng.normal_matrix(rows, out_f, 0.0, 1.0);
+        let dx = layer.backward(&x, &dy).unwrap();
+
+        let loss = |layer: &Linear, x: &Matrix| -> f32 {
+            layer.forward(x).unwrap().hadamard(&dy).unwrap().sum()
+        };
+        let h = 1e-3f32;
+        let (pr, pc) = (rows - 1, in_f - 1);
+        let mut xp = x.clone();
+        xp.set(pr, pc, x.get(pr, pc) + h);
+        let mut xm = x.clone();
+        xm.set(pr, pc, x.get(pr, pc) - h);
+        let fd = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * h);
+        prop_assert!((fd - dx.get(pr, pc)).abs() < 3e-2,
+            "fd={fd} analytic={}", dx.get(pr, pc));
+
+        let (wr, wc) = (in_f - 1, out_f - 1);
+        let orig = layer.weight.data.get(wr, wc);
+        let mut lp = layer.clone();
+        lp.weight.data.set(wr, wc, orig + h);
+        let mut lm = layer.clone();
+        lm.weight.data.set(wr, wc, orig - h);
+        let fd_w = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+        prop_assert!((fd_w - layer.weight.grad.get(wr, wc)).abs() < 3e-2);
+    }
+
+    /// Attention forward is permutation-equivariant over sequence positions
+    /// when positional information is absent: permuting input rows permutes
+    /// output rows identically.
+    #[test]
+    fn attention_permutation_equivariance(seed in any::<u64>(), n in 2usize..6) {
+        let mut rng = DataRng::new(seed);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = rng.normal_matrix(n, 8, 0.0, 1.0);
+        let (y, _) = mha.forward(&x).unwrap();
+
+        // Reverse the rows.
+        let xr = Matrix::from_fn(n, 8, |r, c| x.get(n - 1 - r, c));
+        let (yr, _) = mha.forward(&xr).unwrap();
+        let yr_back = Matrix::from_fn(n, 8, |r, c| yr.get(n - 1 - r, c));
+        prop_assert!(y.approx_eq(&yr_back, 1e-4));
+    }
+
+    /// Cross-entropy gradients sum to zero per row (softmax property) and
+    /// the loss is non-negative.
+    #[test]
+    fn cross_entropy_grad_rows_sum_zero(seed in any::<u64>(), batch in 1usize..6, classes in 2usize..6) {
+        let mut rng = DataRng::new(seed);
+        let logits = rng.normal_matrix(batch, classes, 0.0, 2.0);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let out = cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        for r in 0..batch {
+            let sum: f32 = out.dlogits.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-5, "row {r} grad sum {sum}");
+        }
+    }
+
+    /// Attention output is invariant to scaling all value projections to
+    /// zero: zero V weights give output equal to the projection bias.
+    #[test]
+    fn attention_zero_value_path(seed in any::<u64>(), n in 1usize..5) {
+        let mut rng = DataRng::new(seed);
+        let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+        // Zero the V block of the fused QKV weight (columns 16..24) and its
+        // bias entries.
+        for r in 0..8 {
+            for c in 16..24 {
+                mha.qkv.weight.data.set(r, c, 0.0);
+            }
+        }
+        for c in 16..24 {
+            mha.qkv.bias.data.set(0, c, 0.0);
+        }
+        let x = rng.normal_matrix(n, 8, 0.0, 1.0);
+        let (y, _) = mha.forward(&x).unwrap();
+        // With V = 0 every attention output is proj(0) = proj bias.
+        let zeros = Matrix::zeros(n, 8);
+        let expected = mha.proj.forward(&zeros).unwrap();
+        prop_assert!(y.approx_eq(&expected, 1e-5));
+    }
+}

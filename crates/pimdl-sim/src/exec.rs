@@ -1,0 +1,438 @@
+//! Functional execution of the LUT micro-kernel on the simulated PEs.
+//!
+//! Every PE really performs its gather-accumulate over the INT8 tables, so
+//! simulated results are bit-checkable against the host reference
+//! (`pimdl_lutnn::lut::QuantLutTable::lookup`). The cost attached to a run
+//! comes from [`crate::cost`] evaluated with the *measured* index-repeat
+//! fraction, so functional execution and cost estimation share one model.
+
+use pimdl_tensor::Matrix;
+
+use crate::config::PlatformConfig;
+use crate::cost::{cost_with_repeat, CostReport};
+use crate::mapping::{LutWorkload, Mapping};
+use crate::{Result, SimError};
+
+/// Borrowed kernel operands in the simulator's wire format: one byte (or
+/// two) per index, one INT8 code per table entry, a single dequantization
+/// scale.
+#[derive(Debug, Clone, Copy)]
+pub struct LutKernelData<'a> {
+    /// Index matrix, row-major `N x CB`.
+    pub indices: &'a [u16],
+    /// LUT codes, row-major `(CB*CT) x F`.
+    pub table: &'a [i8],
+    /// Dequantization scale applied once per output element.
+    pub scale: f32,
+}
+
+/// Measures the fraction of `(row, codebook)` gathers whose index equals the
+/// previous row's index in the same codebook column (the fine-grain
+/// row-hit opportunity).
+pub fn measure_repeat_fraction(indices: &[u16], n: usize, cb: usize) -> f64 {
+    if n < 2 || cb == 0 {
+        return 0.0;
+    }
+    let mut repeats = 0u64;
+    for r in 1..n {
+        for c in 0..cb {
+            if indices[r * cb + c] == indices[(r - 1) * cb + c] {
+                repeats += 1;
+            }
+        }
+    }
+    repeats as f64 / ((n - 1) as u64 * cb as u64) as f64
+}
+
+/// Runs the LUT kernel functionally on every simulated PE and returns the
+/// assembled `N x F` output together with the measured-cost report.
+///
+/// PE `(group i, member j)` computes output rows
+/// `[i·N_s, (i+1)·N_s) x [j·F_s, (j+1)·F_s)` — the sub-LUT partition of
+/// Fig. 8-(a). No inter-PE communication occurs (limitation **L2** is
+/// respected by construction: neither `CT` nor `CB` is split across PEs).
+///
+/// # Errors
+///
+/// Returns [`SimError::WorkloadMismatch`] if the operand slices disagree
+/// with the workload shape, or an illegal-mapping error from validation.
+pub fn run_lut_kernel(
+    platform: &PlatformConfig,
+    workload: &LutWorkload,
+    mapping: &Mapping,
+    data: LutKernelData<'_>,
+) -> Result<(Matrix, CostReport)> {
+    let w = workload;
+    if data.indices.len() != w.n * w.cb {
+        return Err(SimError::WorkloadMismatch {
+            detail: format!(
+                "index slice has {} entries, workload needs {}",
+                data.indices.len(),
+                w.n * w.cb
+            ),
+        });
+    }
+    if data.table.len() != w.cb * w.ct * w.f {
+        return Err(SimError::WorkloadMismatch {
+            detail: format!(
+                "table slice has {} entries, workload needs {}",
+                data.table.len(),
+                w.cb * w.ct * w.f
+            ),
+        });
+    }
+    if let Some(&bad) = data.indices.iter().find(|&&i| (i as usize) >= w.ct) {
+        return Err(SimError::WorkloadMismatch {
+            detail: format!("index {bad} >= CT = {}", w.ct),
+        });
+    }
+    let repeat = measure_repeat_fraction(data.indices, w.n, w.cb);
+    let report = cost_with_repeat(platform, w, mapping, repeat)?;
+
+    let groups = mapping.groups(w);
+    let per_group = mapping.pes_per_group(w);
+    let (n_s, f_s) = (mapping.n_stile, mapping.f_stile);
+
+    let mut output = Matrix::zeros(w.n, w.f);
+    {
+        // Parallel functional execution: bands of output rows are disjoint,
+        // one band per PE group; PEs within a group write disjoint column
+        // ranges of the band.
+        let cols = w.f;
+        let bands: Vec<&mut [f32]> = output.as_mut_slice().chunks_mut(n_s * cols).collect();
+        crossbeam::scope(|scope| {
+            for (g, band) in bands.into_iter().enumerate() {
+                let indices = data.indices;
+                let table = data.table;
+                let scale = data.scale;
+                scope.spawn(move |_| {
+                    // Each group's band is computed by `per_group` logical
+                    // PEs; we execute them in sequence inside the band's
+                    // thread (their regions are disjoint columns).
+                    for j in 0..per_group {
+                        let col0 = j * f_s;
+                        for local_r in 0..n_s {
+                            let r = g * n_s + local_r;
+                            let idx_row = &indices[r * w.cb..(r + 1) * w.cb];
+                            let out_row = &mut band[local_r * cols + col0
+                                ..local_r * cols + col0 + f_s];
+                            let mut acc = vec![0i32; f_s];
+                            for (cb, &k) in idx_row.iter().enumerate() {
+                                let trow = (cb * w.ct + k as usize) * w.f + col0;
+                                let entries = &table[trow..trow + f_s];
+                                for (a, &e) in acc.iter_mut().zip(entries) {
+                                    *a += e as i32;
+                                }
+                            }
+                            for (o, &a) in out_row.iter_mut().zip(&acc) {
+                                *o = a as f32 * scale;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("simulated PE panicked");
+        let _ = groups;
+    }
+
+    Ok((output, report))
+}
+
+/// Extracts PE `(group, member)`'s operands from the global workload data,
+/// in the layout [`crate::interp::interpret`] expects: the group's index
+/// tile (`N_s × CB`) and the member's LUT feature slice (`CB × CT × F_s`).
+pub fn pe_operand_tiles(
+    workload: &LutWorkload,
+    mapping: &Mapping,
+    data: LutKernelData<'_>,
+    group: usize,
+    member: usize,
+) -> (Vec<u16>, Vec<i8>) {
+    let w = workload;
+    let m = mapping;
+    let mut idx_tile = Vec::with_capacity(m.n_stile * w.cb);
+    for r in 0..m.n_stile {
+        let global_r = group * m.n_stile + r;
+        idx_tile.extend_from_slice(&data.indices[global_r * w.cb..(global_r + 1) * w.cb]);
+    }
+    let col0 = member * m.f_stile;
+    let mut lut_tile = Vec::with_capacity(w.cb * w.ct * m.f_stile);
+    for cb in 0..w.cb {
+        for ct in 0..w.ct {
+            let base = (cb * w.ct + ct) * w.f + col0;
+            lut_tile.extend_from_slice(&data.table[base..base + m.f_stile]);
+        }
+    }
+    (idx_tile, lut_tile)
+}
+
+/// Runs the LUT kernel by compiling the mapping to a PIM binary
+/// ([`crate::isa::compile`]) and interpreting it on every PE
+/// ([`crate::interp::interpret`]).
+///
+/// Slower than [`run_lut_kernel`] (it executes the explicit instruction
+/// stream) but exercises exactly the loop nest the auto-tuned mapping
+/// describes; the returned per-PE stats carry the executed access counts.
+///
+/// # Errors
+///
+/// Propagates operand-shape and compilation errors.
+pub fn run_lut_kernel_compiled(
+    platform: &PlatformConfig,
+    workload: &LutWorkload,
+    mapping: &Mapping,
+    data: LutKernelData<'_>,
+) -> Result<(Matrix, Vec<crate::interp::InterpStats>)> {
+    let w = workload;
+    if data.indices.len() != w.n * w.cb {
+        return Err(SimError::WorkloadMismatch {
+            detail: format!(
+                "index slice has {} entries, workload needs {}",
+                data.indices.len(),
+                w.n * w.cb
+            ),
+        });
+    }
+    if data.table.len() != w.cb * w.ct * w.f {
+        return Err(SimError::WorkloadMismatch {
+            detail: format!(
+                "table slice has {} entries, workload needs {}",
+                data.table.len(),
+                w.cb * w.ct * w.f
+            ),
+        });
+    }
+    mapping.validate(workload, platform)?;
+    let program = crate::isa::compile(workload, mapping)?;
+    let mut out = Matrix::zeros(w.n, w.f);
+    let mut stats = Vec::with_capacity(platform.num_pes);
+    for group in 0..mapping.groups(w) {
+        for member in 0..mapping.pes_per_group(w) {
+            let (idx_tile, lut_tile) = pe_operand_tiles(workload, mapping, data, group, member);
+            let (pe_out, pe_stats) = crate::interp::interpret(
+                &program,
+                platform,
+                crate::interp::PeOperands {
+                    indices: &idx_tile,
+                    lut: &lut_tile,
+                    scale: data.scale,
+                },
+            )?;
+            out.set_submatrix(group * mapping.n_stile, member * mapping.f_stile, &pe_out)
+                .map_err(|e| SimError::Execution {
+                    detail: format!("tile assembly failed: {e}"),
+                })?;
+            stats.push(pe_stats);
+        }
+    }
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{LoadScheme, MicroKernel, TraversalOrder};
+    use pimdl_tensor::rng::DataRng;
+
+    fn platform(pes: usize) -> PlatformConfig {
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = pes;
+        p
+    }
+
+    fn mapping() -> Mapping {
+        Mapping {
+            n_stile: 8,
+            f_stile: 8,
+            kernel: MicroKernel {
+                n_mtile: 4,
+                f_mtile: 4,
+                cb_mtile: 2,
+                traversal: TraversalOrder::Nfc,
+                load_scheme: LoadScheme::FineGrain {
+                    f_load: 4,
+                    threads: 8,
+                },
+            },
+        }
+    }
+
+    fn random_operands(
+        w: &LutWorkload,
+        seed: u64,
+    ) -> (Vec<u16>, Vec<i8>) {
+        let mut rng = DataRng::new(seed);
+        let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
+        let table: Vec<i8> = (0..w.cb * w.ct * w.f)
+            .map(|_| (rng.index(255) as i32 - 127) as i8)
+            .collect();
+        (indices, table)
+    }
+
+    /// Host reference: plain gather-accumulate.
+    fn reference(w: &LutWorkload, indices: &[u16], table: &[i8], scale: f32) -> Matrix {
+        let mut out = Matrix::zeros(w.n, w.f);
+        for r in 0..w.n {
+            for cb in 0..w.cb {
+                let k = indices[r * w.cb + cb] as usize;
+                for f in 0..w.f {
+                    let e = table[(cb * w.ct + k) * w.f + f] as f32;
+                    let cur = out.get(r, f);
+                    out.set(r, f, cur + e);
+                }
+            }
+        }
+        out.scale(scale)
+    }
+
+    #[test]
+    fn functional_output_matches_reference() {
+        let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+        let (indices, table) = random_operands(&w, 0);
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 0.05,
+        };
+        // 4 groups × 2 PEs = 8 PEs.
+        let (out, report) = run_lut_kernel(&platform(8), &w, &mapping(), data).unwrap();
+        let expected = reference(&w, &indices, &table, 0.05);
+        assert!(out.approx_eq(&expected, 1e-5));
+        assert!(report.time.total_s() > 0.0);
+    }
+
+    #[test]
+    fn cost_uses_measured_repeat_fraction() {
+        let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+        // All-identical indices → repeat fraction 1.0.
+        let indices = vec![3u16; w.n * w.cb];
+        let (_, table) = random_operands(&w, 1);
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 1.0,
+        };
+        let (_, report) = run_lut_kernel(&platform(8), &w, &mapping(), data).unwrap();
+        assert!((report.repeat_fraction - 1.0).abs() < 1e-9);
+
+        // Alternating indices → repeat fraction 0.0.
+        let indices: Vec<u16> = (0..w.n * w.cb).map(|i| ((i / w.cb) % 2) as u16).collect();
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 1.0,
+        };
+        let (_, report0) = run_lut_kernel(&platform(8), &w, &mapping(), data).unwrap();
+        assert_eq!(report0.repeat_fraction, 0.0);
+        // Full repeats must be cheaper on the fine-grain LUT path.
+        assert!(report.time.kernel_lut_s < report0.time.kernel_lut_s);
+    }
+
+    #[test]
+    fn run_report_equals_estimate_with_same_repeat() {
+        let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+        let (indices, table) = random_operands(&w, 2);
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 1.0,
+        };
+        let p = platform(8);
+        let m = mapping();
+        let (_, run_report) = run_lut_kernel(&p, &w, &m, data).unwrap();
+        let repeat = measure_repeat_fraction(&indices, w.n, w.cb);
+        let est = cost_with_repeat(&p, &w, &m, repeat).unwrap();
+        assert_eq!(run_report, est);
+    }
+
+    #[test]
+    fn operand_shape_validation() {
+        let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+        let (indices, table) = random_operands(&w, 3);
+        let p = platform(8);
+        let m = mapping();
+
+        let bad_idx = LutKernelData {
+            indices: &indices[..10],
+            table: &table,
+            scale: 1.0,
+        };
+        assert!(run_lut_kernel(&p, &w, &m, bad_idx).is_err());
+
+        let bad_table = LutKernelData {
+            indices: &indices,
+            table: &table[..10],
+            scale: 1.0,
+        };
+        assert!(run_lut_kernel(&p, &w, &m, bad_table).is_err());
+
+        let mut big = indices.clone();
+        big[0] = 99;
+        let bad_value = LutKernelData {
+            indices: &big,
+            table: &table,
+            scale: 1.0,
+        };
+        assert!(run_lut_kernel(&p, &w, &m, bad_value).is_err());
+    }
+
+    #[test]
+    fn compiled_runner_matches_direct_executor() {
+        let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+        let (indices, table) = random_operands(&w, 21);
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 0.04,
+        };
+        let p = platform(8);
+        let m = mapping();
+        let (direct, _) = run_lut_kernel(&p, &w, &m, data).unwrap();
+        let (compiled, stats) = run_lut_kernel_compiled(&p, &w, &m, data).unwrap();
+        assert!(compiled.approx_eq(&direct, 1e-5));
+        assert_eq!(stats.len(), 8);
+        // Deterministic reduce work is identical across PEs.
+        for s in &stats {
+            assert_eq!(s.reduce_ops, stats[0].reduce_ops);
+            assert!(s.time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn repeat_fraction_edge_cases() {
+        assert_eq!(measure_repeat_fraction(&[], 0, 0), 0.0);
+        assert_eq!(measure_repeat_fraction(&[1, 2], 1, 2), 0.0);
+        assert_eq!(measure_repeat_fraction(&[1, 1], 2, 1), 1.0);
+        assert_eq!(measure_repeat_fraction(&[1, 2], 2, 1), 0.0);
+    }
+
+    #[test]
+    fn partition_covers_output_exactly_once() {
+        // Different n_stile/f_stile splits produce identical outputs — each
+        // output element is owned by exactly one PE.
+        let w = LutWorkload::new(16, 4, 8, 16).unwrap();
+        let (indices, table) = random_operands(&w, 4);
+        let data = LutKernelData {
+            indices: &indices,
+            table: &table,
+            scale: 1.0,
+        };
+        let base = reference(&w, &indices, &table, 1.0);
+        for (n_s, f_s, pes) in [(16, 16, 1), (8, 16, 2), (16, 4, 4), (4, 4, 16)] {
+            let m = Mapping {
+                n_stile: n_s,
+                f_stile: f_s,
+                kernel: MicroKernel {
+                    n_mtile: n_s.min(4),
+                    f_mtile: f_s.min(4),
+                    cb_mtile: 2,
+                    traversal: TraversalOrder::Ncf,
+                    load_scheme: LoadScheme::Static,
+                },
+            };
+            let (out, _) = run_lut_kernel(&platform(pes), &w, &m, data).unwrap();
+            assert!(out.approx_eq(&base, 1e-5), "n_s={n_s} f_s={f_s}");
+        }
+    }
+}

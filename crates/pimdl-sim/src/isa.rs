@@ -1,0 +1,488 @@
+//! The **PIM binary**: a tile-level instruction set for the simulated PEs
+//! and a compiler from tuned mappings to instruction programs.
+//!
+//! The paper's engine lowers every offloaded operator to a "PIM binary"
+//! that the host launches on the PEs (Fig. 6-(a): PIM kernel → PIM binary →
+//! PIM driver). This module is that layer for the simulator: given a
+//! [`LutWorkload`] and a tuned [`Mapping`], [`compile`] emits the loop nest
+//! the micro-kernel parameters describe — MTile loads/stores, LUT loads in
+//! the chosen scheme, and accumulate steps — as an explicit [`PimProgram`].
+//!
+//! The program is executed by [`crate::interp`], which both computes the
+//! PE's output tile and counts every access, giving an independent check of
+//! the closed-form cost model in [`crate::cost`]: the compiler and the cost
+//! formulas must agree on `LCount`/`SCount`/`RCount`, and the tests assert
+//! that they do.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::{LoadScheme, LoopDim, LutWorkload, Mapping};
+use crate::{Result, SimError};
+
+/// One tile-level PE instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// DMA the index MTile with origin `(n0, cb0)` (within the PE's
+    /// sub-LUT tile) from local memory into the on-chip buffer.
+    LoadIndex {
+        /// Row origin within the PE's index tile.
+        n0: u32,
+        /// Codebook origin.
+        cb0: u32,
+    },
+    /// Zero the on-chip output accumulator for the MTile at `(n0, f0)`
+    /// (first visit: nothing to re-load).
+    ZeroOutput {
+        /// Row origin.
+        n0: u32,
+        /// Feature origin within the PE's feature tile.
+        f0: u32,
+    },
+    /// DMA a previously stored output MTile back for further accumulation.
+    LoadOutput {
+        /// Row origin.
+        n0: u32,
+        /// Feature origin.
+        f0: u32,
+    },
+    /// DMA the output MTile at `(n0, f0)` back to local memory.
+    StoreOutput {
+        /// Row origin.
+        n0: u32,
+        /// Feature origin.
+        f0: u32,
+    },
+    /// DMA the PE's entire LUT tile into the on-chip buffer (static
+    /// scheme; executed once).
+    LoadLutAll,
+    /// DMA all `CT` candidates for the codebook×feature chunk at
+    /// `(cb0, f0)` (coarse-grain scheme).
+    LoadLutChunk {
+        /// Codebook origin of the chunk.
+        cb0: u32,
+        /// Feature origin of the chunk.
+        f0: u32,
+    },
+    /// For every row of the current index MTile: read the index for
+    /// codebook `cb`, gather the selected entry's `[f0, f0 + f_load)`
+    /// feature slice from local memory (unless it repeats the previous
+    /// row's index, which hits the per-thread buffer) and accumulate
+    /// (fine-grain scheme).
+    GatherAccumulate {
+        /// Codebook within the current index MTile.
+        cb: u32,
+        /// Feature origin of the slice.
+        f0: u32,
+    },
+    /// Accumulate from on-chip LUT data for the current index MTile over
+    /// codebooks `[cb0, cb0 + count)` and features `[f0, f0 + f_count)`
+    /// (static/coarse schemes; data already resident).
+    AccumulateResident {
+        /// First codebook to reduce.
+        cb0: u32,
+        /// Number of codebooks to reduce.
+        count: u32,
+        /// Feature origin.
+        f0: u32,
+        /// Number of features to reduce.
+        f_count: u32,
+    },
+}
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Instr::LoadIndex { n0, cb0 } => write!(f, "ld.idx    n={n0} cb={cb0}"),
+            Instr::ZeroOutput { n0, f0 } => write!(f, "zero.out  n={n0} f={f0}"),
+            Instr::LoadOutput { n0, f0 } => write!(f, "ld.out    n={n0} f={f0}"),
+            Instr::StoreOutput { n0, f0 } => write!(f, "st.out    n={n0} f={f0}"),
+            Instr::LoadLutAll => write!(f, "ld.lut.all"),
+            Instr::LoadLutChunk { cb0, f0 } => write!(f, "ld.lut    cb={cb0} f={f0}"),
+            Instr::GatherAccumulate { cb, f0 } => write!(f, "gather.acc cb={cb} f={f0}"),
+            Instr::AccumulateResident {
+                cb0,
+                count,
+                f0,
+                f_count,
+            } => write!(f, "acc       cb={cb0}+{count} f={f0}+{f_count}"),
+        }
+    }
+}
+
+/// A compiled PE program plus the shape metadata needed to execute it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PimProgram {
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Workload the program was compiled for.
+    pub workload: LutWorkload,
+    /// Mapping the program was compiled from.
+    pub mapping: Mapping,
+}
+
+impl PimProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Disassembles the program (first `limit` instructions; 0 = all).
+    pub fn disassemble(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let take = if limit == 0 { self.instrs.len() } else { limit };
+        for (pc, instr) in self.instrs.iter().take(take).enumerate() {
+            out.push_str(&format!("{pc:6}: {instr}\n"));
+        }
+        if take < self.instrs.len() {
+            out.push_str(&format!("  ... ({} more)\n", self.instrs.len() - take));
+        }
+        out
+    }
+
+    /// Counts instructions of each load/store/compute class:
+    /// `(index_loads, output_zero_or_loads, output_stores, lut_loads,
+    /// accumulate_instrs)`.
+    pub fn instruction_mix(&self) -> (u64, u64, u64, u64, u64) {
+        let mut idx = 0;
+        let mut out_in = 0;
+        let mut out_st = 0;
+        let mut lut = 0;
+        let mut acc = 0;
+        for i in &self.instrs {
+            match i {
+                Instr::LoadIndex { .. } => idx += 1,
+                Instr::ZeroOutput { .. } | Instr::LoadOutput { .. } => out_in += 1,
+                Instr::StoreOutput { .. } => out_st += 1,
+                Instr::LoadLutAll | Instr::LoadLutChunk { .. } => lut += 1,
+                Instr::GatherAccumulate { .. } | Instr::AccumulateResident { .. } => acc += 1,
+            }
+        }
+        (idx, out_in, out_st, lut, acc)
+    }
+}
+
+/// Compiles the micro-kernel loop nest of `mapping` into a PE program.
+///
+/// The loop order follows the mapping's traversal order; tile loads are
+/// emitted only when the tile changes (the reuse semantics of
+/// `TraversalOrder::load_count`); LUT data movement follows the load
+/// scheme. The program computes the PE's whole `(N_s-tile, F_s-tile)`
+/// output.
+///
+/// # Errors
+///
+/// Returns [`SimError::IllegalMapping`] if the mapping does not validate
+/// against the workload (platform-independent checks only: divisibility and
+/// load-factor legality).
+pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> {
+    let w = workload;
+    let m = mapping;
+    let k = &m.kernel;
+    // Structural validation (platform-independent subset of
+    // `Mapping::validate`).
+    if k.n_mtile == 0
+        || k.f_mtile == 0
+        || k.cb_mtile == 0
+        || m.n_stile % k.n_mtile != 0
+        || m.f_stile % k.f_mtile != 0
+        || w.cb % k.cb_mtile != 0
+    {
+        return Err(SimError::IllegalMapping {
+            detail: format!("micro-kernel tiles do not divide the sub-LUT tile: {m:?}"),
+        });
+    }
+    match k.load_scheme {
+        LoadScheme::CoarseGrain { cb_load, f_load } => {
+            if cb_load == 0 || f_load == 0 || k.cb_mtile % cb_load != 0 || k.f_mtile % f_load != 0
+            {
+                return Err(SimError::IllegalMapping {
+                    detail: "coarse load factors do not divide the micro tiles".to_string(),
+                });
+            }
+        }
+        LoadScheme::FineGrain { f_load, threads } => {
+            if f_load == 0 || threads == 0 || k.f_mtile % f_load != 0 {
+                return Err(SimError::IllegalMapping {
+                    detail: "fine load factor does not divide the micro tile".to_string(),
+                });
+            }
+        }
+        LoadScheme::Static => {}
+    }
+
+    let t_n = m.n_stile / k.n_mtile;
+    let t_f = m.f_stile / k.f_mtile;
+    let t_cb = w.cb / k.cb_mtile;
+
+    let mut instrs = Vec::new();
+    if matches!(k.load_scheme, LoadScheme::Static) {
+        instrs.push(Instr::LoadLutAll);
+    }
+
+    // Loop trip counts in traversal order.
+    let dims = k.traversal.dims();
+    let trip = |d: LoopDim| match d {
+        LoopDim::N => t_n,
+        LoopDim::F => t_f,
+        LoopDim::Cb => t_cb,
+    };
+    let (o0, o1, o2) = (dims[0], dims[1], dims[2]);
+
+    // Track resident tiles so loads are emitted only on change — exactly
+    // the reuse model of `TraversalOrder::load_count`.
+    let mut cur_index: Option<(u32, u32)> = None;
+    let mut cur_output: Option<(u32, u32)> = None;
+    // The single coarse-chunk buffer: holds the most recently loaded
+    // (cb0, f0) chunk, enabling reuse across iterations only when the MTile
+    // needs exactly that chunk again.
+    let mut cur_chunk: Option<(u32, u32)> = None;
+    // Which output MTiles have been visited at least once (first visit
+    // zeroes instead of loading) and which codebooks they have consumed.
+    let mut visited: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+
+    for i0 in 0..trip(o0) {
+        for i1 in 0..trip(o1) {
+            for i2 in 0..trip(o2) {
+                let mut n_i = 0usize;
+                let mut f_i = 0usize;
+                let mut cb_i = 0usize;
+                for (dim, idx) in [(o0, i0), (o1, i1), (o2, i2)] {
+                    match dim {
+                        LoopDim::N => n_i = idx,
+                        LoopDim::F => f_i = idx,
+                        LoopDim::Cb => cb_i = idx,
+                    }
+                }
+                let n0 = (n_i * k.n_mtile) as u32;
+                let f0 = (f_i * k.f_mtile) as u32;
+                let cb0 = (cb_i * k.cb_mtile) as u32;
+
+                // Index MTile depends on (n, cb).
+                if cur_index != Some((n0, cb0)) {
+                    instrs.push(Instr::LoadIndex { n0, cb0 });
+                    cur_index = Some((n0, cb0));
+                }
+                // Output MTile depends on (n, f).
+                if cur_output != Some((n0, f0)) {
+                    if let Some(prev) = cur_output {
+                        instrs.push(Instr::StoreOutput { n0: prev.0, f0: prev.1 });
+                    }
+                    if visited.contains_key(&(n0, f0)) {
+                        instrs.push(Instr::LoadOutput { n0, f0 });
+                    } else {
+                        instrs.push(Instr::ZeroOutput { n0, f0 });
+                    }
+                    cur_output = Some((n0, f0));
+                }
+                *visited.entry((n0, f0)).or_insert(0) += 1;
+
+                // LUT movement + accumulation for this (n, f, cb) MTile.
+                match k.load_scheme {
+                    LoadScheme::Static => {
+                        instrs.push(Instr::AccumulateResident {
+                            cb0,
+                            count: k.cb_mtile as u32,
+                            f0,
+                            f_count: k.f_mtile as u32,
+                        });
+                    }
+                    LoadScheme::CoarseGrain { cb_load, f_load } => {
+                        for c in 0..(k.cb_mtile / cb_load) {
+                            for fc in 0..(k.f_mtile / f_load) {
+                                let chunk_cb0 = cb0 + (c * cb_load) as u32;
+                                let chunk_f0 = f0 + (fc * f_load) as u32;
+                                if cur_chunk != Some((chunk_cb0, chunk_f0)) {
+                                    instrs.push(Instr::LoadLutChunk {
+                                        cb0: chunk_cb0,
+                                        f0: chunk_f0,
+                                    });
+                                    cur_chunk = Some((chunk_cb0, chunk_f0));
+                                }
+                                instrs.push(Instr::AccumulateResident {
+                                    cb0: chunk_cb0,
+                                    count: cb_load as u32,
+                                    f0: chunk_f0,
+                                    f_count: f_load as u32,
+                                });
+                            }
+                        }
+                    }
+                    LoadScheme::FineGrain { f_load, .. } => {
+                        for cb in 0..k.cb_mtile {
+                            for fc in 0..(k.f_mtile / f_load) {
+                                instrs.push(Instr::GatherAccumulate {
+                                    cb: cb0 + cb as u32,
+                                    f0: f0 + (fc * f_load) as u32,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(prev) = cur_output {
+        instrs.push(Instr::StoreOutput { n0: prev.0, f0: prev.1 });
+    }
+
+    Ok(PimProgram {
+        instrs,
+        workload: *w,
+        mapping: *m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{MicroKernel, TraversalOrder};
+
+    fn workload() -> LutWorkload {
+        LutWorkload::new(64, 8, 16, 32).unwrap()
+    }
+
+    fn mapping(scheme: LoadScheme, traversal: TraversalOrder) -> Mapping {
+        Mapping {
+            n_stile: 16,
+            f_stile: 8,
+            kernel: MicroKernel {
+                n_mtile: 4,
+                f_mtile: 4,
+                cb_mtile: 4,
+                traversal,
+                load_scheme: scheme,
+            },
+        }
+    }
+
+    #[test]
+    fn static_program_loads_lut_once() {
+        let w = workload();
+        let p = compile(&w, &mapping(LoadScheme::Static, TraversalOrder::Nfc)).unwrap();
+        let (_, _, _, lut, _) = p.instruction_mix();
+        assert_eq!(lut, 1);
+        assert_eq!(p.instrs[0], Instr::LoadLutAll);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn index_loads_match_cost_model_reuse() {
+        let w = workload();
+        for traversal in TraversalOrder::all() {
+            let m = mapping(LoadScheme::Static, traversal);
+            let p = compile(&w, &m).unwrap();
+            let (idx, _, _, _, _) = p.instruction_mix();
+            let expected = traversal.load_count(m.trip_counts(&w), (true, false, true));
+            assert_eq!(idx, expected, "{traversal}");
+        }
+    }
+
+    #[test]
+    fn output_traffic_matches_cost_model_reuse() {
+        let w = workload();
+        for traversal in TraversalOrder::all() {
+            let m = mapping(LoadScheme::Static, traversal);
+            let p = compile(&w, &m).unwrap();
+            let (_, out_in, out_st, _, _) = p.instruction_mix();
+            let expected = traversal.load_count(m.trip_counts(&w), (true, true, false));
+            assert_eq!(out_in, expected, "{traversal} loads");
+            assert_eq!(out_st, expected, "{traversal} stores");
+        }
+    }
+
+    #[test]
+    fn coarse_chunk_count_matches_cost_model() {
+        let w = workload();
+        // Multi-chunk MTiles: the single chunk buffer thrashes, so every
+        // MTile iteration reloads all its chunks.
+        let scheme = LoadScheme::CoarseGrain {
+            cb_load: 2,
+            f_load: 2,
+        };
+        for traversal in TraversalOrder::all() {
+            let m = mapping(scheme, traversal);
+            let p = compile(&w, &m).unwrap();
+            let (_, _, _, lut, _) = p.instruction_mix();
+            let trips = m.trip_counts(&w);
+            let chunks_per_mtile = ((m.kernel.cb_mtile / 2) * (m.kernel.f_mtile / 2)) as u64;
+            assert_eq!(lut, trips.0 * trips.1 * trips.2 * chunks_per_mtile, "{traversal}");
+        }
+
+        // Single-chunk MTiles (chunk == MTile): the chunk survives across
+        // iterations that do not change (f, cb) — the cost model's reuse.
+        let scheme = LoadScheme::CoarseGrain {
+            cb_load: 4,
+            f_load: 4,
+        };
+        for traversal in TraversalOrder::all() {
+            let m = mapping(scheme, traversal);
+            let p = compile(&w, &m).unwrap();
+            let (_, _, _, lut, _) = p.instruction_mix();
+            let expected = traversal.load_count(m.trip_counts(&w), (false, true, true));
+            assert_eq!(lut, expected, "{traversal}");
+        }
+    }
+
+    #[test]
+    fn fine_gather_instruction_count() {
+        let w = workload();
+        let m = mapping(
+            LoadScheme::FineGrain {
+                f_load: 4,
+                threads: 8,
+            },
+            TraversalOrder::Nfc,
+        );
+        let p = compile(&w, &m).unwrap();
+        let (_, _, _, lut, acc) = p.instruction_mix();
+        assert_eq!(lut, 0); // fine-grain gathers live inside the accumulate
+        // Gather instrs: per (n,f,cb) mtile: cb_m × (f_m / f_load).
+        let trips = m.trip_counts(&w);
+        let per_mtile = (m.kernel.cb_mtile * (m.kernel.f_mtile / 4)) as u64;
+        assert_eq!(acc, trips.0 * trips.1 * trips.2 * per_mtile);
+    }
+
+    #[test]
+    fn compile_rejects_bad_tiles() {
+        let w = workload();
+        let mut m = mapping(LoadScheme::Static, TraversalOrder::Nfc);
+        m.kernel.n_mtile = 3; // 3 ∤ 16
+        assert!(compile(&w, &m).is_err());
+
+        let mut m = mapping(
+            LoadScheme::CoarseGrain {
+                cb_load: 3,
+                f_load: 2,
+            },
+            TraversalOrder::Nfc,
+        );
+        m.kernel.cb_mtile = 4;
+        assert!(compile(&w, &m).is_err());
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let w = workload();
+        let p = compile(&w, &mapping(LoadScheme::Static, TraversalOrder::Nfc)).unwrap();
+        let text = p.disassemble(5);
+        assert!(text.contains("ld.lut.all"));
+        assert!(text.contains("more"));
+        let full = p.disassemble(0);
+        assert!(!full.contains("more"));
+        assert_eq!(full.lines().count(), p.len());
+    }
+
+    #[test]
+    fn program_roundtrips_through_serde() {
+        let w = workload();
+        let p = compile(&w, &mapping(LoadScheme::Static, TraversalOrder::Ncf)).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PimProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

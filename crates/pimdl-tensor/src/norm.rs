@@ -1,0 +1,291 @@
+//! Normalization operators: row-wise softmax and layer normalization.
+//!
+//! Both are memory-bound operators in the paper's taxonomy. LayerNorm keeps
+//! its learned scale/shift parameters external so the transformer substrate
+//! can train them.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Numerical epsilon used inside layer normalization.
+pub const LAYERNORM_EPS: f32 = 1e-5;
+
+/// Row-wise softmax with the max-subtraction trick for stability.
+pub fn softmax(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        softmax_row(out.row_mut(r));
+    }
+    out
+}
+
+/// In-place softmax of a single row.
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Per-row statistics produced by [`layernorm_forward`], needed by the
+/// backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormCache {
+    /// Per-row mean of the input.
+    pub mean: Vec<f32>,
+    /// Per-row inverse standard deviation (`1 / sqrt(var + eps)`).
+    pub inv_std: Vec<f32>,
+    /// Normalized input `(x - mean) * inv_std`, before scale/shift.
+    pub normalized: Matrix,
+}
+
+/// Layer normalization over the last dimension with learned `gamma`/`beta`.
+///
+/// Returns the output and the cache required by [`layernorm_backward`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `gamma`/`beta` length differs
+/// from `x.cols()`.
+pub fn layernorm_forward(
+    x: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+) -> Result<(Matrix, LayerNormCache)> {
+    let h = x.cols();
+    if gamma.len() != h || beta.len() != h {
+        return Err(TensorError::ShapeMismatch {
+            op: "layernorm_forward",
+            lhs: x.shape(),
+            rhs: (1, gamma.len().max(beta.len())),
+        });
+    }
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, h);
+    let mut normalized = Matrix::zeros(n, h);
+    let mut mean = Vec::with_capacity(n);
+    let mut inv_std = Vec::with_capacity(n);
+    for r in 0..n {
+        let row = x.row(r);
+        let mu = row.iter().sum::<f32>() / h as f32;
+        let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / h as f32;
+        let istd = 1.0 / (var + LAYERNORM_EPS).sqrt();
+        mean.push(mu);
+        inv_std.push(istd);
+        for c in 0..h {
+            let norm = (row[c] - mu) * istd;
+            normalized.set(r, c, norm);
+            out.set(r, c, norm * gamma[c] + beta[c]);
+        }
+    }
+    Ok((
+        out,
+        LayerNormCache {
+            mean,
+            inv_std,
+            normalized,
+        },
+    ))
+}
+
+/// Gradients produced by [`layernorm_backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormGrads {
+    /// Gradient with respect to the input.
+    pub dx: Matrix,
+    /// Gradient with respect to `gamma`.
+    pub dgamma: Vec<f32>,
+    /// Gradient with respect to `beta`.
+    pub dbeta: Vec<f32>,
+}
+
+/// Backward pass of layer normalization.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `dy` and the cached normalized
+/// matrix disagree in shape, or `gamma` has the wrong length.
+pub fn layernorm_backward(
+    dy: &Matrix,
+    cache: &LayerNormCache,
+    gamma: &[f32],
+) -> Result<LayerNormGrads> {
+    let (n, h) = cache.normalized.shape();
+    if dy.shape() != (n, h) {
+        return Err(TensorError::ShapeMismatch {
+            op: "layernorm_backward",
+            lhs: dy.shape(),
+            rhs: (n, h),
+        });
+    }
+    if gamma.len() != h {
+        return Err(TensorError::ShapeMismatch {
+            op: "layernorm_backward",
+            lhs: (1, gamma.len()),
+            rhs: (1, h),
+        });
+    }
+    let mut dx = Matrix::zeros(n, h);
+    let mut dgamma = vec![0.0; h];
+    let mut dbeta = vec![0.0; h];
+    for r in 0..n {
+        let dy_row = dy.row(r);
+        let norm_row = cache.normalized.row(r);
+        for c in 0..h {
+            dgamma[c] += dy_row[c] * norm_row[c];
+            dbeta[c] += dy_row[c];
+        }
+        // dx = (g - mean(g) - norm * mean(g * norm)) * inv_std,
+        // where g = dy * gamma.
+        let g: Vec<f32> = (0..h).map(|c| dy_row[c] * gamma[c]).collect();
+        let g_mean = g.iter().sum::<f32>() / h as f32;
+        let gn_mean = g
+            .iter()
+            .zip(norm_row)
+            .map(|(gi, ni)| gi * ni)
+            .sum::<f32>()
+            / h as f32;
+        let istd = cache.inv_std[r];
+        for c in 0..h {
+            dx.set(r, c, (g[c] - g_mean - norm_row[c] * gn_mean) * istd);
+        }
+    }
+    Ok(LayerNormGrads { dx, dgamma, dbeta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DataRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = DataRng::new(1).uniform_matrix(4, 8, -5.0, 5.0);
+        let s = softmax(&x);
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = x.map(|v| v + 100.0);
+        assert!(softmax(&x).approx_eq(&softmax(&shifted), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let x = Matrix::from_vec(1, 3, vec![1e30, -1e30, 0.0]).unwrap();
+        let s = softmax(&x);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(s.get(0, 1) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_row_is_noop() {
+        let mut row: [f32; 0] = [];
+        softmax_row(&mut row);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = DataRng::new(2).normal_matrix(5, 16, 3.0, 2.0);
+        let gamma = vec![1.0; 16];
+        let beta = vec![0.0; 16];
+        let (y, _) = layernorm_forward(&x, &gamma, &beta).unwrap();
+        for r in 0..5 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var={var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_applies_gamma_beta() {
+        let x = DataRng::new(3).normal_matrix(2, 8, 0.0, 1.0);
+        let gamma = vec![2.0; 8];
+        let beta = vec![1.0; 8];
+        let (y, cache) = layernorm_forward(&x, &gamma, &beta).unwrap();
+        for r in 0..2 {
+            for c in 0..8 {
+                let expected = cache.normalized.get(r, c) * 2.0 + 1.0;
+                assert!((y.get(r, c) - expected).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_shape_errors() {
+        let x = Matrix::zeros(2, 4);
+        assert!(layernorm_forward(&x, &[1.0; 3], &[0.0; 4]).is_err());
+        assert!(layernorm_forward(&x, &[1.0; 4], &[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_difference() {
+        let mut rng = DataRng::new(4);
+        let x = rng.normal_matrix(3, 6, 0.0, 1.0);
+        let gamma: Vec<f32> = (0..6).map(|i| 0.5 + 0.1 * i as f32).collect();
+        let beta: Vec<f32> = (0..6).map(|i| 0.05 * i as f32).collect();
+        let dy = rng.normal_matrix(3, 6, 0.0, 1.0);
+
+        let (_, cache) = layernorm_forward(&x, &gamma, &beta).unwrap();
+        let grads = layernorm_backward(&dy, &cache, &gamma).unwrap();
+
+        // Scalar loss L = sum(dy .* y); check dL/dx numerically.
+        let loss = |xm: &Matrix| -> f32 {
+            let (y, _) = layernorm_forward(xm, &gamma, &beta).unwrap();
+            y.hadamard(&dy).unwrap().sum()
+        };
+        let h = 1e-2_f32;
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (2, 5)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + h);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - h);
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            let an = grads.dx.get(r, c);
+            assert!((fd - an).abs() < 2e-2, "({r},{c}): fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_bias_grads() {
+        let x = DataRng::new(5).normal_matrix(4, 3, 0.0, 1.0);
+        let gamma = vec![1.0; 3];
+        let beta = vec![0.0; 3];
+        let (_, cache) = layernorm_forward(&x, &gamma, &beta).unwrap();
+        let dy = Matrix::full(4, 3, 1.0);
+        let grads = layernorm_backward(&dy, &cache, &gamma).unwrap();
+        // dbeta = column sums of dy = 4 each.
+        for &db in &grads.dbeta {
+            assert!((db - 4.0).abs() < 1e-6);
+        }
+        // dgamma = column sums of normalized; each column of normalized sums
+        // over rows of zero-mean rows — not necessarily zero per column, but
+        // total over all entries is ~0.
+        let total: f32 = grads.dgamma.iter().sum();
+        assert!(total.abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_backward_shape_errors() {
+        let x = Matrix::zeros(2, 4);
+        let (_, cache) = layernorm_forward(&x, &[1.0; 4], &[0.0; 4]).unwrap();
+        assert!(layernorm_backward(&Matrix::zeros(2, 3), &cache, &[1.0; 4]).is_err());
+        assert!(layernorm_backward(&Matrix::zeros(2, 4), &cache, &[1.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Symmetric INT8 quantization.
+//!
+//! The paper quantizes all look-up tables to INT8 before placing them in PIM
+//! local memory ("we conduct INT8 quantization on the LUTs, which reports
+//! ≤ 0.1 % accuracy drop", §6.3). [`QuantMatrix`] is the storage format the
+//! simulator transfers and the PEs gather from; accumulation happens in i32
+//! and is dequantized once per output element, mirroring the UPMEM kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Matrix, Result, TensorError};
+
+/// A symmetrically quantized INT8 matrix with a single `f32` scale.
+///
+/// `value ≈ code as f32 * scale`, with codes clamped to `[-127, 127]`
+/// (symmetric, no zero-point).
+///
+/// # Example
+///
+/// ```rust
+/// use pimdl_tensor::{Matrix, quant::QuantMatrix};
+///
+/// let m = Matrix::from_vec(1, 3, vec![-1.0, 0.5, 1.0])?;
+/// let q = QuantMatrix::quantize(&m);
+/// let back = q.dequantize();
+/// assert!(back.approx_eq(&m, 0.01));
+/// # Ok::<(), pimdl_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    codes: Vec<i8>,
+}
+
+impl QuantMatrix {
+    /// Quantizes an `f32` matrix with a scale chosen from its max-abs value.
+    ///
+    /// An all-zero (or empty) matrix quantizes with scale `1.0`.
+    pub fn quantize(m: &Matrix) -> Self {
+        let max_abs = m.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        Self::quantize_with_scale(m, scale)
+    }
+
+    /// Quantizes with an explicit positive scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0` or is not finite.
+    pub fn quantize_with_scale(m: &Matrix, scale: f32) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale must be positive and finite"
+        );
+        let codes = m
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            scale,
+            codes,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw INT8 code at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn code(&self, row: usize, col: usize) -> i8 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.codes[row * self.cols + col]
+    }
+
+    /// All codes in row-major order.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Dequantized value at `(row, col)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f32 {
+        self.code(row, col) as f32 * self.scale
+    }
+
+    /// Reconstructs the full `f32` matrix.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.value(r, c))
+    }
+
+    /// Storage footprint in bytes (codes only; the scale is amortized).
+    pub fn size_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Root-mean-square quantization error against the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `original` has a different
+    /// shape.
+    pub fn rms_error(&self, original: &Matrix) -> Result<f32> {
+        if original.shape() != self.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "rms_error",
+                lhs: original.shape(),
+                rhs: self.shape(),
+            });
+        }
+        if self.codes.is_empty() {
+            return Ok(0.0);
+        }
+        let diff = self.dequantize().sub(original)?;
+        Ok((diff.frobenius_sq() / self.codes.len() as f32).sqrt())
+    }
+}
+
+/// Number of bytes one element of the given datatype occupies.
+///
+/// This is the datatype vocabulary of the platform configs (FP32 host
+/// baselines, FP16 HBM-PIM, BF16 AiM, INT8 LUTs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 16-bit IEEE float (HBM-PIM MACs).
+    F16,
+    /// bfloat16 (AiM MACs).
+    Bf16,
+    /// Signed 8-bit integer (quantized LUTs, index matrices with CT ≤ 128).
+    I8,
+    /// Signed 32-bit integer accumulators.
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::Bf16 => 2,
+            DType::I8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DType::F32 => "fp32",
+            DType::F16 => "fp16",
+            DType::Bf16 => "bf16",
+            DType::I8 => "int8",
+            DType::I32 => "int32",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DataRng;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let m = DataRng::new(1).uniform_matrix(8, 8, -3.0, 3.0);
+        let q = QuantMatrix::quantize(&m);
+        let back = q.dequantize();
+        let half_step = q.scale() / 2.0 + 1e-6;
+        for (a, b) in m.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= half_step, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let m = Matrix::zeros(3, 3);
+        let q = QuantMatrix::quantize(&m);
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.dequantize().approx_eq(&m, 0.0));
+        assert_eq!(q.rms_error(&m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn max_value_maps_to_127() {
+        let m = Matrix::from_vec(1, 2, vec![2.54, -2.54]).unwrap();
+        let q = QuantMatrix::quantize(&m);
+        assert_eq!(q.code(0, 0), 127);
+        assert_eq!(q.code(0, 1), -127);
+    }
+
+    #[test]
+    fn explicit_scale_clamps() {
+        let m = Matrix::from_vec(1, 2, vec![1000.0, -1000.0]).unwrap();
+        let q = QuantMatrix::quantize_with_scale(&m, 1.0);
+        assert_eq!(q.code(0, 0), 127);
+        assert_eq!(q.code(0, 1), -127);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn bad_scale_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = QuantMatrix::quantize_with_scale(&m, 0.0);
+    }
+
+    #[test]
+    fn rms_error_small_for_smooth_data() {
+        let m = DataRng::new(2).normal_matrix(16, 16, 0.0, 1.0);
+        let q = QuantMatrix::quantize(&m);
+        let rms = q.rms_error(&m).unwrap();
+        // For data in roughly [-4, 4], scale ≈ 4/127 ⇒ RMS ≲ scale.
+        assert!(rms < q.scale(), "rms={rms} scale={}", q.scale());
+    }
+
+    #[test]
+    fn rms_error_shape_mismatch() {
+        let m = Matrix::zeros(2, 2);
+        let q = QuantMatrix::quantize(&m);
+        assert!(q.rms_error(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn size_bytes_is_element_count() {
+        let q = QuantMatrix::quantize(&Matrix::zeros(4, 5));
+        assert_eq!(q.size_bytes(), 20);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::Bf16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::Bf16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,278 @@
+//! Algorithm 1: the auto-tuning workflow.
+//!
+//! For each legal sub-LUT tiling pair the tuner estimates the partition
+//! overhead (Eq. 3), searches the micro-kernel space for the fastest kernel
+//! (`KernelSearch`), and keeps the mapping with the minimum predicted total
+//! latency. Candidate sub-LUT pairs are scored in parallel.
+
+use pimdl_sim::config::PlatformConfig;
+use pimdl_sim::{LutWorkload, Mapping};
+
+use crate::model::{analytical_cost, AnalyticalBreakdown};
+use crate::space::{kernel_candidates, mapping_of, sub_lut_candidates};
+use crate::{Result, TuneError};
+
+/// Options controlling the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Score sub-LUT candidates on worker threads.
+    pub parallel: bool,
+    /// Upper bound on micro-kernel candidates evaluated per sub-LUT pair
+    /// (0 = unlimited). Large workloads have millions of candidates; the
+    /// bound keeps Algorithm 1 at the paper's "~1 s/model" scale.
+    pub max_kernels_per_pair: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            parallel: true,
+            max_kernels_per_pair: 50_000,
+        }
+    }
+}
+
+/// Outcome of an auto-tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningResult {
+    /// The best mapping found.
+    pub mapping: Mapping,
+    /// Analytical prediction for the best mapping.
+    pub predicted: AnalyticalBreakdown,
+    /// Predicted end-to-end latency (seconds).
+    pub predicted_total_s: f64,
+    /// Number of candidate mappings scored.
+    pub evaluated: usize,
+}
+
+/// Runs Algorithm 1 with default options.
+///
+/// # Errors
+///
+/// Returns [`TuneError::NoLegalMapping`] if the workload cannot be evenly
+/// partitioned over the platform's PEs.
+pub fn tune(platform: &PlatformConfig, workload: &LutWorkload) -> Result<TuningResult> {
+    tune_with_options(platform, workload, TuneOptions::default())
+}
+
+/// Runs Algorithm 1 with explicit options.
+///
+/// # Errors
+///
+/// Returns [`TuneError::NoLegalMapping`] if no candidate validates.
+pub fn tune_with_options(
+    platform: &PlatformConfig,
+    workload: &LutWorkload,
+    options: TuneOptions,
+) -> Result<TuningResult> {
+    let pairs = sub_lut_candidates(workload, platform);
+    if pairs.is_empty() {
+        return Err(TuneError::NoLegalMapping {
+            detail: format!(
+                "workload ({}, {}, {}, {}) cannot satisfy Eq. 5 on {} PEs",
+                workload.n, workload.cb, workload.ct, workload.f, platform.num_pes
+            ),
+        });
+    }
+
+    let score_pair = |&(n_s, f_s): &(usize, usize)| -> (Option<(Mapping, AnalyticalBreakdown)>, usize) {
+        let mut best: Option<(Mapping, AnalyticalBreakdown)> = None;
+        let mut evaluated = 0;
+        let mut kernels = kernel_candidates(workload, platform, n_s, f_s);
+        if options.max_kernels_per_pair > 0 && kernels.len() > options.max_kernels_per_pair {
+            // Thin uniformly: a prefix truncation would drop everything the
+            // enumeration generates last (the large-tile candidates).
+            let stride = kernels.len().div_ceil(options.max_kernels_per_pair);
+            kernels = kernels.into_iter().step_by(stride).collect();
+        }
+        for kernel in kernels {
+            let mapping = mapping_of(n_s, f_s, kernel);
+            let Ok(pred) = analytical_cost(platform, workload, &mapping) else {
+                continue;
+            };
+            evaluated += 1;
+            let better = match &best {
+                None => true,
+                Some((_, b)) => pred.total_s() < b.total_s(),
+            };
+            if better {
+                best = Some((mapping, pred));
+            }
+        }
+        (best, evaluated)
+    };
+
+    let results: Vec<(Option<(Mapping, AnalyticalBreakdown)>, usize)> = if options.parallel {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|pair| scope.spawn(move |_| score_pair(pair)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tuner worker panicked"))
+                .collect()
+        })
+        .expect("tuner scope panicked")
+    } else {
+        pairs.iter().map(score_pair).collect()
+    };
+
+    let mut evaluated = 0;
+    let mut best: Option<(Mapping, AnalyticalBreakdown)> = None;
+    for (candidate, count) in results {
+        evaluated += count;
+        if let Some((m, p)) = candidate {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => p.total_s() < b.total_s(),
+            };
+            if better {
+                best = Some((m, p));
+            }
+        }
+    }
+
+    let (mapping, predicted) = best.ok_or_else(|| TuneError::NoLegalMapping {
+        detail: format!(
+            "all {evaluated} scored candidates were illegal for ({}, {}, {}, {})",
+            workload.n, workload.cb, workload.ct, workload.f
+        ),
+    })?;
+    Ok(TuningResult {
+        mapping,
+        predicted,
+        predicted_total_s: predicted.total_s(),
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimdl_sim::cost::estimate_cost;
+    use pimdl_sim::LoadScheme;
+
+    fn platform(pes: usize) -> PlatformConfig {
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = pes;
+        p
+    }
+
+    #[test]
+    fn tune_finds_a_legal_mapping() {
+        let p = platform(16);
+        let w = LutWorkload::new(64, 8, 16, 32).unwrap();
+        let result = tune(&p, &w).unwrap();
+        result.mapping.validate(&w, &p).unwrap();
+        assert!(result.predicted_total_s > 0.0);
+        assert!(result.evaluated > 0);
+    }
+
+    #[test]
+    fn tuned_mapping_is_near_optimal_under_simulation() {
+        // The §6.6 claim in miniature: the mapping the tuner picks (by
+        // analytical score) must be within a few percent of the best
+        // simulated mapping over the same space.
+        let p = platform(16);
+        let w = LutWorkload::new(64, 8, 16, 32).unwrap();
+        let result = tune(&p, &w).unwrap();
+        let tuned_sim = estimate_cost(&p, &w, &result.mapping)
+            .unwrap()
+            .time
+            .total_s();
+
+        // Exhaustively find the simulated optimum.
+        let mut best_sim = f64::INFINITY;
+        for (n_s, f_s) in crate::space::sub_lut_candidates(&w, &p) {
+            for k in crate::space::kernel_candidates(&w, &p, n_s, f_s) {
+                let m = crate::space::mapping_of(n_s, f_s, k);
+                if let Ok(c) = estimate_cost(&p, &w, &m) {
+                    best_sim = best_sim.min(c.time.total_s());
+                }
+            }
+        }
+        let degradation = tuned_sim / best_sim;
+        assert!(
+            degradation < 1.10,
+            "tuner degradation {degradation} (paper reports ≤ 6 %)"
+        );
+    }
+
+    #[test]
+    fn tune_rejects_impossible_platform() {
+        let p = platform(7); // prime PE count, cannot split 64×32 evenly...
+        let w = LutWorkload::new(64, 8, 16, 33).unwrap();
+        assert!(matches!(
+            tune(&p, &w),
+            Err(TuneError::NoLegalMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let p = platform(16);
+        let w = LutWorkload::new(64, 8, 16, 32).unwrap();
+        let a = tune_with_options(
+            &p,
+            &w,
+            TuneOptions {
+                parallel: true,
+                max_kernels_per_pair: 0,
+            },
+        )
+        .unwrap();
+        let b = tune_with_options(
+            &p,
+            &w,
+            TuneOptions {
+                parallel: false,
+                max_kernels_per_pair: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(a.evaluated, b.evaluated);
+        assert!((a.predicted_total_s - b.predicted_total_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kernel_cap_limits_work() {
+        let p = platform(16);
+        let w = LutWorkload::new(64, 8, 16, 32).unwrap();
+        let capped = tune_with_options(
+            &p,
+            &w,
+            TuneOptions {
+                parallel: false,
+                max_kernels_per_pair: 10,
+            },
+        )
+        .unwrap();
+        let full = tune_with_options(
+            &p,
+            &w,
+            TuneOptions {
+                parallel: false,
+                max_kernels_per_pair: 0,
+            },
+        )
+        .unwrap();
+        assert!(capped.evaluated <= full.evaluated);
+        assert!(full.predicted_total_s <= capped.predicted_total_s + 1e-15);
+    }
+
+    #[test]
+    fn tuner_prefers_cheap_load_scheme_when_wram_is_tiny() {
+        // With WRAM too small for static tables, the winner must be a
+        // coarse/fine scheme.
+        let mut p = platform(16);
+        p.wram_bytes = 2048;
+        let w = LutWorkload::new(64, 8, 64, 32).unwrap(); // CB·CT·F_s ≥ 8·64·2 = 1024.. make static infeasible for big f_s
+        let result = tune(&p, &w).unwrap();
+        // Whatever wins, it must fit.
+        assert!(result.mapping.wram_usage(&w) <= p.wram_bytes);
+        if matches!(result.mapping.kernel.load_scheme, LoadScheme::Static) {
+            assert!(w.cb * w.ct * result.mapping.f_stile <= p.wram_bytes);
+        }
+    }
+}

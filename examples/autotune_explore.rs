@@ -1,0 +1,118 @@
+//! Explores the LUT-kernel mapping space (the Fig. 13 scenario): runs the
+//! auto-tuner on BERT-large's FFN1 workload, then sweeps load schemes and
+//! traversal orders around the winner to show the trade-offs the tuner
+//! navigates.
+//!
+//! ```text
+//! cargo run --release --example autotune_explore
+//! ```
+
+use pimdl::sim::cost::estimate_cost;
+use pimdl::sim::{LoadScheme, LutWorkload, PlatformConfig, TraversalOrder};
+use pimdl::tuner::model::analytical_cost;
+use pimdl::tuner::space::{kernel_candidates, mapping_of, sub_lut_candidates};
+use pimdl::tuner::tune;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = PlatformConfig::upmem();
+    // BERT-large FFN1 at batch 64 x seq 512, V = 4: (N, CB, CT, F).
+    let workload = LutWorkload::new(32768, 256, 16, 4096)?;
+    println!(
+        "workload: N={} CB={} CT={} F={} on {} PEs ({} legal sub-LUT tilings)\n",
+        workload.n,
+        workload.cb,
+        workload.ct,
+        workload.f,
+        platform.num_pes,
+        sub_lut_candidates(&workload, &platform).len()
+    );
+
+    let started = std::time::Instant::now();
+    let tuned = tune(&platform, &workload)?;
+    println!(
+        "Algorithm 1 searched {} candidates in {:.2} s",
+        tuned.evaluated,
+        started.elapsed().as_secs_f64()
+    );
+    let m = tuned.mapping;
+    println!(
+        "winner: N_s={} F_s={} | N_m={} F_m={} CB_m={} | {} | {}",
+        m.n_stile,
+        m.f_stile,
+        m.kernel.n_mtile,
+        m.kernel.f_mtile,
+        m.kernel.cb_mtile,
+        m.kernel.traversal,
+        m.kernel.load_scheme.name()
+    );
+    let sim = estimate_cost(&platform, &workload, &m)?;
+    println!(
+        "predicted {:.2} ms | simulated {:.2} ms (model error {:.1} %)\n",
+        tuned.predicted_total_s * 1e3,
+        sim.time.total_s() * 1e3,
+        100.0 * (tuned.predicted_total_s - sim.time.total_s()).abs() / sim.time.total_s()
+    );
+
+    // Ablation 1: swap the load scheme, keep everything else.
+    println!("load-scheme ablation at the winning tiling:");
+    for scheme in [
+        LoadScheme::Static,
+        LoadScheme::CoarseGrain {
+            cb_load: m.kernel.cb_mtile.min(4),
+            f_load: m.kernel.f_mtile.min(4),
+        },
+        LoadScheme::FineGrain {
+            f_load: m.kernel.f_mtile.min(8),
+            threads: 16,
+        },
+    ] {
+        let mut variant = m;
+        variant.kernel.load_scheme = scheme;
+        match estimate_cost(&platform, &workload, &variant) {
+            Ok(c) => println!(
+                "  {:12} {:9.2} ms (WRAM {:5} KiB)",
+                scheme.name(),
+                c.time.total_s() * 1e3,
+                c.wram_bytes / 1024
+            ),
+            Err(e) => println!("  {:12} illegal: {e}", scheme.name()),
+        }
+    }
+
+    // Ablation 2: traversal orders.
+    println!("\ntraversal-order ablation:");
+    for order in TraversalOrder::all() {
+        let mut variant = m;
+        variant.kernel.traversal = order;
+        if let Ok(c) = estimate_cost(&platform, &workload, &variant) {
+            println!("  {:6} {:9.2} ms", order.to_string(), c.time.total_s() * 1e3);
+        }
+    }
+
+    // Ablation 3: model-vs-simulator error across a slice of the space.
+    let mut errors = Vec::new();
+    for kernel in kernel_candidates(&workload, &platform, m.n_stile, m.f_stile)
+        .into_iter()
+        .step_by(97)
+    {
+        let candidate = mapping_of(m.n_stile, m.f_stile, kernel);
+        if let (Ok(pred), Ok(meas)) = (
+            analytical_cost(&platform, &workload, &candidate),
+            estimate_cost(&platform, &workload, &candidate),
+        ) {
+            errors.push(
+                (pred.total_s() - meas.time.total_s()).abs() / meas.time.total_s(),
+            );
+        }
+    }
+    let avg = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+    let max = errors.iter().copied().fold(0.0_f64, f64::max);
+    println!(
+        "\nanalytical-model error over {} sampled mappings: avg {:.2} %, max {:.2} % \
+         (paper: avg 3.44 %, max 13.73 %)",
+        errors.len(),
+        100.0 * avg,
+        100.0 * max
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # PIM-DL — LUT-NN inference on commodity DRAM-PIM simulators
+//!
+//! Facade crate for the PIM-DL reproduction (ASPLOS 2024). Re-exports the
+//! workspace crates under one roof so examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense matrices, GEMM, INT8 quantization (substrate).
+//! * [`nn`] — trainable transformer with manual backprop + synthetic
+//!   calibration datasets (substrate).
+//! * [`lutnn`] — the LUT-NN paradigm: codebooks, CCS, look-up tables, and
+//!   the eLUT-NN calibration algorithm (the paper's core contribution).
+//! * [`sim`] — UPMEM PIM-DIMM / HBM-PIM / AiM simulator with functional PE
+//!   micro-kernels and cycle/energy accounting (substrate).
+//! * [`tuner`] — the analytical dataflow model and Algorithm-1 auto-tuner.
+//! * [`engine`] — end-to-end transformer serving on DRAM-PIM platforms plus
+//!   CPU/GPU/PIM-GEMM baselines.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use pimdl::lutnn::pq::ProductQuantizer;
+//! use pimdl::lutnn::lut::LutTable;
+//! use pimdl::tensor::{gemm, rng::DataRng};
+//!
+//! // Convert one linear layer to LUT-NN and run it.
+//! let mut rng = DataRng::new(0);
+//! let calib_acts = rng.normal_matrix(256, 16, 0.0, 1.0);
+//! let weight = rng.normal_matrix(16, 8, 0.0, 0.5);
+//!
+//! let pq = ProductQuantizer::fit(&calib_acts, 2, 16, 15, &mut rng)?;
+//! let lut = LutTable::build(&pq, &weight)?;
+//!
+//! let x = rng.normal_matrix(4, 16, 0.0, 1.0);
+//! let approx = lut.lookup(&pq.encode(&x)?)?;
+//! let exact = gemm::matmul(&x, &weight)?;
+//! assert!(approx.sub(&exact)?.max_abs() < 2.0); // centroid approximation
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pimdl_engine as engine;
+pub use pimdl_lutnn as lutnn;
+pub use pimdl_nn as nn;
+pub use pimdl_sim as sim;
+pub use pimdl_tensor as tensor;
+pub use pimdl_tuner as tuner;

@@ -1,0 +1,88 @@
+//! Deployment artifact tests: a converted LUT-NN model (codebooks + INT8
+//! LUTs + norms + head) round-trips through serde and keeps producing
+//! identical predictions — the artifact the converter ships to a PIM
+//! serving host.
+
+use pimdl::lutnn::calibrate::{convert_kmeans_only};
+use pimdl::lutnn::convert::LutClassifier;
+use pimdl::nn::data::{nlp_dataset, NlpTask};
+use pimdl::nn::embedding::SequenceInput;
+use pimdl::nn::train::{train, TrainConfig};
+use pimdl::nn::transformer::{InputKind, ModelConfig, TransformerClassifier};
+use pimdl::tensor::rng::DataRng;
+
+fn converted_model() -> (LutClassifier, Vec<SequenceInput>) {
+    let mut rng = DataRng::new(77);
+    let ds = nlp_dataset(NlpTask::Majority, 120, 12, 6, &mut rng);
+    let cfg = ModelConfig {
+        input: InputKind::Tokens { vocab: 12 },
+        hidden: 16,
+        heads: 2,
+        layers: 2,
+        ffn_dim: 32,
+        max_seq: 6,
+        classes: 3,
+    };
+    let mut model = TransformerClassifier::new(&cfg, &mut rng);
+    train(
+        &mut model,
+        &ds,
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 3e-3,
+            schedule: Default::default(),
+            seed: 1,
+        },
+    )
+    .unwrap();
+    let lut_model = convert_kmeans_only(&model, &ds, 4, 8, 10, 2048, &mut rng).unwrap();
+    (lut_model, ds.inputs[..10].to_vec())
+}
+
+#[test]
+fn lut_model_roundtrips_through_json() {
+    let (model, inputs) = converted_model();
+    let json = serde_json::to_string(&model).expect("serialize");
+    let restored: LutClassifier = serde_json::from_str(&json).expect("deserialize");
+
+    assert_eq!(restored.hidden(), model.hidden());
+    assert_eq!(restored.total_lut_bytes(), model.total_lut_bytes());
+    for input in &inputs {
+        for int8 in [false, true] {
+            let a = model.predict(input, int8).unwrap();
+            let b = restored.predict(input, int8).unwrap();
+            assert_eq!(a, b, "prediction drift after round-trip (int8={int8})");
+        }
+    }
+}
+
+#[test]
+fn artifact_is_compact() {
+    // The INT8 LUTs dominate the artifact; its JSON should be within a
+    // small factor of the raw LUT bytes (sanity check that we do not ship
+    // caches or gradients... gradients DO ship with Param today for the
+    // norms/head — they are zero vectors; verify they do not explode size).
+    let (model, _) = converted_model();
+    let json = serde_json::to_string(&model).expect("serialize");
+    let lut_bytes = model.total_lut_bytes();
+    assert!(lut_bytes > 0);
+    // JSON of i8 arrays costs ~4 bytes per entry plus structure; allow 64x.
+    assert!(
+        json.len() < lut_bytes * 64,
+        "artifact {} bytes for {} LUT bytes",
+        json.len(),
+        lut_bytes
+    );
+}
+
+#[test]
+fn tampered_artifact_fails_closed() {
+    let (model, inputs) = converted_model();
+    let mut json = serde_json::to_string(&model).expect("serialize");
+    // Corrupt the structure (truncate) — must error, not mis-deserialize.
+    json.truncate(json.len() / 2);
+    let result: Result<LutClassifier, _> = serde_json::from_str(&json);
+    assert!(result.is_err());
+    let _ = inputs;
+}

@@ -1,0 +1,156 @@
+//! Failure-injection tests: corrupt inputs, degenerate configurations, and
+//! poisoned data must fail loudly (typed errors or documented panics), not
+//! silently produce garbage.
+
+use pimdl::lutnn::lut::LutTable;
+use pimdl::lutnn::pq::{IndexMatrix, ProductQuantizer};
+use pimdl::sim::cost::estimate_cost;
+use pimdl::sim::exec::{run_lut_kernel, LutKernelData};
+use pimdl::sim::mapping::MicroKernel;
+use pimdl::sim::{LoadScheme, LutWorkload, Mapping, PlatformConfig, TraversalOrder};
+use pimdl::tensor::rng::DataRng;
+use pimdl::tensor::Matrix;
+use pimdl::tuner::tune;
+
+#[test]
+fn nan_activations_are_rejected_by_conversion() {
+    let mut rng = DataRng::new(0);
+    let mut acts = rng.normal_matrix(32, 8, 0.0, 1.0);
+    acts.set(3, 5, f32::NAN);
+    let err = ProductQuantizer::fit(&acts, 2, 4, 10, &mut rng).unwrap_err();
+    assert!(err.to_string().contains("non-finite"), "{err}");
+
+    let mut acts_inf = rng.normal_matrix(32, 8, 0.0, 1.0);
+    acts_inf.set(0, 0, f32::INFINITY);
+    assert!(ProductQuantizer::fit(&acts_inf, 2, 4, 10, &mut rng).is_err());
+}
+
+#[test]
+fn out_of_range_indices_fail_closed_everywhere() {
+    let mut rng = DataRng::new(1);
+    let acts = rng.normal_matrix(64, 8, 0.0, 1.0);
+    let weight = rng.normal_matrix(8, 4, 0.0, 1.0);
+    let pq = ProductQuantizer::fit(&acts, 2, 4, 10, &mut rng).unwrap();
+    let lut = LutTable::build(&pq, &weight).unwrap();
+
+    // Corrupt an index beyond CT.
+    let corrupted = IndexMatrix::from_vec(2, pq.cb(), vec![200; 2 * pq.cb()]).unwrap();
+    assert!(lut.lookup(&corrupted).is_err());
+    assert!(lut.quantize().lookup(&corrupted).is_err());
+    assert!(pq.decode(&corrupted).is_err());
+
+    // The simulator also rejects them.
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 4;
+    let w = LutWorkload::new(2, pq.cb(), pq.ct(), 4).unwrap();
+    let mapping = Mapping {
+        n_stile: 1,
+        f_stile: 2,
+        kernel: MicroKernel {
+            n_mtile: 1,
+            f_mtile: 2,
+            cb_mtile: 2,
+            traversal: TraversalOrder::Nfc,
+            load_scheme: LoadScheme::Static,
+        },
+    };
+    let qlut = lut.quantize();
+    let bad = vec![200u16; 2 * pq.cb()];
+    let result = run_lut_kernel(
+        &platform,
+        &w,
+        &mapping,
+        LutKernelData {
+            indices: &bad,
+            table: qlut.table().codes(),
+            scale: 1.0,
+        },
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn truncated_operands_are_detected() {
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 4;
+    let w = LutWorkload::new(8, 4, 4, 8).unwrap();
+    let mapping = Mapping {
+        n_stile: 4,
+        f_stile: 4,
+        kernel: MicroKernel {
+            n_mtile: 4,
+            f_mtile: 4,
+            cb_mtile: 4,
+            traversal: TraversalOrder::Nfc,
+            load_scheme: LoadScheme::Static,
+        },
+    };
+    let indices = vec![0u16; 8 * 4];
+    let table = vec![1i8; 4 * 4 * 8];
+    // Drop the last element of each operand in turn.
+    assert!(run_lut_kernel(
+        &platform,
+        &w,
+        &mapping,
+        LutKernelData {
+            indices: &indices[..indices.len() - 1],
+            table: &table,
+            scale: 1.0
+        }
+    )
+    .is_err());
+    assert!(run_lut_kernel(
+        &platform,
+        &w,
+        &mapping,
+        LutKernelData {
+            indices: &indices,
+            table: &table[..table.len() - 1],
+            scale: 1.0
+        }
+    )
+    .is_err());
+}
+
+#[test]
+fn degenerate_platforms_do_not_produce_nonsense() {
+    // Near-zero bandwidth: latency explodes but stays finite and positive.
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 4;
+    platform.host_transfer.to_pim_peak_gbps = 1e-12;
+    platform.host_transfer.broadcast_peak_gbps = 1e-12;
+    platform.host_transfer.from_pim_peak_gbps = 1e-12;
+    let w = LutWorkload::new(8, 4, 4, 8).unwrap();
+    let mapping = Mapping {
+        n_stile: 4,
+        f_stile: 4,
+        kernel: MicroKernel {
+            n_mtile: 4,
+            f_mtile: 4,
+            cb_mtile: 4,
+            traversal: TraversalOrder::Nfc,
+            load_scheme: LoadScheme::Static,
+        },
+    };
+    let report = estimate_cost(&platform, &w, &mapping).unwrap();
+    assert!(report.time.total_s().is_finite());
+    assert!(report.time.total_s() > 0.0);
+}
+
+#[test]
+fn impossible_workloads_fail_with_typed_errors() {
+    // Prime dimensions that cannot satisfy Eq. 5 on a power-of-two PE count.
+    let platform = PlatformConfig::upmem(); // 1024 PEs
+    let w = LutWorkload::new(7, 3, 4, 11).unwrap();
+    let err = tune(&platform, &w).unwrap_err();
+    assert!(err.to_string().contains("no legal mapping"), "{err}");
+}
+
+#[test]
+fn corrupted_quantized_matrix_roundtrip_is_bounded() {
+    // Even adversarial i8 codes dequantize to bounded values (scale × 127).
+    let m = Matrix::full(4, 4, 3.0);
+    let q = pimdl::tensor::quant::QuantMatrix::quantize(&m);
+    let back = q.dequantize();
+    assert!(back.max_abs() <= q.scale() * 127.0 + 1e-6);
+}

@@ -1,0 +1,156 @@
+//! Cross-validation of the three execution layers of the simulator:
+//! the closed-form cost model (`pimdl_sim::cost`), the direct functional
+//! executor (`pimdl_sim::exec`), and the compiled PIM binary interpreted
+//! per PE (`pimdl_sim::isa` + `pimdl_sim::interp`). All three must agree on
+//! results and on access accounting.
+
+use pimdl::sim::exec::{run_lut_kernel, LutKernelData};
+use pimdl::sim::interp::{interpret, PeOperands};
+use pimdl::sim::isa::compile;
+use pimdl::sim::mapping::MicroKernel;
+use pimdl::sim::{LoadScheme, LutWorkload, Mapping, PlatformConfig, TraversalOrder};
+use pimdl::tensor::rng::DataRng;
+use pimdl::tensor::Matrix;
+
+fn setup() -> (PlatformConfig, LutWorkload, Vec<u16>, Vec<i8>) {
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 8;
+    let w = LutWorkload::new(32, 4, 8, 16).unwrap();
+    let mut rng = DataRng::new(3);
+    let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
+    let table: Vec<i8> = (0..w.cb * w.ct * w.f)
+        .map(|_| (rng.index(255) as i32 - 127) as i8)
+        .collect();
+    (platform, w, indices, table)
+}
+
+fn mapping(scheme: LoadScheme) -> Mapping {
+    Mapping {
+        n_stile: 8,
+        f_stile: 8,
+        kernel: MicroKernel {
+            n_mtile: 4,
+            f_mtile: 4,
+            cb_mtile: 2,
+            traversal: TraversalOrder::Ncf,
+            load_scheme: scheme,
+        },
+    }
+}
+
+/// Extracts PE `(group, member)`'s index tile and LUT tile from the global
+/// operands, in the layout the interpreter expects.
+fn pe_operands(
+    w: &LutWorkload,
+    m: &Mapping,
+    indices: &[u16],
+    table: &[i8],
+    group: usize,
+    member: usize,
+) -> (Vec<u16>, Vec<i8>) {
+    let idx_tile: Vec<u16> = (0..m.n_stile)
+        .flat_map(|r| {
+            let global_r = group * m.n_stile + r;
+            (0..w.cb).map(move |c| (global_r, c))
+        })
+        .map(|(r, c)| indices[r * w.cb + c])
+        .collect();
+    let col0 = member * m.f_stile;
+    let mut lut_tile = Vec::with_capacity(w.cb * w.ct * m.f_stile);
+    for cb in 0..w.cb {
+        for ct in 0..w.ct {
+            let base = (cb * w.ct + ct) * w.f + col0;
+            lut_tile.extend_from_slice(&table[base..base + m.f_stile]);
+        }
+    }
+    (idx_tile, lut_tile)
+}
+
+#[test]
+fn interpreted_pim_binary_matches_functional_executor() {
+    let (platform, w, indices, table) = setup();
+    for scheme in [
+        LoadScheme::Static,
+        LoadScheme::CoarseGrain {
+            cb_load: 2,
+            f_load: 2,
+        },
+        LoadScheme::FineGrain {
+            f_load: 4,
+            threads: 8,
+        },
+    ] {
+        let m = mapping(scheme);
+        let (full_out, _) = run_lut_kernel(
+            &platform,
+            &w,
+            &m,
+            LutKernelData {
+                indices: &indices,
+                table: &table,
+                scale: 0.02,
+            },
+        )
+        .unwrap();
+
+        let program = compile(&w, &m).unwrap();
+        let mut assembled = Matrix::zeros(w.n, w.f);
+        for group in 0..m.groups(&w) {
+            for member in 0..m.pes_per_group(&w) {
+                let (idx_tile, lut_tile) =
+                    pe_operands(&w, &m, &indices, &table, group, member);
+                let (pe_out, stats) = interpret(
+                    &program,
+                    &platform,
+                    PeOperands {
+                        indices: &idx_tile,
+                        lut: &lut_tile,
+                        scale: 0.02,
+                    },
+                )
+                .unwrap();
+                assert!(stats.time_s > 0.0);
+                assembled
+                    .set_submatrix(group * m.n_stile, member * m.f_stile, &pe_out)
+                    .unwrap();
+            }
+        }
+        assert!(
+            assembled.approx_eq(&full_out, 1e-4),
+            "{}: max diff {}",
+            scheme.name(),
+            assembled.sub(&full_out).unwrap().max_abs()
+        );
+    }
+}
+
+#[test]
+fn interpreted_time_is_uniform_across_pes() {
+    // Every PE runs the same program over the same-shaped tile, so (with
+    // deterministic schemes) execution time is identical — the L3 load
+    // balance of the partition, observed at the instruction level.
+    let (platform, w, indices, table) = setup();
+    let m = mapping(LoadScheme::Static);
+    let program = compile(&w, &m).unwrap();
+    let mut times = Vec::new();
+    for group in 0..m.groups(&w) {
+        for member in 0..m.pes_per_group(&w) {
+            let (idx_tile, lut_tile) = pe_operands(&w, &m, &indices, &table, group, member);
+            let (_, stats) = interpret(
+                &program,
+                &platform,
+                PeOperands {
+                    indices: &idx_tile,
+                    lut: &lut_tile,
+                    scale: 1.0,
+                },
+            )
+            .unwrap();
+            times.push(stats.time_s);
+        }
+    }
+    let first = times[0];
+    for t in &times {
+        assert!((t - first).abs() < 1e-15, "{t} vs {first}");
+    }
+}
