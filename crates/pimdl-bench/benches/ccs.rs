@@ -24,10 +24,7 @@ fn bench_ccs(c: &mut Criterion) {
             b.iter(|| pq.encode(black_box(&x)).expect("encode"))
         });
         group.bench_with_input(BenchmarkId::new("inner_product", ct), &ct, |b, _| {
-            b.iter(|| {
-                pq.encode_via_inner_product(black_box(&x))
-                    .expect("encode")
-            })
+            b.iter(|| pq.encode_via_inner_product(black_box(&x)).expect("encode"))
         });
     }
 

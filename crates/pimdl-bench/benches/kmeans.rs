@@ -16,9 +16,7 @@ fn bench_kmeans(c: &mut Criterion) {
         let mut rng = DataRng::new(1);
         let points = rng.normal_matrix(n, 4, 0.0, 1.0);
         group.bench_with_input(BenchmarkId::new("lloyd_k16", n), &n, |b, _| {
-            b.iter(|| {
-                kmeans(black_box(&points), 16, 15, &mut DataRng::new(2)).expect("kmeans")
-            })
+            b.iter(|| kmeans(black_box(&points), 16, 15, &mut DataRng::new(2)).expect("kmeans"))
         });
     }
 

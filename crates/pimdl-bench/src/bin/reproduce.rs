@@ -222,10 +222,30 @@ fn dispatch(which: &str, options: &Options) -> Result<String, Box<dyn std::error
         }
         "serving" => {
             let shape = pimdl_engine::shapes::TransformerShape::bert_base();
-            let (seq, horizon) = if options.quick { (64, 120.0) } else { (128, 400.0) };
+            let (seq, horizon) = if options.quick {
+                (64, 120.0)
+            } else {
+                (128, 400.0)
+            };
             let r = serving::run(&shape, seq, &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0], horizon)?;
             json("serving", &r)?;
-            Ok(serving::render(&r))
+            // The same load sweep through the real pimdl-serve runtime
+            // (threaded, 2 DIMM shards) next to the discrete-event model.
+            let n = if options.quick { 150 } else { 300 };
+            let c = serving::run_vs_runtime(
+                &shape,
+                seq,
+                &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                n,
+                2,
+                true,
+            )?;
+            json("serving_runtime", &c)?;
+            Ok(format!(
+                "{}\n\n{}",
+                serving::render(&r),
+                serving::render_vs_runtime(&c)
+            ))
         }
         "discussion" => {
             let (batch, seq) = if options.quick { (4, 32) } else { (64, 512) };

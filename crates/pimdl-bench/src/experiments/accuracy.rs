@@ -240,7 +240,13 @@ pub fn run_nlp(cfg: &AccuracyConfig) -> Result<AccuracyResult, ExpError> {
             max_seq: cfg.seq_len,
             classes: task.classes(),
         };
-        rows.push(measure_task(task.glue_name(), &model_cfg, ds, cfg, &mut rng)?);
+        rows.push(measure_task(
+            task.glue_name(),
+            &model_cfg,
+            ds,
+            cfg,
+            &mut rng,
+        )?);
     }
     let averages = averages(&rows);
     Ok(AccuracyResult {

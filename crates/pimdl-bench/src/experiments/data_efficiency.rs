@@ -132,7 +132,12 @@ pub fn run(
 
 /// Renders the sweep.
 pub fn render(result: &DataEfficiencyResult) -> String {
-    let mut t = TextTable::new(vec!["Calib seqs", "% of train", "eLUT-NN", "LUT-NN baseline"]);
+    let mut t = TextTable::new(vec![
+        "Calib seqs",
+        "% of train",
+        "eLUT-NN",
+        "LUT-NN baseline",
+    ]);
     for p in &result.points {
         t.row(vec![
             p.sequences.to_string(),

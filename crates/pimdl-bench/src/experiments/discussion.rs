@@ -188,8 +188,7 @@ pub fn run(batch: usize, seq_len: usize) -> Result<DiscussionResult, pimdl_engin
             // software; plus activations crossing the host↔PIM link.
             let eff_gops = platform.peak_gops * UPMEM_GEMM_EFFICIENCY;
             pim_s += flops as f64 / (eff_gops * 1e9)
-                + (n * op.in_dim * 4) as f64
-                    / (platform.host_transfer.to_pim_peak_gbps * 1e9);
+                + (n * op.in_dim * 4) as f64 / (platform.host_transfer.to_pim_peak_gbps * 1e9);
         }
         host_s *= shape.layers as f64;
         pim_s *= shape.layers as f64;

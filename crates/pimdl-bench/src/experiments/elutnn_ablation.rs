@@ -120,13 +120,14 @@ pub fn run_with(
     };
 
     let mut variants = Vec::new();
-    let mut measure = |name: &str, model_conv: &LutClassifier| -> Result<(), Box<dyn std::error::Error>> {
-        variants.push(VariantAccuracy {
-            variant: name.to_string(),
-            accuracy: lut_accuracy(model_conv, &test, true)?,
-        });
-        Ok(())
-    };
+    let mut measure =
+        |name: &str, model_conv: &LutClassifier| -> Result<(), Box<dyn std::error::Error>> {
+            variants.push(VariantAccuracy {
+                variant: name.to_string(),
+                accuracy: lut_accuracy(model_conv, &test, true)?,
+            });
+            Ok(())
+        };
 
     // Full eLUT-NN.
     let (full, _) = convert_elutnn(&model, &calib, &base_cfg)?;
@@ -194,7 +195,10 @@ pub fn render(result: &AblationResult) -> String {
         format!("{:.1}", 100.0 * result.original),
     ]);
     for v in &result.variants {
-        t.row(vec![v.variant.clone(), format!("{:.1}", 100.0 * v.accuracy)]);
+        t.row(vec![
+            v.variant.clone(),
+            format!("{:.1}", 100.0 * v.accuracy),
+        ]);
     }
     format!(
         "eLUT-NN technique ablation (synthetic {}, {} calibration sequences, random init)\n\n{}",

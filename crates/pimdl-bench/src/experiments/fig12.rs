@@ -166,9 +166,8 @@ pub fn run(c: &Fig12Config) -> Result<Fig12Result, pimdl_engine::EngineError> {
 
 /// Renders the four panels.
 pub fn render(result: &Fig12Result) -> String {
-    let mut out = String::from(
-        "Fig. 12 — Sensitivity analysis (UPMEM; speedup normalized to CPU INT8)\n\n",
-    );
+    let mut out =
+        String::from("Fig. 12 — Sensitivity analysis (UPMEM; speedup normalized to CPU INT8)\n\n");
     for panel in &result.panels {
         let mut t = TextTable::new(vec!["Model", panel.parameter.as_str(), "Speedup"]);
         for p in &panel.points {

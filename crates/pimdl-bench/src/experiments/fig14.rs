@@ -106,7 +106,9 @@ pub fn run() -> Result<Fig14Result, pimdl_engine::EngineError> {
 
 /// Renders the Fig. 14 table.
 pub fn render(result: &Fig14Result) -> String {
-    let mut t = TextTable::new(vec!["Platform", "Hidden", "Batch", "PIM-GEMM", "PIM-DL", "Speedup"]);
+    let mut t = TextTable::new(vec![
+        "Platform", "Hidden", "Batch", "PIM-GEMM", "PIM-DL", "Speedup",
+    ]);
     for p in &result.points {
         t.row(vec![
             p.platform.clone(),
@@ -138,7 +140,13 @@ mod tests {
         for p in &r.points {
             // At this reduced scale (4 layers, batch ≤ 8) fixed PIM-DL
             // launch overheads weigh in; paper-scale sweeps reach ~20×.
-            assert!(p.speedup > 1.5, "{} b{}: {}", p.platform, p.batch, p.speedup);
+            assert!(
+                p.speedup > 1.5,
+                "{} b{}: {}",
+                p.platform,
+                p.batch,
+                p.speedup
+            );
         }
         // Gain grows with batch on both platforms.
         for platform in ["HBM-PIM", "AiM"] {

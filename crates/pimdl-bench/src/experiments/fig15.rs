@@ -110,7 +110,14 @@ pub fn run() -> Result<Fig15Result, pimdl_engine::EngineError> {
 
 /// Renders the Fig. 15 table.
 pub fn render(result: &Fig15Result) -> String {
-    let mut t = TextTable::new(vec!["Platform", "Hidden", "Batch", "V100 FP32", "PIM-DL", "Ratio"]);
+    let mut t = TextTable::new(vec![
+        "Platform",
+        "Hidden",
+        "Batch",
+        "V100 FP32",
+        "PIM-DL",
+        "Ratio",
+    ]);
     for p in &result.points {
         t.row(vec![
             p.platform.clone(),

@@ -30,7 +30,13 @@ pub fn run() -> Fig4Result {
 
 /// Renders the Fig. 4 points.
 pub fn render(result: &Fig4Result) -> String {
-    let mut t = TextTable::new(vec!["Model", "Operator", "AI (ops/B)", "Attainable (GOPS)", "Bound"]);
+    let mut t = TextTable::new(vec![
+        "Model",
+        "Operator",
+        "AI (ops/B)",
+        "Attainable (GOPS)",
+        "Bound",
+    ]);
     for p in &result.points {
         t.row(vec![
             p.model.to_string(),

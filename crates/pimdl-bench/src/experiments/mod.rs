@@ -13,9 +13,9 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig3;
+pub mod fig4;
 pub mod scaling;
 pub mod serving;
-pub mod fig4;
 pub mod table1;
 pub mod tuner_error;
 

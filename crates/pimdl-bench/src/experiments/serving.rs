@@ -13,7 +13,8 @@ use serde::Serialize;
 use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
 use pimdl_engine::scheduler::{BatchScheduler, BatchingPolicy, ServingStats, Workload};
 use pimdl_engine::shapes::TransformerShape;
-use pimdl_sim::PlatformConfig;
+use pimdl_serve::{MetricsSnapshot, OpenLoop, Runtime, ServeConfig, ServeError};
+use pimdl_sim::{LutWorkload, PlatformConfig};
 
 use crate::report::TextTable;
 
@@ -114,6 +115,172 @@ pub fn render(result: &ServingResult) -> String {
     )
 }
 
+/// One load point of the runtime-vs-simulation comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeLoadPoint {
+    /// Offered arrival rate (requests/s).
+    pub offered_rps: f64,
+    /// Discrete-event `BatchScheduler` statistics at this rate.
+    pub sim: ServingStats,
+    /// `pimdl-serve` runtime metrics at this rate.
+    pub runtime: MetricsSnapshot,
+    /// Runtime achieved throughput: completed requests / makespan.
+    pub runtime_throughput_rps: f64,
+}
+
+/// Arrival-rate sweep through the `pimdl-serve` runtime next to the
+/// discrete-event simulation, same model / policy / load on both sides.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeComparison {
+    /// Model served.
+    pub model: String,
+    /// Batching policy used by both systems.
+    pub policy: BatchingPolicy,
+    /// Single-request execution latency (the no-batching floor), seconds.
+    pub single_request_s: f64,
+    /// DIMM shards the runtime spreads replicas across (the DES models a
+    /// single engine, so >1 shard shifts the runtime's saturation knee).
+    pub num_shards: usize,
+    /// Requests injected per load point.
+    pub num_requests: usize,
+    /// Whether the runtime side ran on real threads (`run_threaded`) or the
+    /// deterministic virtual-clock driver (`run_virtual`).
+    pub threaded: bool,
+    /// Per-rate points.
+    pub points: Vec<RuntimeLoadPoint>,
+}
+
+/// Sweeps the offered arrival rate through the real `pimdl-serve` runtime
+/// and the discrete-event `BatchScheduler`, pairing the two systems' stats
+/// at every load point.
+///
+/// `rates_x` are offered rates as multiples of the single-request service
+/// rate. The runtime gets a queue deeper than the run and unbounded
+/// deadlines so every request completes — the comparison isolates the
+/// latency/throughput/batch-size behavior of the two schedulers. With
+/// `threaded` the runtime side uses real threads on an accelerated clock;
+/// otherwise the deterministic virtual-clock driver (same state machines).
+///
+/// # Errors
+///
+/// Propagates engine and runtime errors.
+pub fn run_vs_runtime(
+    shape: &TransformerShape,
+    seq_len: usize,
+    rates_x: &[f64],
+    num_requests: usize,
+    num_shards: usize,
+    threaded: bool,
+) -> Result<RuntimeComparison, ServeError> {
+    let engine = PimDlEngine::new(PlatformConfig::upmem());
+    let base = ServingConfig {
+        batch: 1,
+        seq_len,
+        v: 4,
+        ct: 16,
+    };
+    // Smaller than the DES-only default (64): the runtime prewarms its cost
+    // model for every batch size up to max_batch, and both sides must share
+    // the policy for the comparison to mean anything.
+    let policy = BatchingPolicy {
+        max_batch: 8,
+        max_wait_s: 0.050,
+    };
+    let mut sched = BatchScheduler::new(&engine, shape, base, policy);
+    let single = sched.batch_latency_s(1)?;
+
+    let mut cfg = ServeConfig::example();
+    cfg.policy = policy;
+    cfg.base = base;
+    cfg.num_shards = num_shards;
+    cfg.queue_capacity = num_requests.max(1);
+    cfg.deadline_s = f64::INFINITY;
+    // The example payload is sized for a cut-down platform; the full UPMEM
+    // config needs n*f >= num_pes for Eq. 5 to partition the LUT kernel.
+    cfg.lut = LutWorkload::new(32, 8, 16, 64).map_err(pimdl_serve::ServeError::from)?;
+    let rt = Runtime::new(PlatformConfig::upmem(), shape.clone(), cfg)?;
+    // One single-request service time ≈ 2 ms of wall time in threaded mode.
+    let speedup = (single / 2e-3).max(1.0);
+
+    let mut points = Vec::new();
+    for &x in rates_x {
+        let rate = x / single;
+        let stats = sched.simulate(&Workload {
+            rate_rps: rate,
+            duration_s: num_requests as f64 / rate,
+            seed: 99,
+        })?;
+        let load = OpenLoop {
+            rate_rps: rate,
+            num_requests,
+            seed: 99,
+        };
+        let report = if threaded {
+            rt.run_threaded(&load, speedup)?
+        } else {
+            rt.run_virtual(&load)?
+        };
+        let runtime_throughput_rps =
+            report.completed() as f64 / report.makespan_s.max(f64::MIN_POSITIVE);
+        points.push(RuntimeLoadPoint {
+            offered_rps: rate,
+            sim: stats,
+            runtime: report.metrics,
+            runtime_throughput_rps,
+        });
+    }
+    Ok(RuntimeComparison {
+        model: shape.name.clone(),
+        policy,
+        single_request_s: single,
+        num_shards,
+        num_requests,
+        threaded,
+        points,
+    })
+}
+
+/// Renders the runtime-vs-simulation comparison.
+pub fn render_vs_runtime(result: &RuntimeComparison) -> String {
+    let mut t = TextTable::new(vec![
+        "Offered (rps)",
+        "DES rps",
+        "DES batch",
+        "DES p95",
+        "Runtime rps",
+        "RT batch",
+        "RT p95",
+    ]);
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.2}", p.offered_rps),
+            format!("{:.2}", p.sim.throughput_rps),
+            format!("{:.1}", p.sim.mean_batch),
+            format!("{:.2} s", p.sim.p95_latency_s),
+            format!("{:.2}", p.runtime_throughput_rps),
+            format!("{:.1}", p.runtime.mean_batch),
+            format!("{:.2} s", p.runtime.p95_latency_s),
+        ]);
+    }
+    format!(
+        "Extension — serving {}: pimdl-serve runtime ({} shard(s), {}) vs discrete-event simulation\n\
+         policy: max_batch {}, window {:.0} ms; {} requests per point; \
+         single-request execution = {:.2} s\n\n{}",
+        result.model,
+        result.num_shards,
+        if result.threaded {
+            "real threads"
+        } else {
+            "virtual clock"
+        },
+        result.policy.max_batch,
+        result.policy.max_wait_s * 1e3,
+        result.num_requests,
+        result.single_request_s,
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +302,31 @@ mod tests {
         assert!(heavy.stats.mean_batch > light.stats.mean_batch);
         // Light load is served at near the offered rate.
         assert!(light.stats.throughput_rps > 0.35 / r.single_request_s);
+    }
+
+    #[test]
+    fn runtime_comparison_tracks_simulation() {
+        let shape = TransformerShape::tiny();
+        // Deterministic virtual-clock runtime, one shard: apples-to-apples
+        // with the single-engine discrete-event model.
+        let r = run_vs_runtime(&shape, 16, &[0.5, 8.0], 150, 1, false).unwrap();
+        assert_eq!(r.points.len(), 2);
+        let light = &r.points[0];
+        let heavy = &r.points[1];
+        // Deep queue + unbounded deadlines: the runtime completes the run.
+        assert_eq!(light.runtime.completed, 150);
+        assert_eq!(heavy.runtime.completed, 150);
+        // Both systems batch their way past the single-request rate under
+        // heavy load, and agree on saturation throughput within 2x.
+        assert!(heavy.runtime_throughput_rps > 1.5 / r.single_request_s);
+        let ratio = heavy.runtime_throughput_rps / heavy.sim.throughput_rps;
+        assert!((0.5..2.0).contains(&ratio), "saturation ratio {ratio}");
+        assert!(heavy.runtime.mean_batch > light.runtime.mean_batch);
+        // Light load is served near the offered rate by both.
+        assert!(light.runtime_throughput_rps > 0.3 / r.single_request_s);
+        let s = render_vs_runtime(&r);
+        assert!(s.contains("discrete-event"));
+        assert!(s.contains("virtual clock"));
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn render(rows: &[Table1Row]) -> String {
             r.num_pes.to_string(),
         ]);
     }
-    format!("Table 1 — Comparison of Commodity DRAM-PIMs (modeled systems)\n\n{}", t.render())
+    format!(
+        "Table 1 — Comparison of Commodity DRAM-PIMs (modeled systems)\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -172,8 +172,7 @@ pub fn host_inference(
         (3 * n * shape.hidden) as u64 * 4 + (batch * shape.heads * seq_len * seq_len) as u64 * 4;
     let attention_s = host.gemm_time_s(attn_flops, attn_bytes) * shape.layers as f64;
 
-    let elementwise_s = host
-        .elementwise_time_s(shape.elementwise_bytes_per_layer(batch, seq_len))
+    let elementwise_s = host.elementwise_time_s(shape.elementwise_bytes_per_layer(batch, seq_len))
         * shape.layers as f64;
 
     HostInference {
@@ -250,8 +249,7 @@ pub fn pim_gemm_inference(
                 .iter()
                 .map(|op| (op.in_dim * op.out_dim * elem) as u64)
                 .sum();
-            let stream_s =
-                weight_bytes_per_layer as f64 / (platform.peak_internal_bw_gbps * 1e9);
+            let stream_s = weight_bytes_per_layer as f64 / (platform.peak_internal_bw_gbps * 1e9);
             linear_s += n as f64 * (4.0 * MAC_PIM_ROW_OVERHEAD_S + stream_s);
         }
     }
@@ -268,8 +266,7 @@ pub fn pim_gemm_inference(
     let attn_bytes =
         (3 * n * shape.hidden) as u64 * 4 + (batch * shape.heads * seq_len * seq_len) as u64 * 4;
     let attention_s = host.gemm_time_s(attn_flops, attn_bytes) * shape.layers as f64;
-    let elementwise_s = host
-        .elementwise_time_s(shape.elementwise_bytes_per_layer(batch, seq_len))
+    let elementwise_s = host.elementwise_time_s(shape.elementwise_bytes_per_layer(batch, seq_len))
         * shape.layers as f64;
 
     HostInference {
@@ -356,9 +353,7 @@ mod tests {
     fn breakdown_total_consistent() {
         let shape = TransformerShape::tiny();
         let r = host_inference(&HostModel::cpu_fp32(), &shape, 2, 16, 4);
-        assert!(
-            (r.total_s() - (r.linear_s + r.attention_s + r.elementwise_s)).abs() < 1e-15
-        );
+        assert!((r.total_s() - (r.linear_s + r.attention_s + r.elementwise_s)).abs() < 1e-15);
         assert!(r.linear_s > 0.0 && r.attention_s > 0.0 && r.elementwise_s > 0.0);
     }
 }

@@ -45,6 +45,38 @@ impl ServingConfig {
             ct: 16,
         }
     }
+
+    /// Creates a validated serving configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if any field is zero — degenerate
+    /// configs would otherwise surface as divisions by zero or empty
+    /// workloads deep inside the cost model.
+    pub fn new(batch: usize, seq_len: usize, v: usize, ct: usize) -> Result<Self> {
+        let cfg = ServingConfig {
+            batch,
+            seq_len,
+            v,
+            ct,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the configuration for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if any field is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch == 0 || self.seq_len == 0 || self.v == 0 || self.ct == 0 {
+            return Err(EngineError::Config {
+                detail: format!("zero field in serving config {self:?}"),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Cost of one converted linear operator (aggregated over all layers).
@@ -143,7 +175,12 @@ impl PimDlEngine {
     ///
     /// Propagates tuner failures.
     pub fn mapping_for(&self, workload: &LutWorkload) -> Result<Mapping> {
-        if let Some(m) = self.mapping_cache.lock().expect("cache poisoned").get(workload) {
+        if let Some(m) = self
+            .mapping_cache
+            .lock()
+            .expect("cache poisoned")
+            .get(workload)
+        {
             return Ok(*m);
         }
         let result = tune(&self.platform, workload)?;
@@ -161,11 +198,7 @@ impl PimDlEngine {
     /// Returns [`EngineError::Config`] if `V` does not divide every linear
     /// input dim, or tuning/simulation errors.
     pub fn serve(&self, shape: &TransformerShape, cfg: &ServingConfig) -> Result<InferenceReport> {
-        if cfg.batch == 0 || cfg.seq_len == 0 || cfg.v == 0 || cfg.ct == 0 {
-            return Err(EngineError::Config {
-                detail: format!("zero field in serving config {cfg:?}"),
-            });
-        }
+        cfg.validate()?;
         let n = cfg.batch * cfg.seq_len;
         let layers = shape.layers as f64;
 
@@ -196,15 +229,14 @@ impl PimDlEngine {
             // activations and writing one index byte per sub-vector. The
             // argmin-shaped kernel sustains only CCS_EFFICIENCY of the
             // host's dense-GEMM throughput.
-            let ccs_flops = ((3 * n * op.in_dim * cfg.ct) as f64
-                / crate::baseline::CCS_EFFICIENCY) as u64;
+            let ccs_flops =
+                ((3 * n * op.in_dim * cfg.ct) as f64 / crate::baseline::CCS_EFFICIENCY) as u64;
             let ccs_bytes = (n * op.in_dim * 4) as u64 + workload.index_bytes();
             let op_ccs_s = self.host.gemm_time_s(ccs_flops, ccs_bytes) * layers;
 
             lut_s += op_lut_s;
             ccs_s += op_ccs_s;
-            let op_bytes =
-                (report.host_pim_bytes - report.lut_stage_bytes) * shape.layers as u64;
+            let op_bytes = (report.host_pim_bytes - report.lut_stage_bytes) * shape.layers as u64;
             host_pim_bytes += op_bytes;
             per_linear.push(LinearCost {
                 name: op.name.to_string(),
@@ -339,7 +371,9 @@ mod tests {
     #[test]
     fn serve_produces_consistent_breakdown() {
         let engine = PimDlEngine::new(small_platform());
-        let report = engine.serve(&TransformerShape::tiny(), &tiny_cfg()).unwrap();
+        let report = engine
+            .serve(&TransformerShape::tiny(), &tiny_cfg())
+            .unwrap();
         let sum = report.lut_s + report.ccs_s + report.attention_s + report.other_s;
         assert!((report.total_s - sum).abs() < 1e-12);
         assert_eq!(report.per_linear.len(), 4);
@@ -371,14 +405,7 @@ mod tests {
         let m1 = engine.mapping_for(&w).unwrap();
         let m2 = engine.mapping_for(&w).unwrap();
         assert_eq!(m1, m2);
-        assert_eq!(
-            engine
-                .mapping_cache
-                .lock()
-                .unwrap()
-                .len(),
-            1
-        );
+        assert_eq!(engine.mapping_cache.lock().unwrap().len(), 1);
     }
 
     #[test]
@@ -391,9 +418,7 @@ mod tests {
             v: 4,
             ct: 16,
         };
-        let report = engine
-            .serve(&TransformerShape::bert_base(), &cfg)
-            .unwrap();
+        let report = engine.serve(&TransformerShape::bert_base(), &cfg).unwrap();
         let frac = report.lutnn_fraction();
         assert!((0.5..1.0).contains(&frac), "LUT-NN fraction {frac}");
     }
@@ -508,7 +533,12 @@ mod tests {
         let cfg = tiny_cfg();
         let seq = engine.serve(&shape, &cfg).unwrap();
         let pipe = engine.serve_overlapped(&shape, &cfg).unwrap();
-        assert!(pipe.total_s < seq.total_s, "pipe {} seq {}", pipe.total_s, seq.total_s);
+        assert!(
+            pipe.total_s < seq.total_s,
+            "pipe {} seq {}",
+            pipe.total_s,
+            seq.total_s
+        );
         // Overlap can hide at most the whole CCS phase.
         assert!(pipe.total_s >= seq.total_s - seq.ccs_s - 1e-12);
         // Breakdown remains consistent.

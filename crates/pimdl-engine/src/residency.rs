@@ -171,10 +171,30 @@ mod tests {
         let platform = PlatformConfig::upmem();
         let n = 64 * 512;
         let fps = vec![
-            footprint(&platform, "QKV", LutWorkload::new(n, 192, 16, 2304).unwrap(), 12),
-            footprint(&platform, "O", LutWorkload::new(n, 192, 16, 768).unwrap(), 12),
-            footprint(&platform, "FFN1", LutWorkload::new(n, 192, 16, 3072).unwrap(), 12),
-            footprint(&platform, "FFN2", LutWorkload::new(n, 768, 16, 768).unwrap(), 12),
+            footprint(
+                &platform,
+                "QKV",
+                LutWorkload::new(n, 192, 16, 2304).unwrap(),
+                12,
+            ),
+            footprint(
+                &platform,
+                "O",
+                LutWorkload::new(n, 192, 16, 768).unwrap(),
+                12,
+            ),
+            footprint(
+                &platform,
+                "FFN1",
+                LutWorkload::new(n, 192, 16, 3072).unwrap(),
+                12,
+            ),
+            footprint(
+                &platform,
+                "FFN2",
+                LutWorkload::new(n, 768, 16, 768).unwrap(),
+                12,
+            ),
         ];
         let plan = plan(&platform, &fps);
         assert!(plan.fully_resident(), "plan: {plan:?}");

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use pimdl_tensor::rng::DataRng;
 
+use crate::error::EngineError;
 use crate::pipeline::{PimDlEngine, ServingConfig};
 use crate::shapes::TransformerShape;
 use crate::Result;
@@ -41,6 +42,48 @@ impl Default for BatchingPolicy {
     }
 }
 
+impl BatchingPolicy {
+    /// Creates a validated batching policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for `max_batch == 0` or a negative
+    /// or non-finite `max_wait_s` — either would make the batch window
+    /// meaningless (a batcher could never fill a batch, or would wait
+    /// forever / in the past).
+    pub fn new(max_batch: usize, max_wait_s: f64) -> Result<Self> {
+        let policy = BatchingPolicy {
+            max_batch,
+            max_wait_s,
+        };
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Checks the policy for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `max_batch == 0` or `max_wait_s`
+    /// is negative or non-finite.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(EngineError::Config {
+                detail: "batching policy max_batch must be >= 1".to_string(),
+            });
+        }
+        if !self.max_wait_s.is_finite() || self.max_wait_s < 0.0 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "batching policy max_wait_s must be finite and >= 0, got {}",
+                    self.max_wait_s
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Offered load: Poisson arrivals at `rate_rps` for `duration_s` simulated
 /// seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,6 +94,37 @@ pub struct Workload {
     pub duration_s: f64,
     /// Arrival-process seed.
     pub seed: u64,
+}
+
+impl Workload {
+    /// Checks the workload for values that would hang or corrupt the
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `rate_rps` or `duration_s` is
+    /// non-finite or non-positive. A zero/negative/NaN rate would make the
+    /// arrival loop in [`BatchScheduler::simulate`] spin forever (simulated
+    /// time never advances past the horizon).
+    pub fn validate(&self) -> Result<()> {
+        if !self.rate_rps.is_finite() || self.rate_rps <= 0.0 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "workload rate_rps must be finite and > 0, got {}",
+                    self.rate_rps
+                ),
+            });
+        }
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "workload duration_s must be finite and > 0, got {}",
+                    self.duration_s
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Result of one load simulation.
@@ -112,10 +186,7 @@ impl<'a> BatchScheduler<'a> {
         if let Some(&t) = self.latency_cache.get(&batch) {
             return Ok(t);
         }
-        let cfg = ServingConfig {
-            batch,
-            ..self.base
-        };
+        let cfg = ServingConfig { batch, ..self.base };
         let t = self.engine.serve(self.shape, &cfg)?.total_s;
         self.latency_cache.insert(batch, t);
         Ok(t)
@@ -131,6 +202,8 @@ impl<'a> BatchScheduler<'a> {
     ///
     /// Propagates engine errors.
     pub fn simulate(&mut self, workload: &Workload) -> Result<ServingStats> {
+        self.policy.validate()?;
+        workload.validate()?;
         // Poisson arrivals: exponential inter-arrival times.
         let mut rng = DataRng::new(workload.seed);
         let mut arrivals = Vec::new();
@@ -158,7 +231,11 @@ impl<'a> BatchScheduler<'a> {
             let dispatch_at = earliest_dispatch.max(
                 // If the engine frees up before the deadline, wait for more
                 // arrivals until the deadline (or until full).
-                if engine_free_at < deadline { deadline } else { engine_free_at },
+                if engine_free_at < deadline {
+                    deadline
+                } else {
+                    engine_free_at
+                },
             );
 
             // Collect everything that has arrived by dispatch time, capped.
@@ -302,8 +379,7 @@ mod tests {
     #[test]
     fn percentiles_are_ordered() {
         let (engine, shape) = setup();
-        let mut sched =
-            BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
+        let mut sched = BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
         let single = sched.batch_latency_s(1).unwrap();
         let stats = sched
             .simulate(&Workload {
@@ -352,10 +428,66 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_policy_is_rejected() {
+        assert!(BatchingPolicy::new(0, 0.01).is_err());
+        assert!(BatchingPolicy::new(8, -0.5).is_err());
+        assert!(BatchingPolicy::new(8, f64::NAN).is_err());
+        assert!(BatchingPolicy::new(8, f64::INFINITY).is_err());
+        assert!(BatchingPolicy::new(8, 0.0).is_ok());
+        assert!(BatchingPolicy::default().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_workload_is_rejected_instead_of_hanging() {
+        // rate_rps <= 0 or NaN used to spin the arrival loop forever:
+        // simulated time never advanced past the horizon.
+        let (engine, shape) = setup();
+        let mut sched = BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
+        for bad in [
+            Workload {
+                rate_rps: 0.0,
+                duration_s: 1.0,
+                seed: 0,
+            },
+            Workload {
+                rate_rps: -3.0,
+                duration_s: 1.0,
+                seed: 0,
+            },
+            Workload {
+                rate_rps: f64::NAN,
+                duration_s: 1.0,
+                seed: 0,
+            },
+            Workload {
+                rate_rps: 10.0,
+                duration_s: f64::NAN,
+                seed: 0,
+            },
+            Workload {
+                rate_rps: 10.0,
+                duration_s: 0.0,
+                seed: 0,
+            },
+        ] {
+            assert!(sched.simulate(&bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_serving_config_is_rejected() {
+        assert!(ServingConfig::new(0, 16, 4, 16).is_err());
+        assert!(ServingConfig::new(1, 0, 4, 16).is_err());
+        assert!(ServingConfig::new(1, 16, 0, 16).is_err());
+        assert!(ServingConfig::new(1, 16, 4, 0).is_err());
+        assert!(ServingConfig::new(1, 16, 4, 16).is_ok());
+        assert!(ServingConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
     fn latency_cache_hits() {
         let (engine, shape) = setup();
-        let mut sched =
-            BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
+        let mut sched = BatchScheduler::new(&engine, &shape, base_cfg(), BatchingPolicy::default());
         let a = sched.batch_latency_s(4).unwrap();
         let b = sched.batch_latency_s(4).unwrap();
         assert_eq!(a, b);

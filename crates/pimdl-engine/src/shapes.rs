@@ -160,7 +160,7 @@ impl TransformerShape {
             .map(|op| (op.in_dim * op.out_dim) as u64)
             .sum();
         per_layer * self.layers as u64 * elem_bytes as u64
-            // attention score path has no weights; embeddings excluded
+        // attention score path has no weights; embeddings excluded
     }
 }
 

@@ -279,8 +279,7 @@ pub fn init_quantizers(
             CentroidInit::KMeans => ProductQuantizer::fit(acts, v, ct, kmeans_iters, rng),
             CentroidInit::Random => {
                 let mean = acts.mean();
-                let var =
-                    acts.map(|x| (x - mean) * (x - mean)).mean().max(1e-8);
+                let var = acts.map(|x| (x - mean) * (x - mean)).mean().max(1e-8);
                 let std = var.sqrt();
                 if acts.cols() % v != 0 || v == 0 {
                     return Err(LutError::Config {
@@ -1011,9 +1010,7 @@ mod tests {
     use pimdl_nn::train::{evaluate, train, TrainConfig};
     use pimdl_nn::transformer::{InputKind, ModelConfig};
 
-    fn trained_model_and_data(
-        seed: u64,
-    ) -> (TransformerClassifier, Dataset, Dataset, DataRng) {
+    fn trained_model_and_data(seed: u64) -> (TransformerClassifier, Dataset, Dataset, DataRng) {
         let mut rng = DataRng::new(seed);
         let mut ds = nlp_dataset(NlpTask::ContainsAnswer, 180, 12, 6, &mut rng);
         let test = ds.split_off(40);
@@ -1312,20 +1309,23 @@ mod tests {
         let op = SteOp { beta: 1.0 };
 
         let mut losses = Vec::new();
-        for _ in 0..30 {
+        for _ in 0..80 {
             let (_, cache) = op.forward(&linear, &pq, &x).unwrap();
             let mut centroid_grad = Matrix::zeros(pq.cb() * pq.ct(), pq.v());
             let mut recon = 0.0;
             linear.weight.zero_grad();
             linear.bias.zero_grad();
-            op.backward(&mut linear, &pq, &mut centroid_grad, &cache, &dy, &mut recon)
-                .unwrap();
+            op.backward(
+                &mut linear,
+                &pq,
+                &mut centroid_grad,
+                &cache,
+                &dy,
+                &mut recon,
+            )
+            .unwrap();
             losses.push(recon);
-            for (c, g) in pq
-                .centroids_mut()
-                .iter_mut()
-                .zip(centroid_grad.iter())
-            {
+            for (c, g) in pq.centroids_mut().iter_mut().zip(centroid_grad.iter()) {
                 *c -= 0.002 * g;
             }
         }

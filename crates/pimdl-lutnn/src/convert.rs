@@ -34,7 +34,12 @@ pub enum LayerKind {
 impl LayerKind {
     /// The four kinds in conversion order.
     pub fn all() -> [LayerKind; 4] {
-        [LayerKind::Qkv, LayerKind::OProj, LayerKind::Ffn1, LayerKind::Ffn2]
+        [
+            LayerKind::Qkv,
+            LayerKind::OProj,
+            LayerKind::Ffn1,
+            LayerKind::Ffn2,
+        ]
     }
 
     /// Display name used in reports (matches Fig. 11-(b) labels).
@@ -369,10 +374,7 @@ impl LutClassifier {
     /// # Errors
     ///
     /// Propagates shape errors.
-    pub fn layer_diagnostics(
-        &self,
-        inputs: &[SequenceInput],
-    ) -> Result<Vec<LayerDiagnostics>> {
+    pub fn layer_diagnostics(&self, inputs: &[SequenceInput]) -> Result<Vec<LayerDiagnostics>> {
         // Accumulators per layer: (sum squared error, element count,
         // repeats, transitions).
         let n_layers = 4 * self.blocks.len();
@@ -437,8 +439,7 @@ impl LutClassifier {
                     block: b,
                     operator: kind,
                     quantization_mse: (sse[layer] / elems[layer].max(1) as f64) as f32,
-                    index_repeat_fraction: repeats[layer] as f64
-                        / transitions[layer].max(1) as f64,
+                    index_repeat_fraction: repeats[layer] as f64 / transitions[layer].max(1) as f64,
                     lut_bytes: ll.quant_lut().size_bytes(),
                 });
             }
@@ -517,7 +518,10 @@ mod tests {
         assert_eq!(layer_index(0, LayerKind::Qkv), 0);
         assert_eq!(layer_index(0, LayerKind::Ffn2), 3);
         assert_eq!(layer_index(2, LayerKind::OProj), 9);
-        assert_eq!(LayerKind::all().map(|k| k.name()), ["QKV", "O", "FFN1", "FFN2"]);
+        assert_eq!(
+            LayerKind::all().map(|k| k.name()),
+            ["QKV", "O", "FFN1", "FFN2"]
+        );
     }
 
     #[test]
@@ -615,8 +619,10 @@ mod tests {
     #[test]
     fn attention_arithmetic_validates() {
         let x = Matrix::zeros(2, 8);
-        assert!(attention_arithmetic(&x, 8, 3, |_| Ok(Matrix::zeros(2, 24)), |c| Ok(c.clone()))
-            .is_err());
+        assert!(
+            attention_arithmetic(&x, 8, 3, |_| Ok(Matrix::zeros(2, 24)), |c| Ok(c.clone()))
+                .is_err()
+        );
         assert!(
             attention_arithmetic(&x, 8, 2, |_| Ok(Matrix::zeros(2, 10)), |c| Ok(c.clone()))
                 .is_err()
@@ -649,13 +655,8 @@ mod tests {
         let (model, mut rng) = model_and_rng(7);
         let qs = rich_quantizers(&model, &mut rng, 16);
         let lut_model = LutClassifier::convert(&model, qs).unwrap();
-        let ds = pimdl_nn::data::nlp_dataset(
-            pimdl_nn::data::NlpTask::Sentiment,
-            20,
-            12,
-            6,
-            &mut rng,
-        );
+        let ds =
+            pimdl_nn::data::nlp_dataset(pimdl_nn::data::NlpTask::Sentiment, 20, 12, 6, &mut rng);
         let acc = lut_accuracy(&lut_model, &ds, false).unwrap();
         assert!((0.0..=1.0).contains(&acc));
     }

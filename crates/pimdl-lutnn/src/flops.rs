@@ -135,7 +135,10 @@ mod tests {
         // Paper: 3.66×–18.29× reduction over the swept configurations at
         // N=H=F=1024.
         let points = fig3_sweep(1024);
-        let min = points.iter().map(|p| p.reduction).fold(f64::INFINITY, f64::min);
+        let min = points
+            .iter()
+            .map(|p| p.reduction)
+            .fold(f64::INFINITY, f64::min);
         let max = points.iter().map(|p| p.reduction).fold(0.0, f64::max);
         assert!((3.0..5.0).contains(&min), "min reduction {min}");
         assert!((15.0..22.0).contains(&max), "max reduction {max}");

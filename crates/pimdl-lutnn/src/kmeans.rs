@@ -40,7 +40,12 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Returns [`LutError::Clustering`] if `points` is empty or `k == 0`.
 #[allow(clippy::needless_range_loop)]
-pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut DataRng) -> Result<KMeansResult> {
+pub fn kmeans(
+    points: &Matrix,
+    k: usize,
+    max_iters: usize,
+    rng: &mut DataRng,
+) -> Result<KMeansResult> {
     let n = points.rows();
     let dim = points.cols();
     if n == 0 || dim == 0 {

@@ -342,7 +342,10 @@ mod tests {
         let max_diff = approx.sub(&exact).unwrap().max_abs();
         assert!(max_diff <= bound, "max_diff={max_diff} bound={bound}");
         assert_eq!(qlut.size_bytes() * 4, lut.size_bytes());
-        assert_eq!((qlut.cb(), qlut.ct(), qlut.f()), (lut.cb(), lut.ct(), lut.f()));
+        assert_eq!(
+            (qlut.cb(), qlut.ct(), qlut.f()),
+            (lut.cb(), lut.ct(), lut.f())
+        );
     }
 
     #[test]

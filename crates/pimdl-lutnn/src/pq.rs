@@ -461,7 +461,13 @@ impl ProductQuantizer {
 mod tests {
     use super::*;
 
-    fn quantizer(seed: u64, n: usize, h: usize, v: usize, ct: usize) -> (ProductQuantizer, Matrix, DataRng) {
+    fn quantizer(
+        seed: u64,
+        n: usize,
+        h: usize,
+        v: usize,
+        ct: usize,
+    ) -> (ProductQuantizer, Matrix, DataRng) {
         let mut rng = DataRng::new(seed);
         let acts = rng.normal_matrix(n, h, 0.0, 1.0);
         let pq = ProductQuantizer::fit(&acts, v, ct, 15, &mut rng).unwrap();
@@ -573,7 +579,9 @@ mod tests {
         let empty = pimdl_tensor::Matrix::zeros(0, 8);
         assert_eq!(pq.encode_parallel(&empty, 4).unwrap().rows(), 0);
         // Errors.
-        assert!(pq.encode_parallel(&pimdl_tensor::Matrix::zeros(2, 6), 4).is_err());
+        assert!(pq
+            .encode_parallel(&pimdl_tensor::Matrix::zeros(2, 6), 4)
+            .is_err());
         assert!(pq.encode_parallel(&acts, 0).is_err());
     }
 
@@ -610,8 +618,7 @@ mod tests {
 
     #[test]
     fn decode_uses_selected_centroids() {
-        let centroids =
-            Matrix::from_vec(4, 1, vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let centroids = Matrix::from_vec(4, 1, vec![10.0, 20.0, 30.0, 40.0]).unwrap();
         let pq = ProductQuantizer::from_centroids(centroids, 1, 2).unwrap();
         // cb=2 codebooks (rows 0-1 are codebook 0; rows 2-3 are codebook 1).
         let idx = IndexMatrix::from_vec(1, 2, vec![1, 0]).unwrap();

@@ -73,7 +73,13 @@ pub struct LutKernelIntensity {
 /// # Panics
 ///
 /// Panics if `v == 0` or `v` does not divide `h`.
-pub fn lut_kernel_intensity(n: usize, h: usize, f: usize, ct: usize, v: usize) -> LutKernelIntensity {
+pub fn lut_kernel_intensity(
+    n: usize,
+    h: usize,
+    f: usize,
+    ct: usize,
+    v: usize,
+) -> LutKernelIntensity {
     assert!(v > 0 && h.is_multiple_of(v), "v must divide h");
     let cb = (h / v) as u64;
     let ops = n as u64 * cb * f as u64;
@@ -113,11 +119,8 @@ pub fn fig4_points() -> Vec<Fig4Point> {
     let machine = RooflineMachine::XEON_4210_DUAL;
     let n = 64 * 512;
     let (v, ct) = (2usize, 16usize);
-    let models: [(&'static str, usize); 3] = [
-        ("Bert-Base", 768),
-        ("Bert-Large", 1024),
-        ("ViT-Huge", 1280),
-    ];
+    let models: [(&'static str, usize); 3] =
+        [("Bert-Base", 768), ("Bert-Large", 1024), ("ViT-Huge", 1280)];
     let mut out = Vec::new();
     for (model, h) in models {
         // (operator, input dim, output dim)
@@ -176,7 +179,12 @@ mod tests {
     fn fig4_all_memory_bound() {
         let m = RooflineMachine::XEON_4210_DUAL;
         for p in fig4_points() {
-            assert!(m.is_memory_bound(p.ai), "{} {} not memory bound", p.model, p.operator);
+            assert!(
+                m.is_memory_bound(p.ai),
+                "{} {} not memory bound",
+                p.model,
+                p.operator
+            );
             assert!(p.attainable_gops < m.peak_gops);
         }
     }

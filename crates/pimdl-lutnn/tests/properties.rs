@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use pimdl_lutnn::kmeans::{kmeans, sq_dist};
 use pimdl_lutnn::lut::LutTable;
 use pimdl_lutnn::pq::ProductQuantizer;
-use pimdl_tensor::rng::DataRng;
 use pimdl_tensor::gemm;
+use pimdl_tensor::rng::DataRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

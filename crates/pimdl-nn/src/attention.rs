@@ -5,8 +5,8 @@
 //! applies before converting to LUTs), the attention score/softmax/weighted
 //! sum (host-only GEMMs in PIM-DL), and the output (O) projection.
 
-use pimdl_tensor::{gemm, norm, Matrix, Result, TensorError};
 use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{gemm, norm, Matrix, Result, TensorError};
 
 use crate::linear::Linear;
 use crate::param::Param;

@@ -158,7 +158,10 @@ pub fn nlp_dataset(
     rng: &mut DataRng,
 ) -> Dataset {
     assert!(vocab >= 8, "vocab must be >= 8");
-    assert!(seq_len >= 4 && seq_len.is_multiple_of(2), "seq_len must be even, >= 4");
+    assert!(
+        seq_len >= 4 && seq_len.is_multiple_of(2),
+        "seq_len must be even, >= 4"
+    );
     let mut inputs = Vec::with_capacity(examples);
     let mut labels = Vec::with_capacity(examples);
     for _ in 0..examples {
@@ -266,11 +269,7 @@ fn generate_nlp_example(
                 let pos = rng.index(half);
                 second[pos] = rng.index(vocab);
             }
-            let matches = first
-                .iter()
-                .zip(&second)
-                .filter(|(a, b)| a == b)
-                .count();
+            let matches = first.iter().zip(&second).filter(|(a, b)| a == b).count();
             let label = if matches * 3 >= half * 2 {
                 2
             } else if matches * 3 >= half {

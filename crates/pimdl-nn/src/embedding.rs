@@ -6,8 +6,8 @@
 //! synthetic GLUE and CIFAR substitutes. Both variants add a learned
 //! positional embedding.
 
-use pimdl_tensor::{Matrix, Result, TensorError};
 use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{Matrix, Result, TensorError};
 
 use crate::linear::Linear;
 use crate::param::Param;
@@ -120,10 +120,7 @@ impl InputEmbedding {
                     if id >= table.data.rows() {
                         return Err(TensorError::InvalidDimension {
                             op: "embedding_forward",
-                            detail: format!(
-                                "token id {id} out of vocab {}",
-                                table.data.rows()
-                            ),
+                            detail: format!("token id {id} out of vocab {}", table.data.rows()),
                         });
                     }
                     let row: Vec<f32> = table

@@ -5,8 +5,8 @@
 //! `Y = X · W + b` for a row-major activation matrix `X: N x H` — the same
 //! `N x H @ H x F` orientation the paper uses in §3.2.
 
-use pimdl_tensor::{gemm, Matrix, Result};
 use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{gemm, Matrix, Result};
 
 use crate::param::Param;
 

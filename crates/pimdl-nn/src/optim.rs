@@ -104,7 +104,11 @@ impl Adam {
             self.m[idx].resize(data.len(), 0.0);
             self.v[idx].resize(data.len(), 0.0);
         }
-        assert_eq!(self.m[idx].len(), data.len(), "parameter {idx} changed size");
+        assert_eq!(
+            self.m[idx].len(),
+            data.len(),
+            "parameter {idx} changed size"
+        );
         let bias1 = 1.0 - self.beta1.powi(self.t as i32);
         let bias2 = 1.0 - self.beta2.powi(self.t as i32);
         let m = &mut self.m[idx];

@@ -8,8 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule mapping an optimizer step index to a
 /// multiplier on the base learning rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Schedule {
     /// Constant multiplier 1.
     #[default]
@@ -25,7 +24,6 @@ pub enum Schedule {
         floor: f32,
     },
 }
-
 
 impl Schedule {
     /// The BERT-style default: 10 % warmup, decay to 10 % of base.
@@ -51,8 +49,8 @@ impl Schedule {
                 } else if step >= total_steps {
                     floor
                 } else {
-                    let progress = (step - warmup_steps) as f32
-                        / (total_steps - warmup_steps).max(1) as f32;
+                    let progress =
+                        (step - warmup_steps) as f32 / (total_steps - warmup_steps).max(1) as f32;
                     let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                     floor + (1.0 - floor) * cosine
                 }

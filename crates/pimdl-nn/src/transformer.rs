@@ -11,8 +11,8 @@
 //! linear layers per block — fused QKV, output projection, FFN1, FFN2 — are
 //! exactly the operators PIM-DL converts to LUT-NN.
 
-use pimdl_tensor::{elementwise, norm, Matrix, Result, TensorError};
 use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::{elementwise, norm, Matrix, Result, TensorError};
 
 use crate::attention::{AttentionCache, MultiHeadAttention};
 use crate::embedding::{EmbeddingCache, InputEmbedding, SequenceInput};
@@ -343,12 +343,7 @@ impl TransformerClassifier {
                 *v = g / n as f32;
             }
         }
-        for (block, bcache) in self
-            .blocks
-            .iter_mut()
-            .zip(cache.block_caches.iter())
-            .rev()
-        {
+        for (block, bcache) in self.blocks.iter_mut().zip(cache.block_caches.iter()).rev() {
             dx = block.backward(bcache, &dx)?;
         }
         self.embedding.backward(&cache.emb_cache, &dx)
@@ -410,9 +405,7 @@ mod tests {
     #[test]
     fn forward_rejects_empty_sequence() {
         let (model, _) = tiny_model(1);
-        assert!(model
-            .forward(&SequenceInput::Tokens(vec![]))
-            .is_err());
+        assert!(model.forward(&SequenceInput::Tokens(vec![])).is_err());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Error type of the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use pimdl_engine::EngineError;
+use pimdl_sim::SimError;
+
+/// Errors produced by the serving runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Invalid runtime, policy, or load configuration.
+    Config {
+        /// Human-readable description of the offending value.
+        detail: String,
+    },
+    /// The engine's cost model or auto-tuner failed.
+    Engine(EngineError),
+    /// Functional execution on the simulated platform failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config { detail } => write!(f, "serving configuration error: {detail}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Config { .. } => None,
+            ServeError::Engine(e) => Some(e),
+            ServeError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}

@@ -1,0 +1,313 @@
+//! Lock-free serving metrics: atomic counters plus fixed-bucket latency
+//! and batch-size histograms, snapshotted at shutdown.
+//!
+//! All recorders take `&self` and use only atomics, so the generator,
+//! batcher, and shard workers share one [`Metrics`] without locking on the
+//! hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram with atomic counters.
+///
+/// Quantiles are read as the **upper bound** of the bucket holding the
+/// requested rank — a conservative (over-)estimate with relative error
+/// bounded by the bucket ratio.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds; values above the last bound land in an
+    /// overflow bucket.
+    upper_bounds: Vec<f64>,
+    /// `upper_bounds.len() + 1` counters (last = overflow).
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    pub fn new(upper_bounds: Vec<f64>) -> Self {
+        debug_assert!(upper_bounds.windows(2).all(|w| w[0] < w[1]));
+        let buckets = (0..=upper_bounds.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Histogram {
+            upper_bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Log-spaced time buckets: five per decade from 1 µs to 1000 s.
+    pub fn log_time() -> Self {
+        let mut bounds = Vec::new();
+        for decade in -6..3i32 {
+            for step in 0..5 {
+                bounds.push(10f64.powf(f64::from(decade) + f64::from(step) / 5.0));
+            }
+        }
+        bounds.push(1e3);
+        Histogram::new(bounds)
+    }
+
+    /// Unit-width buckets `1, 2, …, max` (for batch sizes).
+    pub fn linear_counts(max: usize) -> Self {
+        Histogram::new((1..=max.max(1)).map(|i| i as f64).collect())
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self
+            .upper_bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.upper_bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` as the upper bound of the bucket holding that
+    /// rank (0 when empty; the last finite bound for overflow).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((n as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return self
+                    .upper_bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.upper_bounds.last().expect("non-empty bounds"));
+            }
+        }
+        *self.upper_bounds.last().expect("non-empty bounds")
+    }
+}
+
+/// Shared metrics registry of one serving run.
+#[derive(Debug)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    batches: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    latency: Histogram,
+    batch_size: Histogram,
+}
+
+impl Metrics {
+    /// A fresh registry; `max_batch` sizes the batch-size histogram.
+    pub fn new(max_batch: usize) -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            latency: Histogram::log_time(),
+            batch_size: Histogram::linear_counts(max_batch),
+        }
+    }
+
+    /// One request entered the front end.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request was load-shed at admission.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request was shed on deadline before dispatch.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request completed with the given end-to-end latency.
+    pub fn record_completed(&self, latency_s: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_s);
+    }
+
+    /// One batch of `size` requests was dispatched.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(size as f64);
+    }
+
+    /// Updates the peak queue depth.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of every counter and derived statistic.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            mean_latency_s: self.latency.mean(),
+            p50_latency_s: self.latency.quantile(0.50),
+            p95_latency_s: self.latency.quantile(0.95),
+            p99_latency_s: self.latency.quantile(0.99),
+            mean_batch: self.batch_size.mean(),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Metrics`] registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests that entered the front end.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests load-shed at admission (queue full).
+    pub rejected: u64,
+    /// Requests shed on deadline before dispatch.
+    pub deadline_exceeded: u64,
+    /// Batches dispatched to shards.
+    pub batches: u64,
+    /// Peak admission-queue depth observed.
+    pub queue_depth_peak: u64,
+    /// Mean end-to-end latency (seconds).
+    pub mean_latency_s: f64,
+    /// Median latency (bucket upper bound, seconds).
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency (bucket upper bound, seconds).
+    pub p95_latency_s: f64,
+    /// 99th-percentile latency (bucket upper bound, seconds).
+    pub p99_latency_s: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+}
+
+impl MetricsSnapshot {
+    /// Multi-line shutdown report.
+    pub fn render(&self) -> String {
+        format!(
+            "serving metrics\n\
+             \x20 submitted          {}\n\
+             \x20 completed          {}\n\
+             \x20 rejected           {}\n\
+             \x20 deadline exceeded  {}\n\
+             \x20 batches            {} (mean size {:.2})\n\
+             \x20 peak queue depth   {}\n\
+             \x20 latency mean/p50/p95/p99  {:.3e} / {:.3e} / {:.3e} / {:.3e} s",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.deadline_exceeded,
+            self.batches,
+            self.mean_batch,
+            self.queue_depth_peak,
+            self.mean_latency_s,
+            self.p50_latency_s,
+            self.p95_latency_s,
+            self.p99_latency_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 0.7, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 105.7).abs() < 1e-9);
+        // rank 1..5 over buckets [2, 1, 1, 1(overflow)]
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.40), 1.0);
+        assert_eq!(h.quantile(0.60), 2.0);
+        assert_eq!(h.quantile(0.80), 4.0);
+        // overflow clamps to the last finite bound
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::log_time();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_recorders() {
+        let m = Metrics::new(8);
+        m.record_submitted();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_rejected();
+        m.record_deadline_exceeded();
+        m.record_completed(0.010);
+        m.record_batch(1);
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(2);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.queue_depth_peak, 3);
+        assert!((s.mean_batch - 1.0).abs() < 1e-12);
+        assert!(s.p50_latency_s >= 0.010);
+        assert!(s.render().contains("completed"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Model replicas, the shard router, and cost-model service times.
+//!
+//! A *shard* is one group of simulated PIM DIMMs holding a full replica of
+//! the served model ([`ReplicaModel`]): batches route to the least-loaded
+//! shard ([`ShardManager`]), their service time comes from the engine's
+//! end-to-end cost model ([`ServiceModel`]), and their *results* come from
+//! `pimdl_sim`'s functional LUT execution, verified bit-for-bit against a
+//! host reference checksum carried by each request.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_sim::exec::{run_lut_kernel, LutKernelData};
+use pimdl_sim::{LutWorkload, Mapping, PlatformConfig};
+use pimdl_tensor::rng::DataRng;
+
+use crate::error::ServeError;
+use crate::request::Request;
+use crate::Result;
+
+/// One model replica: the LUT table every request on a shard queries, plus
+/// the tuned mapping it executes under.
+#[derive(Debug)]
+pub struct ReplicaModel {
+    platform: PlatformConfig,
+    workload: LutWorkload,
+    mapping: Mapping,
+    table: Vec<i8>,
+    scale: f32,
+}
+
+impl ReplicaModel {
+    /// Builds a replica for the per-request `workload` shape: tunes a
+    /// mapping on the engine's platform and synthesizes a deterministic
+    /// INT8 table from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuner failures (no legal mapping for the workload on the
+    /// platform).
+    pub fn build(engine: &PimDlEngine, workload: LutWorkload, seed: u64) -> Result<Self> {
+        let mapping = engine.mapping_for(&workload)?;
+        let mut rng = DataRng::new(seed);
+        let table: Vec<i8> = (0..workload.cb * workload.ct * workload.f)
+            .map(|_| rng.index(16) as i8 - 8)
+            .collect();
+        Ok(ReplicaModel {
+            platform: engine.platform().clone(),
+            workload,
+            mapping,
+            table,
+            scale: 0.05,
+        })
+    }
+
+    /// The per-request workload shape.
+    pub fn workload(&self) -> LutWorkload {
+        self.workload
+    }
+
+    /// Synthesizes a request: random indices plus the host-reference
+    /// checksum of the output they should produce.
+    pub fn make_request(
+        &self,
+        id: u64,
+        arrival_s: f64,
+        deadline_s: f64,
+        rng: &mut DataRng,
+    ) -> Request {
+        let w = self.workload;
+        let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
+        let expected_checksum = self.reference_checksum(&indices);
+        Request {
+            id,
+            arrival_s,
+            deadline_s,
+            indices,
+            expected_checksum,
+        }
+    }
+
+    /// Host-reference output checksum: the same INT32 gather-accumulate and
+    /// dequantization the simulated PEs perform, summed over the output in
+    /// row-major order (so the comparison is exact, not approximate).
+    fn reference_checksum(&self, indices: &[u16]) -> f64 {
+        let w = self.workload;
+        let mut sum = 0.0f64;
+        for r in 0..w.n {
+            for col in 0..w.f {
+                let mut acc = 0i32;
+                for (cb, &k) in indices[r * w.cb..(r + 1) * w.cb].iter().enumerate() {
+                    acc += i32::from(self.table[(cb * w.ct + k as usize) * w.f + col]);
+                }
+                sum += f64::from(acc as f32 * self.scale);
+            }
+        }
+        sum
+    }
+
+    /// Executes a request's query functionally on the simulated PEs and
+    /// returns whether the output checksum matches the host reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator workload/mapping mismatches (impossible for
+    /// requests built by [`ReplicaModel::make_request`]).
+    pub fn execute(&self, req: &Request) -> Result<bool> {
+        let (out, _cost) = run_lut_kernel(
+            &self.platform,
+            &self.workload,
+            &self.mapping,
+            LutKernelData {
+                indices: &req.indices,
+                table: &self.table,
+                scale: self.scale,
+            },
+        )?;
+        let checksum: f64 = out.as_slice().iter().map(|&v| f64::from(v)).sum();
+        Ok(checksum == req.expected_checksum)
+    }
+}
+
+/// A dispatch decision: where a batch went and when it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchTicket {
+    /// Chosen shard.
+    pub shard: usize,
+    /// Service start (simulated seconds; `max(now, shard busy-until)`).
+    pub start_s: f64,
+    /// Service completion (simulated seconds).
+    pub finish_s: f64,
+}
+
+/// Least-loaded router over the shard replicas.
+///
+/// Tracks each shard's busy-until horizon as estimated by the cost model;
+/// ties break toward the lowest shard id, so routing is deterministic.
+#[derive(Debug)]
+pub struct ShardManager {
+    busy_until_s: Vec<f64>,
+    dispatched: Vec<u64>,
+}
+
+impl ShardManager {
+    /// A manager over `num_shards` replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for zero shards.
+    pub fn new(num_shards: usize) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(ServeError::Config {
+                detail: "shard manager needs at least one shard".to_string(),
+            });
+        }
+        Ok(ShardManager {
+            busy_until_s: vec![0.0; num_shards],
+            dispatched: vec![0; num_shards],
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.busy_until_s.len()
+    }
+
+    /// Whether any shard is idle at `now`.
+    pub fn any_free(&self, now: f64) -> bool {
+        self.busy_until_s.iter().any(|&b| b <= now)
+    }
+
+    /// Earliest time any shard frees up.
+    pub fn earliest_free_s(&self) -> f64 {
+        self.busy_until_s
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The shard with the smallest busy-until horizon (lowest id on ties).
+    pub fn least_loaded(&self) -> usize {
+        let mut best = 0;
+        for (i, &b) in self.busy_until_s.iter().enumerate() {
+            if b < self.busy_until_s[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Least-loaded shard among those marked `eligible` (`None` if no
+    /// shard is eligible).
+    pub fn least_loaded_among(&self, eligible: &[bool]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, &b) in self.busy_until_s.iter().enumerate() {
+            if eligible.get(i).copied().unwrap_or(false)
+                && best.is_none_or(|j| b < self.busy_until_s[j])
+            {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Routes a batch to the least-loaded shard at `now`.
+    pub fn dispatch(&mut self, now: f64, service_s: f64) -> DispatchTicket {
+        let shard = self.least_loaded();
+        self.dispatch_to(shard, now, service_s)
+    }
+
+    /// Dispatches to a specific shard, updating its horizon.
+    pub fn dispatch_to(&mut self, shard: usize, now: f64, service_s: f64) -> DispatchTicket {
+        let start_s = now.max(self.busy_until_s[shard]);
+        let finish_s = start_s + service_s;
+        self.busy_until_s[shard] = finish_s;
+        self.dispatched[shard] += 1;
+        DispatchTicket {
+            shard,
+            start_s,
+            finish_s,
+        }
+    }
+
+    /// Batches dispatched per shard.
+    pub fn dispatch_counts(&self) -> &[u64] {
+        &self.dispatched
+    }
+}
+
+/// Memoized batch service times from the engine's end-to-end cost model.
+///
+/// Shared read-only across threads (`&self` methods; the memo table is
+/// behind a mutex).
+#[derive(Debug)]
+pub struct ServiceModel {
+    engine: PimDlEngine,
+    shape: TransformerShape,
+    base: ServingConfig,
+    cache: Mutex<HashMap<usize, f64>>,
+}
+
+impl ServiceModel {
+    /// A service model for `shape` with per-request parameters `base`
+    /// (whose `batch` field is overridden per dispatched batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns the base config's validation error.
+    pub fn new(engine: PimDlEngine, shape: TransformerShape, base: ServingConfig) -> Result<Self> {
+        base.validate()?;
+        Ok(ServiceModel {
+            engine,
+            shape,
+            base,
+            cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The engine backing the cost model.
+    pub fn engine(&self) -> &PimDlEngine {
+        &self.engine
+    }
+
+    /// Service time of one batch of `batch` requests (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `batch == 0`; propagates engine errors on cache misses.
+    pub fn batch_service_s(&self, batch: usize) -> Result<f64> {
+        if batch == 0 {
+            return Err(ServeError::Config {
+                detail: "batch service time of an empty batch".to_string(),
+            });
+        }
+        if let Some(&t) = self.cache.lock().expect("cache poisoned").get(&batch) {
+            return Ok(t);
+        }
+        let cfg = ServingConfig { batch, ..self.base };
+        let t = self.engine.serve(&self.shape, &cfg)?.total_s;
+        self.cache.lock().expect("cache poisoned").insert(batch, t);
+        Ok(t)
+    }
+
+    /// Computes and caches service times for every batch size up to
+    /// `max_batch`, so later lookups on the serving hot path never run the
+    /// tuner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn prewarm(&self, max_batch: usize) -> Result<()> {
+        for b in 1..=max_batch.max(1) {
+            self.batch_service_s(b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimdl_sim::PlatformConfig;
+
+    fn engine() -> PimDlEngine {
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = 64;
+        PimDlEngine::new(p)
+    }
+
+    fn replica() -> ReplicaModel {
+        let w = LutWorkload::new(8, 8, 16, 32).unwrap();
+        ReplicaModel::build(&engine(), w, 7).unwrap()
+    }
+
+    #[test]
+    fn simulated_execution_matches_host_reference() {
+        let r = replica();
+        let mut rng = DataRng::new(11);
+        for id in 0..4 {
+            let req = r.make_request(id, 0.0, f64::INFINITY, &mut rng);
+            assert!(r.execute(&req).unwrap(), "request {id} checksum mismatch");
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_is_detected() {
+        let r = replica();
+        let mut rng = DataRng::new(12);
+        let mut req = r.make_request(0, 0.0, f64::INFINITY, &mut rng);
+        req.expected_checksum += 1.0;
+        assert!(!r.execute(&req).unwrap());
+    }
+
+    #[test]
+    fn router_prefers_least_loaded_and_breaks_ties_low() {
+        let mut m = ShardManager::new(3).unwrap();
+        assert_eq!(m.least_loaded(), 0); // all idle: lowest id
+        let t0 = m.dispatch(0.0, 10.0);
+        assert_eq!(t0.shard, 0);
+        assert_eq!((t0.start_s, t0.finish_s), (0.0, 10.0));
+        let t1 = m.dispatch(0.0, 5.0);
+        assert_eq!(t1.shard, 1);
+        let t2 = m.dispatch(0.0, 1.0);
+        assert_eq!(t2.shard, 2);
+        // shard 2 frees first
+        assert_eq!(m.least_loaded(), 2);
+        assert_eq!(m.earliest_free_s(), 1.0);
+        assert!(!m.any_free(0.5));
+        assert!(m.any_free(1.0));
+        assert_eq!(m.dispatch_counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn eligibility_mask_filters_routing() {
+        let mut m = ShardManager::new(2).unwrap();
+        m.dispatch_to(0, 0.0, 1.0);
+        assert_eq!(m.least_loaded_among(&[true, true]), Some(1));
+        assert_eq!(m.least_loaded_among(&[true, false]), Some(0));
+        assert_eq!(m.least_loaded_among(&[false, false]), None);
+        assert!(ShardManager::new(0).is_err());
+    }
+
+    #[test]
+    fn service_times_are_cached_and_amortize_with_batching() {
+        let base = ServingConfig {
+            batch: 1,
+            seq_len: 16,
+            v: 4,
+            ct: 16,
+        };
+        let m = ServiceModel::new(engine(), TransformerShape::tiny(), base).unwrap();
+        m.prewarm(4).unwrap();
+        let t1 = m.batch_service_s(1).unwrap();
+        let t4 = m.batch_service_s(4).unwrap();
+        assert!(t1 > 0.0);
+        // Amortization: a batch of 4 is cheaper than 4 singles.
+        assert!(t4 < 4.0 * t1, "t4 {t4} vs 4*t1 {}", 4.0 * t1);
+        assert!(m.batch_service_s(0).is_err());
+        assert!(ServiceModel::new(
+            engine(),
+            TransformerShape::tiny(),
+            ServingConfig {
+                batch: 1,
+                seq_len: 0,
+                v: 4,
+                ct: 16
+            }
+        )
+        .is_err());
+    }
+}

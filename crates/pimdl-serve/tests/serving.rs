@@ -1,0 +1,314 @@
+//! End-to-end tests of the serving runtime.
+//!
+//! The deterministic tests drive the single-threaded virtual-clock event
+//! loop and assert exact batching/latency/shedding behavior; the threaded
+//! tests run the real multi-threaded runtime and assert
+//! interleaving-independent invariants (request conservation, ledger ↔
+//! metrics consistency, functional correctness of every served batch).
+
+use pimdl_engine::scheduler::BatchingPolicy;
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_serve::{OpenLoop, Outcome, Runtime, ServeConfig};
+use pimdl_sim::PlatformConfig;
+
+fn platform() -> PlatformConfig {
+    let mut p = PlatformConfig::upmem();
+    p.num_pes = 64;
+    p
+}
+
+fn runtime(cfg: ServeConfig) -> Runtime {
+    Runtime::new(platform(), TransformerShape::tiny(), cfg).unwrap()
+}
+
+/// Service rate of a single shard at batch size 1 (requests per second) —
+/// the natural unit for picking under/overload arrival rates.
+fn single_rate(rt: &Runtime) -> f64 {
+    1.0 / rt.service_model().batch_service_s(1).unwrap()
+}
+
+/// Clock speedup putting one single-request service time at ~2 ms of real
+/// time — fast tests whose thread-scheduling overhead stays small relative
+/// to the simulated service times.
+fn speedup_for(rt: &Runtime) -> f64 {
+    (1.0 / (single_rate(rt) * 2e-3)).max(1.0)
+}
+
+#[test]
+fn acceptance_threaded_1000_requests_two_shards_zero_lost() {
+    // The headline acceptance criterion: the real multi-threaded runtime
+    // serves >= 1000 synthetic requests across >= 2 shards with zero lost
+    // requests and a metrics registry consistent with the ledger. The
+    // queue is deeper than the whole run, so with unbounded deadlines the
+    // only possible terminal state is Completed — any timing.
+    let mut cfg = ServeConfig::example();
+    cfg.queue_capacity = 2048;
+    assert!(cfg.num_shards >= 2);
+    let rt = runtime(cfg);
+    let rate = 3.0 * single_rate(&rt); // brisk but servable with batching
+    let n = 1200;
+    let report = rt
+        .run_threaded(
+            &OpenLoop {
+                rate_rps: rate,
+                num_requests: n,
+                seed: 42,
+            },
+            speedup_for(&rt),
+        )
+        .unwrap();
+
+    assert!(
+        report.conserves(n),
+        "every request must terminate exactly once"
+    );
+    assert!(report.consistent_with_metrics());
+    assert!(
+        report.all_completed_correct(),
+        "PIM outputs must match host reference"
+    );
+    // Unbounded deadlines and a deep queue: everything completes.
+    assert_eq!(report.completed(), n);
+    assert_eq!(report.rejected(), 0);
+    assert_eq!(report.deadline_exceeded(), 0);
+    // Both shards took work.
+    let mut shards_used = std::collections::HashSet::new();
+    for r in &report.records {
+        if let Outcome::Completed { shard, .. } = r.outcome {
+            shards_used.insert(shard);
+        }
+    }
+    assert!(shards_used.len() >= 2, "shards used: {shards_used:?}");
+    assert!(report.metrics.batches as usize >= n / cfg.policy.max_batch);
+    assert!(report.metrics.p50_latency_s > 0.0);
+}
+
+#[test]
+fn virtual_run_is_deterministic() {
+    let rt = runtime(ServeConfig::example());
+    let load = OpenLoop {
+        rate_rps: 4.0 * single_rate(&rt),
+        num_requests: 400,
+        seed: 7,
+    };
+    let a = rt.run_virtual(&load).unwrap();
+    let b = rt.run_virtual(&load).unwrap();
+    assert_eq!(a, b, "same seed must give a bit-identical report");
+    assert!(a.conserves(400));
+    assert!(a.consistent_with_metrics());
+    assert!(a.all_completed_correct());
+
+    // A different seed gives a different arrival pattern.
+    let c = rt.run_virtual(&OpenLoop { seed: 8, ..load }).unwrap();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn virtual_overload_sheds_on_deadline_and_rejects_on_queue_full() {
+    // Saturate: arrivals far above the two shards' combined capacity, a
+    // short queue, and a tight deadline. The runtime must shed explicitly
+    // (Rejected at admission, DeadlineExceeded in the queue) instead of
+    // queueing without bound — and still account for every request.
+    let probe = runtime(ServeConfig::example());
+    let single = 1.0 / single_rate(&probe);
+    let mut cfg = ServeConfig::example();
+    cfg.queue_capacity = 8;
+    cfg.deadline_s = 1.5 * single;
+    let rt = runtime(cfg);
+    let n = 600;
+    let report = rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 40.0 * single_rate(&rt),
+            num_requests: n,
+            seed: 3,
+        })
+        .unwrap();
+    assert!(report.conserves(n));
+    assert!(report.consistent_with_metrics());
+    assert!(report.all_completed_correct());
+    assert!(report.completed() > 0, "some requests are served");
+    assert!(
+        report.rejected() > 0,
+        "a full bounded queue must reject: {:?}",
+        report.metrics
+    );
+    assert!(
+        report.deadline_exceeded() > 0,
+        "tight deadlines under overload must shed: {:?}",
+        report.metrics
+    );
+    // The queue never grew past its bound.
+    assert!(report.metrics.queue_depth_peak <= 8);
+}
+
+#[test]
+fn virtual_light_load_flushes_on_max_wait_with_small_batches() {
+    // Far below capacity: batches flush on the max_wait window, stay
+    // small, and latency hugs the single-request floor.
+    let rt = runtime(ServeConfig::example());
+    let single = 1.0 / single_rate(&rt);
+    let report = rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 0.3 * single_rate(&rt),
+            num_requests: 200,
+            seed: 11,
+        })
+        .unwrap();
+    assert!(report.conserves(200));
+    assert_eq!(report.completed(), 200);
+    assert!(
+        report.metrics.mean_batch < 2.0,
+        "light load forms small batches: {}",
+        report.metrics.mean_batch
+    );
+    // Latency = wait window + service; well under 4 single-request times.
+    let max_wait = rt.config().policy.max_wait_s;
+    for r in &report.records {
+        if let Outcome::Completed { latency_s, .. } = r.outcome {
+            assert!(
+                latency_s <= max_wait + 4.0 * single,
+                "latency {latency_s} too high for light load"
+            );
+        }
+    }
+}
+
+#[test]
+fn virtual_heavy_load_flushes_on_max_batch() {
+    // Above single-shard capacity: the backlog keeps batches pinned at
+    // max_batch (flush-on-full dominates flush-on-window). The queue is
+    // deeper than the run, so nothing is rejected.
+    let mut cfg = ServeConfig::example();
+    cfg.queue_capacity = 1000;
+    let rt = runtime(cfg);
+    let report = rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 12.0 * single_rate(&rt),
+            num_requests: 500,
+            seed: 5,
+        })
+        .unwrap();
+    assert!(report.conserves(500));
+    assert_eq!(report.completed(), 500, "no deadline: everything serves");
+    assert!(
+        report.metrics.mean_batch > 3.0,
+        "overload forms full batches: {}",
+        report.metrics.mean_batch
+    );
+    assert!(report.metrics.p95_latency_s >= report.metrics.p50_latency_s);
+}
+
+#[test]
+fn virtual_sharding_balances_load() {
+    // Four shards under sustained load: least-loaded routing keeps the
+    // per-shard batch counts within a tight band.
+    let mut cfg = ServeConfig::example();
+    cfg.num_shards = 4;
+    let rt = runtime(cfg);
+    let report = rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 10.0 * single_rate(&rt),
+            num_requests: 800,
+            seed: 13,
+        })
+        .unwrap();
+    assert!(report.conserves(800));
+    let mut per_shard = vec![0usize; 4];
+    for r in &report.records {
+        if let Outcome::Completed { shard, .. } = r.outcome {
+            per_shard[shard] += 1;
+        }
+    }
+    let max = *per_shard.iter().max().unwrap();
+    let min = *per_shard.iter().min().unwrap();
+    assert!(min > 0, "every shard serves work: {per_shard:?}");
+    assert!(
+        max <= 2 * min.max(1),
+        "load imbalance too high: {per_shard:?}"
+    );
+}
+
+#[test]
+fn threaded_overload_conserves_under_shedding() {
+    // The threaded runtime under genuine overload with a shallow queue and
+    // finite deadlines: outcomes are timing-dependent, but conservation,
+    // metrics consistency, and correctness must hold for any interleaving.
+    let probe = runtime(ServeConfig::example());
+    let single = 1.0 / single_rate(&probe);
+    let mut cfg = ServeConfig::example();
+    cfg.queue_capacity = 8;
+    cfg.deadline_s = 2.0 * single;
+    let rt = runtime(cfg);
+    let n = 500;
+    let report = rt
+        .run_threaded(
+            &OpenLoop {
+                rate_rps: 30.0 * single_rate(&rt),
+                num_requests: n,
+                seed: 23,
+            },
+            speedup_for(&rt),
+        )
+        .unwrap();
+    assert!(report.conserves(n));
+    assert!(report.consistent_with_metrics());
+    assert!(report.all_completed_correct());
+    assert!(report.completed() > 0);
+}
+
+#[test]
+fn degenerate_configs_are_rejected_up_front() {
+    let shape = TransformerShape::tiny();
+    let mut cfg = ServeConfig::example();
+    cfg.policy = BatchingPolicy {
+        max_batch: 0,
+        max_wait_s: 0.01,
+    };
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let mut cfg = ServeConfig::example();
+    cfg.policy.max_wait_s = f64::NAN;
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let mut cfg = ServeConfig::example();
+    cfg.base.batch = 0;
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let mut cfg = ServeConfig::example();
+    cfg.num_shards = 0;
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let mut cfg = ServeConfig::example();
+    cfg.queue_capacity = 0;
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let mut cfg = ServeConfig::example();
+    cfg.deadline_s = -1.0;
+    assert!(Runtime::new(platform(), shape.clone(), cfg).is_err());
+
+    let rt = runtime(ServeConfig::example());
+    assert!(rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 0.0,
+            num_requests: 10,
+            seed: 0
+        })
+        .is_err());
+    assert!(rt
+        .run_virtual(&OpenLoop {
+            rate_rps: 10.0,
+            num_requests: 0,
+            seed: 0
+        })
+        .is_err());
+    assert!(rt
+        .run_threaded(
+            &OpenLoop {
+                rate_rps: 10.0,
+                num_requests: 10,
+                seed: 0
+            },
+            f64::NAN
+        )
+        .is_err());
+}

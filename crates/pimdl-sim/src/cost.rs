@@ -160,8 +160,7 @@ pub fn cost_with_repeat(
         stile_idx * num_pes
     };
     let sub_index_s = ht.transfer_time_s(idx_pattern, index_total_bytes as f64, stile_idx as f64);
-    let sub_lut_s =
-        ht.transfer_time_s(lut_pattern, (stile_lut * num_pes) as f64, stile_lut as f64);
+    let sub_lut_s = ht.transfer_time_s(lut_pattern, (stile_lut * num_pes) as f64, stile_lut as f64);
     let sub_output_s = ht.transfer_time_s(
         TransferPattern::FromPim,
         (stile_out * num_pes) as f64,

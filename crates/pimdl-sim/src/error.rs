@@ -41,16 +41,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::IllegalMapping {
-            detail: "x".into()
-        }
-        .to_string()
-        .contains("illegal mapping"));
-        assert!(SimError::WorkloadMismatch {
-            detail: "y".into()
-        }
-        .to_string()
-        .contains("workload"));
+        assert!(SimError::IllegalMapping { detail: "x".into() }
+            .to_string()
+            .contains("illegal mapping"));
+        assert!(SimError::WorkloadMismatch { detail: "y".into() }
+            .to_string()
+            .contains("workload"));
         assert!(SimError::Execution { detail: "z".into() }
             .to_string()
             .contains("execution"));

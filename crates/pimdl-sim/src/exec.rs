@@ -114,8 +114,8 @@ pub fn run_lut_kernel(
                         for local_r in 0..n_s {
                             let r = g * n_s + local_r;
                             let idx_row = &indices[r * w.cb..(r + 1) * w.cb];
-                            let out_row = &mut band[local_r * cols + col0
-                                ..local_r * cols + col0 + f_s];
+                            let out_row =
+                                &mut band[local_r * cols + col0..local_r * cols + col0 + f_s];
                             let mut acc = vec![0i32; f_s];
                             for (cb, &k) in idx_row.iter().enumerate() {
                                 let trow = (cb * w.ct + k as usize) * w.f + col0;
@@ -258,10 +258,7 @@ mod tests {
         }
     }
 
-    fn random_operands(
-        w: &LutWorkload,
-        seed: u64,
-    ) -> (Vec<u16>, Vec<i8>) {
+    fn random_operands(w: &LutWorkload, seed: u64) -> (Vec<u16>, Vec<i8>) {
         let mut rng = DataRng::new(seed);
         let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
         let table: Vec<i8> = (0..w.cb * w.ct * w.f)

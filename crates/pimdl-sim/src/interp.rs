@@ -374,9 +374,18 @@ mod tests {
             .unwrap();
             let cost = estimate_cost(&p, &w, &m).unwrap();
             assert_eq!(stats.index_loads, cost.accesses.index_loads, "{traversal}");
-            assert_eq!(stats.output_loads, cost.accesses.output_loads, "{traversal}");
-            assert_eq!(stats.output_stores, cost.accesses.output_stores, "{traversal}");
-            assert_eq!(stats.lut_accesses, cost.accesses.lut_accesses, "{traversal}");
+            assert_eq!(
+                stats.output_loads, cost.accesses.output_loads,
+                "{traversal}"
+            );
+            assert_eq!(
+                stats.output_stores, cost.accesses.output_stores,
+                "{traversal}"
+            );
+            assert_eq!(
+                stats.lut_accesses, cost.accesses.lut_accesses,
+                "{traversal}"
+            );
             assert_eq!(stats.lut_bytes, cost.accesses.lut_bytes, "{traversal}");
             assert_eq!(stats.reduce_ops, cost.accesses.reduce_ops, "{traversal}");
         }
@@ -495,6 +504,11 @@ mod tests {
         let cost = estimate_cost(&p, &w, &m).unwrap();
         let model = cost.time.micro_kernel_total_s();
         let rel = (stats.time_s - model).abs() / model;
-        assert!(rel < 0.05, "interp {} vs model {} ({rel})", stats.time_s, model);
+        assert!(
+            rel < 0.05,
+            "interp {} vs model {} ({rel})",
+            stats.time_s,
+            model
+        );
     }
 }

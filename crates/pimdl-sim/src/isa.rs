@@ -188,9 +188,9 @@ pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> 
     if k.n_mtile == 0
         || k.f_mtile == 0
         || k.cb_mtile == 0
-        || m.n_stile % k.n_mtile != 0
-        || m.f_stile % k.f_mtile != 0
-        || w.cb % k.cb_mtile != 0
+        || !m.n_stile.is_multiple_of(k.n_mtile)
+        || !m.f_stile.is_multiple_of(k.f_mtile)
+        || !w.cb.is_multiple_of(k.cb_mtile)
     {
         return Err(SimError::IllegalMapping {
             detail: format!("micro-kernel tiles do not divide the sub-LUT tile: {m:?}"),
@@ -198,7 +198,10 @@ pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> 
     }
     match k.load_scheme {
         LoadScheme::CoarseGrain { cb_load, f_load } => {
-            if cb_load == 0 || f_load == 0 || k.cb_mtile % cb_load != 0 || k.f_mtile % f_load != 0
+            if cb_load == 0
+                || f_load == 0
+                || !k.cb_mtile.is_multiple_of(cb_load)
+                || !k.f_mtile.is_multiple_of(f_load)
             {
                 return Err(SimError::IllegalMapping {
                     detail: "coarse load factors do not divide the micro tiles".to_string(),
@@ -206,7 +209,7 @@ pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> 
             }
         }
         LoadScheme::FineGrain { f_load, threads } => {
-            if f_load == 0 || threads == 0 || k.f_mtile % f_load != 0 {
+            if f_load == 0 || threads == 0 || !k.f_mtile.is_multiple_of(f_load) {
                 return Err(SimError::IllegalMapping {
                     detail: "fine load factor does not divide the micro tile".to_string(),
                 });
@@ -270,7 +273,10 @@ pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> 
                 // Output MTile depends on (n, f).
                 if cur_output != Some((n0, f0)) {
                     if let Some(prev) = cur_output {
-                        instrs.push(Instr::StoreOutput { n0: prev.0, f0: prev.1 });
+                        instrs.push(Instr::StoreOutput {
+                            n0: prev.0,
+                            f0: prev.1,
+                        });
                     }
                     if visited.contains_key(&(n0, f0)) {
                         instrs.push(Instr::LoadOutput { n0, f0 });
@@ -327,7 +333,10 @@ pub fn compile(workload: &LutWorkload, mapping: &Mapping) -> Result<PimProgram> 
         }
     }
     if let Some(prev) = cur_output {
-        instrs.push(Instr::StoreOutput { n0: prev.0, f0: prev.1 });
+        instrs.push(Instr::StoreOutput {
+            n0: prev.0,
+            f0: prev.1,
+        });
     }
 
     Ok(PimProgram {
@@ -410,7 +419,11 @@ mod tests {
             let (_, _, _, lut, _) = p.instruction_mix();
             let trips = m.trip_counts(&w);
             let chunks_per_mtile = ((m.kernel.cb_mtile / 2) * (m.kernel.f_mtile / 2)) as u64;
-            assert_eq!(lut, trips.0 * trips.1 * trips.2 * chunks_per_mtile, "{traversal}");
+            assert_eq!(
+                lut,
+                trips.0 * trips.1 * trips.2 * chunks_per_mtile,
+                "{traversal}"
+            );
         }
 
         // Single-chunk MTiles (chunk == MTile): the chunk survives across
@@ -441,7 +454,7 @@ mod tests {
         let p = compile(&w, &m).unwrap();
         let (_, _, _, lut, acc) = p.instruction_mix();
         assert_eq!(lut, 0); // fine-grain gathers live inside the accumulate
-        // Gather instrs: per (n,f,cb) mtile: cb_m × (f_m / f_load).
+                            // Gather instrs: per (n,f,cb) mtile: cb_m × (f_m / f_load).
         let trips = m.trip_counts(&w);
         let per_mtile = (m.kernel.cb_mtile * (m.kernel.f_mtile / 4)) as u64;
         assert_eq!(acc, trips.0 * trips.1 * trips.2 * per_mtile);

@@ -126,11 +126,7 @@ impl TraversalOrder {
     /// iterate inside it; it reloads whenever a loop it depends on — or any
     /// loop *outside* such a loop — advances. Loops with a single
     /// iteration never change the tile and are ignored.
-    pub fn load_count(
-        self,
-        trips: (u64, u64, u64),
-        uses: (bool, bool, bool),
-    ) -> u64 {
+    pub fn load_count(self, trips: (u64, u64, u64), uses: (bool, bool, bool)) -> u64 {
         let trip = |d: LoopDim| match d {
             LoopDim::N => trips.0,
             LoopDim::F => trips.1,
@@ -253,10 +249,16 @@ impl Mapping {
             return fail("zero sub-LUT tile".to_string());
         }
         if !w.n.is_multiple_of(self.n_stile) {
-            return fail(format!("N_s-tile {} does not divide N {}", self.n_stile, w.n));
+            return fail(format!(
+                "N_s-tile {} does not divide N {}",
+                self.n_stile, w.n
+            ));
         }
         if !w.f.is_multiple_of(self.f_stile) {
-            return fail(format!("F_s-tile {} does not divide F {}", self.f_stile, w.f));
+            return fail(format!(
+                "F_s-tile {} does not divide F {}",
+                self.f_stile, w.f
+            ));
         }
         let pes = self.groups(w) * self.pes_per_group(w);
         if pes != platform.num_pes {

@@ -270,6 +270,9 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(many.max_kernel_s / many.mean_kernel_s >= large.max_kernel_s / large.mean_kernel_s * 0.95);
+        assert!(
+            many.max_kernel_s / many.mean_kernel_s
+                >= large.max_kernel_s / large.mean_kernel_s * 0.95
+        );
     }
 }

@@ -190,7 +190,10 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix>
 /// assert!((c.get(0, 0) - exact.get(0, 0)).abs() < 0.05);
 /// # Ok::<(), pimdl_tensor::TensorError>(())
 /// ```
-pub fn matmul_quant(a: &crate::quant::QuantMatrix, b: &crate::quant::QuantMatrix) -> Result<Matrix> {
+pub fn matmul_quant(
+    a: &crate::quant::QuantMatrix,
+    b: &crate::quant::QuantMatrix,
+) -> Result<Matrix> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_quant",

@@ -148,12 +148,7 @@ pub fn layernorm_backward(
         // where g = dy * gamma.
         let g: Vec<f32> = (0..h).map(|c| dy_row[c] * gamma[c]).collect();
         let g_mean = g.iter().sum::<f32>() / h as f32;
-        let gn_mean = g
-            .iter()
-            .zip(norm_row)
-            .map(|(gi, ni)| gi * ni)
-            .sum::<f32>()
-            / h as f32;
+        let gn_mean = g.iter().zip(norm_row).map(|(gi, ni)| gi * ni).sum::<f32>() / h as f32;
         let istd = cache.inv_std[r];
         for c in 0..h {
             dx.set(r, c, (g[c] - g_mean - norm_row[c] * gn_mean) * istd);
@@ -207,7 +202,12 @@ mod tests {
         let (y, _) = layernorm_forward(&x, &gamma, &beta).unwrap();
         for r in 0..5 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
-            let var: f32 = y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
             assert!(mean.abs() < 1e-4, "mean={mean}");
             assert!((var - 1.0).abs() < 1e-2, "var={var}");
         }

@@ -7,9 +7,8 @@ use pimdl_tensor::rng::DataRng;
 use pimdl_tensor::{elementwise, gemm, norm, Matrix};
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        DataRng::new(seed).uniform_matrix(r, c, -10.0, 10.0)
-    })
+    (1..=max_dim, 1..=max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| DataRng::new(seed).uniform_matrix(r, c, -10.0, 10.0))
 }
 
 proptest! {

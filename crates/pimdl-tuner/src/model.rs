@@ -262,10 +262,8 @@ mod tests {
         let w = workload();
         let m = mapping(LoadScheme::Static);
         let pred = analytical_cost(&p, &w, &m).unwrap();
-        let parts = pred.kernel_index_s
-            + pred.kernel_lut_s
-            + pred.kernel_output_s
-            + pred.kernel_reduce_s;
+        let parts =
+            pred.kernel_index_s + pred.kernel_lut_s + pred.kernel_output_s + pred.kernel_reduce_s;
         assert!((pred.micro_kernel_s - parts).abs() < 1e-15);
         assert!((pred.total_s() - (pred.sub_lut_s + pred.micro_kernel_s)).abs() < 1e-15);
     }

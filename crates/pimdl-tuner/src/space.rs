@@ -46,7 +46,10 @@ pub fn tile_candidates(dim: usize) -> Vec<usize> {
 
 /// Legal sub-LUT tiling factors (**P1**): every `(N_s-tile, F_s-tile)` pair
 /// satisfying Eq. 5 (`(N/N_s)·(F/F_s) = #PE`) with integral tiles.
-pub fn sub_lut_candidates(workload: &LutWorkload, platform: &PlatformConfig) -> Vec<(usize, usize)> {
+pub fn sub_lut_candidates(
+    workload: &LutWorkload,
+    platform: &PlatformConfig,
+) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for groups in divisors(platform.num_pes) {
         let per_group = platform.num_pes / groups;

@@ -75,32 +75,33 @@ pub fn tune_with_options(
         });
     }
 
-    let score_pair = |&(n_s, f_s): &(usize, usize)| -> (Option<(Mapping, AnalyticalBreakdown)>, usize) {
-        let mut best: Option<(Mapping, AnalyticalBreakdown)> = None;
-        let mut evaluated = 0;
-        let mut kernels = kernel_candidates(workload, platform, n_s, f_s);
-        if options.max_kernels_per_pair > 0 && kernels.len() > options.max_kernels_per_pair {
-            // Thin uniformly: a prefix truncation would drop everything the
-            // enumeration generates last (the large-tile candidates).
-            let stride = kernels.len().div_ceil(options.max_kernels_per_pair);
-            kernels = kernels.into_iter().step_by(stride).collect();
-        }
-        for kernel in kernels {
-            let mapping = mapping_of(n_s, f_s, kernel);
-            let Ok(pred) = analytical_cost(platform, workload, &mapping) else {
-                continue;
-            };
-            evaluated += 1;
-            let better = match &best {
-                None => true,
-                Some((_, b)) => pred.total_s() < b.total_s(),
-            };
-            if better {
-                best = Some((mapping, pred));
+    let score_pair =
+        |&(n_s, f_s): &(usize, usize)| -> (Option<(Mapping, AnalyticalBreakdown)>, usize) {
+            let mut best: Option<(Mapping, AnalyticalBreakdown)> = None;
+            let mut evaluated = 0;
+            let mut kernels = kernel_candidates(workload, platform, n_s, f_s);
+            if options.max_kernels_per_pair > 0 && kernels.len() > options.max_kernels_per_pair {
+                // Thin uniformly: a prefix truncation would drop everything the
+                // enumeration generates last (the large-tile candidates).
+                let stride = kernels.len().div_ceil(options.max_kernels_per_pair);
+                kernels = kernels.into_iter().step_by(stride).collect();
             }
-        }
-        (best, evaluated)
-    };
+            for kernel in kernels {
+                let mapping = mapping_of(n_s, f_s, kernel);
+                let Ok(pred) = analytical_cost(platform, workload, &mapping) else {
+                    continue;
+                };
+                evaluated += 1;
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => pred.total_s() < b.total_s(),
+                };
+                if better {
+                    best = Some((mapping, pred));
+                }
+            }
+            (best, evaluated)
+        };
 
     let results: Vec<(Option<(Mapping, AnalyticalBreakdown)>, usize)> = if options.parallel {
         crossbeam::scope(|scope| {

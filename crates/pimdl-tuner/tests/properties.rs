@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use pimdl_sim::cost::estimate_cost;
 use pimdl_sim::{LoadScheme, LutWorkload, PlatformConfig};
 use pimdl_tuner::model::{analytical_cost, relative_error};
-use pimdl_tuner::space::{divisors, kernel_candidates, mapping_of, sub_lut_candidates, tile_candidates};
+use pimdl_tuner::space::{
+    divisors, kernel_candidates, mapping_of, sub_lut_candidates, tile_candidates,
+};
 use pimdl_tuner::{tune_with_options, TuneOptions};
 
 proptest! {

@@ -85,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut variant = m;
         variant.kernel.traversal = order;
         if let Ok(c) = estimate_cost(&platform, &workload, &variant) {
-            println!("  {:6} {:9.2} ms", order.to_string(), c.time.total_s() * 1e3);
+            println!(
+                "  {:6} {:9.2} ms",
+                order.to_string(),
+                c.time.total_s() * 1e3
+            );
         }
     }
 
@@ -100,9 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             analytical_cost(&platform, &workload, &candidate),
             estimate_cost(&platform, &workload, &candidate),
         ) {
-            errors.push(
-                (pred.total_s() - meas.time.total_s()).abs() / meas.time.total_s(),
-            );
+            errors.push((pred.total_s() - meas.time.total_s()).abs() / meas.time.total_s());
         }
     }
     let avg = errors.iter().sum::<f64>() / errors.len().max(1) as f64;

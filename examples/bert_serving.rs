@@ -75,9 +75,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let int8 = host_inference(&HostModel::cpu_int8(), &shape, batch, seq_len, 1).total_s();
     let gemm = pim_gemm_inference(&platform, &shape, batch, seq_len).total_s();
     println!("\nBaselines:");
-    println!("  CPU FP32 (GGML)  {fp32:8.2} s   -> PIM-DL speedup {:.2}x", fp32 / report.total_s);
-    println!("  CPU INT8 (GGML)  {int8:8.2} s   -> PIM-DL speedup {:.2}x", int8 / report.total_s);
-    println!("  GEMM on PIM      {gemm:8.2} s   -> PIM-DL speedup {:.2}x", gemm / report.total_s);
+    println!(
+        "  CPU FP32 (GGML)  {fp32:8.2} s   -> PIM-DL speedup {:.2}x",
+        fp32 / report.total_s
+    );
+    println!(
+        "  CPU INT8 (GGML)  {int8:8.2} s   -> PIM-DL speedup {:.2}x",
+        int8 / report.total_s
+    );
+    println!(
+        "  GEMM on PIM      {gemm:8.2} s   -> PIM-DL speedup {:.2}x",
+        gemm / report.total_s
+    );
     println!(
         "\nPaper reference (batch 64, seq 512, geomean over 3 models): 3.07x vs FP32, 1.71x vs INT8, 18.91x vs GEMM-on-PIM"
     );

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         classes: task.classes(),
     };
     let mut model = TransformerClassifier::new(&model_cfg, &mut rng);
-    println!("training dense transformer on synthetic '{}' task...", task.glue_name());
+    println!(
+        "training dense transformer on synthetic '{}' task...",
+        task.glue_name()
+    );
     let stats = train(
         &mut model,
         &train_set,
@@ -95,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (elut, cstats) = convert_elutnn(&model, &calib_set, &ccfg)?;
     let elut_acc = lut_accuracy(&elut, &test_set, true)?;
-    println!("  eLUT-NN (recon loss + STE fine-tuning):                {:.1} %", 100.0 * elut_acc);
+    println!(
+        "  eLUT-NN (recon loss + STE fine-tuning):                {:.1} %",
+        100.0 * elut_acc
+    );
     println!(
         "  calibration loss trajectory: {:?}",
         cstats

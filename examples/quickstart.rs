@@ -11,8 +11,8 @@ use pimdl::lutnn::pq::ProductQuantizer;
 use pimdl::sim::cost::estimate_cost;
 use pimdl::sim::exec::{run_lut_kernel, LutKernelData};
 use pimdl::sim::{LutWorkload, PlatformConfig};
-use pimdl::tensor::rng::DataRng;
 use pimdl::tensor::gemm;
+use pimdl::tensor::rng::DataRng;
 use pimdl::tuner::tune;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

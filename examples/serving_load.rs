@@ -52,11 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })?;
         println!(
             "{:>14.2} {:>14.2} {:>11.1} {:>10.2} s {:>10.2} s",
-            rate,
-            stats.throughput_rps,
-            stats.mean_batch,
-            stats.p50_latency_s,
-            stats.p95_latency_s
+            rate, stats.throughput_rps, stats.mean_batch, stats.p50_latency_s, stats.p95_latency_s
         );
     }
     println!(

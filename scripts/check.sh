@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge gate for the serving runtime: formatting, lints, and the
+# pimdl-serve test suite, all offline (see README.md, "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -p pimdl-serve -- -D warnings"
+cargo clippy --offline -p pimdl-serve -- -D warnings
+
+echo "==> cargo test -p pimdl-serve --offline"
+cargo test --offline -p pimdl-serve
+
+echo "All checks passed."

@@ -66,9 +66,7 @@ fn run() -> Result<(), CliError> {
     }
 }
 
-fn parse_flags(
-    args: impl Iterator<Item = String>,
-) -> Result<HashMap<String, String>, CliError> {
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -83,7 +81,11 @@ fn parse_flags(
     Ok(flags)
 }
 
-fn flag_usize(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, CliError> {
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, CliError> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => Ok(v.parse()?),
@@ -274,8 +276,12 @@ fn serve_cmd(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let fp32 = host_inference(&HostModel::cpu_fp32(), &shape, cfg.batch, cfg.seq_len, 4).total_s();
     let int8 = host_inference(&HostModel::cpu_int8(), &shape, cfg.batch, cfg.seq_len, 1).total_s();
     let gemm = pim_gemm_inference(&platform, &shape, cfg.batch, cfg.seq_len).total_s();
-    println!("\nspeedups: {:.2}x vs CPU FP32 | {:.2}x vs CPU INT8 | {:.2}x vs GEMM-on-PIM",
-        fp32 / report.total_s, int8 / report.total_s, gemm / report.total_s);
+    println!(
+        "\nspeedups: {:.2}x vs CPU FP32 | {:.2}x vs CPU INT8 | {:.2}x vs GEMM-on-PIM",
+        fp32 / report.total_s,
+        int8 / report.total_s,
+        gemm / report.total_s
+    );
     Ok(())
 }
 
@@ -292,10 +298,7 @@ fn trace_cmd(flags: &HashMap<String, String>) -> Result<(), CliError> {
         &workload,
         &tuned.mapping,
         1.0 / workload.ct as f64,
-        PeVariation {
-            amplitude,
-            seed: 1,
-        },
+        PeVariation { amplitude, seed: 1 },
     )?;
     println!(
         "kernel on {} PEs | PE speed variation amplitude {:.0} %",
@@ -319,8 +322,8 @@ fn trace_cmd(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let span = (trace.max_kernel_s - trace.min_kernel_s).max(1e-18);
     let mut hist = vec![0usize; buckets];
     for e in &trace.entries {
-        let b = (((e.kernel_s - trace.min_kernel_s) / span) * (buckets - 1) as f64).round()
-            as usize;
+        let b =
+            (((e.kernel_s - trace.min_kernel_s) / span) * (buckets - 1) as f64).round() as usize;
         hist[b.min(buckets - 1)] += 1;
     }
     println!("\nper-PE time distribution (fast -> slow):");

@@ -14,6 +14,9 @@
 //! * [`tuner`] — the analytical dataflow model and Algorithm-1 auto-tuner.
 //! * [`engine`] — end-to-end transformer serving on DRAM-PIM platforms plus
 //!   CPU/GPU/PIM-GEMM baselines.
+//! * [`serve`] — multi-threaded serving runtime: bounded admission,
+//!   continuous batching, least-loaded DIMM-shard routing, and latency
+//!   metrics (with a deterministic virtual-clock driver for tests).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 pub use pimdl_engine as engine;
 pub use pimdl_lutnn as lutnn;
 pub use pimdl_nn as nn;
+pub use pimdl_serve as serve;
 pub use pimdl_sim as sim;
 pub use pimdl_tensor as tensor;
 pub use pimdl_tuner as tuner;

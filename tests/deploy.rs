@@ -3,7 +3,7 @@
 //! identical predictions — the artifact the converter ships to a PIM
 //! serving host.
 
-use pimdl::lutnn::calibrate::{convert_kmeans_only};
+use pimdl::lutnn::calibrate::convert_kmeans_only;
 use pimdl::lutnn::convert::LutClassifier;
 use pimdl::nn::data::{nlp_dataset, NlpTask};
 use pimdl::nn::embedding::SequenceInput;

@@ -97,8 +97,7 @@ fn interpreted_pim_binary_matches_functional_executor() {
         let mut assembled = Matrix::zeros(w.n, w.f);
         for group in 0..m.groups(&w) {
             for member in 0..m.pes_per_group(&w) {
-                let (idx_tile, lut_tile) =
-                    pe_operands(&w, &m, &indices, &table, group, member);
+                let (idx_tile, lut_tile) = pe_operands(&w, &m, &indices, &table, group, member);
                 let (pe_out, stats) = interpret(
                     &program,
                     &platform,

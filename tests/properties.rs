@@ -12,8 +12,8 @@ use pimdl::sim::cost::{cost_with_repeat, estimate_cost};
 use pimdl::sim::exec::{measure_repeat_fraction, run_lut_kernel, LutKernelData};
 use pimdl::sim::mapping::MicroKernel;
 use pimdl::sim::{LoadScheme, LutWorkload, Mapping, PlatformConfig, TraversalOrder};
-use pimdl::tensor::rng::DataRng;
 use pimdl::tensor::gemm;
+use pimdl::tensor::rng::DataRng;
 use pimdl::tuner::tune;
 
 proptest! {

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`.
+//!
+//! The workspace only uses `crossbeam::scope` for fork-join parallelism
+//! over disjoint output bands; since Rust 1.63 the standard library's
+//! scoped threads cover that use exactly. This stub keeps the crossbeam
+//! call-site shape (`crossbeam::scope(|scope| { scope.spawn(|_| ...) })`)
+//! so the kernels compile unchanged in the offline build environment.
+
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// Spawn closures receive a `&Scope` argument (crossbeam's signature) so
+/// nested spawns remain possible.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread, passing the scope back into the closure.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads are joined before returning,
+/// mirroring `crossbeam::scope`.
+///
+/// # Errors
+///
+/// Never returns `Err`: child panics propagate out of the enclosing
+/// `std::thread::scope` instead (crossbeam would collect them). Call sites
+/// written for crossbeam `.expect(..)` the result either way.
+#[allow(clippy::missing_panics_doc)]
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Alias module so `crossbeam::thread::scope` also resolves.
+pub mod thread_mod {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let mut data = vec![0u32; 4];
+        {
+            let chunks: Vec<&mut [u32]> = data.chunks_mut(2).collect();
+            super::scope(|scope| {
+                for (i, chunk) in chunks.into_iter().enumerate() {
+                    scope.spawn(move |_| {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (i * 2 + j) as u32;
+                        }
+                    });
+                }
+            })
+            .expect("threads");
+        }
+        assert_eq!(data, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::scope(|scope| {
+            let h = scope.spawn(|_| 21);
+            h.join().expect("join") * 2
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

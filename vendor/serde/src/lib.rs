@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde`.
+//!
+//! Upstream serde is a zero-copy visitor framework; this workspace only
+//! ever derives `Serialize`/`Deserialize` on plain data structs and enums
+//! and round-trips them through `serde_json` strings. The stand-in
+//! therefore uses a much simpler data model: every serializable value
+//! converts to/from the JSON-shaped [`Value`] tree, and the derive macros
+//! (`serde_derive`, re-exported under the `derive` feature) generate those
+//! conversions field by field, honoring `#[serde(default)]` and
+//! `#[serde(default = "path")]`.
+//!
+//! The encoding conventions match what upstream serde_json produces for
+//! derived types: structs are JSON objects, unit enum variants are
+//! strings, and data-carrying variants are externally tagged
+//! single-entry objects (`{"Variant": {...}}`), so documents written by a
+//! networked build remain readable here and vice versa.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped value tree — the serialization data model of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, negative).
+    Int(i64),
+    /// Unsigned integer (JSON number without fraction/exponent).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object; insertion-ordered so output is stable.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    detail: String,
+}
+
+impl DeError {
+    /// Creates an error with the given explanation.
+    pub fn new(detail: impl Into<String>) -> Self {
+        DeError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model (stand-in for
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serde_to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model (stand-in for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn serde_from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serde_to_value(&self) -> Value {
+        (**self).serde_to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serde_to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+/// The numeric content of a value, if any, widened to `f64` alongside
+/// exact integer forms.
+fn as_i128(v: &Value) -> Option<i128> {
+    match v {
+        Value::Int(i) => Some(i128::from(*i)),
+        Value::UInt(u) => Some(i128::from(*u)),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i128),
+        _ => None,
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serde_to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+                let i = as_i128(v)
+                    .ok_or_else(|| DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!(
+                    concat!("value {} out of range for ", stringify!($t)), i)))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serde_to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+                let i = as_i128(v)
+                    .ok_or_else(|| DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), v)))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(format!(
+                    concat!("value {} out of range for ", stringify!($t)), i)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serde_to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn serde_to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serde_to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializes into a leaked `'static` string.
+    ///
+    /// Upstream serde cannot deserialize `&'static str` from transient
+    /// input at all; several workspace types carry `&'static str` name
+    /// fields (normally built from literals) and still derive
+    /// `Deserialize` for JSON round-trips in tests and the CLI. Leaking
+    /// is acceptable there: the strings are tiny and bounded by the
+    /// number of documents parsed.
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serde_to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::new(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serde_to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serde_to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::serde_from_value).collect(),
+            other => Err(DeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serde_to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serde_to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serde_to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serde_to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serde_to_value(&self) -> Value {
+        match self {
+            Some(x) => x.serde_to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::serde_from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serde_to_value(&self) -> Value {
+        Value::Seq(vec![self.0.serde_to_value(), self.1.serde_to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => Ok((
+                A::serde_from_value(&items[0])?,
+                B::serde_from_value(&items[1])?,
+            )),
+            other => Err(DeError::new(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serde_to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serde_to_value(),
+            self.1.serde_to_value(),
+            self.2.serde_to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::serde_from_value(&items[0])?,
+                B::serde_from_value(&items[1])?,
+                C::serde_from_value(&items[2])?,
+            )),
+            other => Err(DeError::new(format!("expected 3-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serde_to_value(&self) -> Value {
+        // Sort for stable output: HashMap iteration order is arbitrary.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serde_to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::serde_from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serde_to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serde_to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::serde_from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serde_to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn serde_from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::serde_from_value(&42u32.serde_to_value()), Ok(42));
+        assert_eq!(i64::serde_from_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(f64::serde_from_value(&Value::Int(-3)), Ok(-3.0));
+        assert!(u8::serde_from_value(&Value::Int(300)).is_err());
+        assert!(bool::serde_from_value(&Value::Str("no".into())).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::serde_from_value(&v.serde_to_value()), Ok(v));
+        let o: Option<f32> = None;
+        assert_eq!(o.serde_to_value(), Value::Null);
+        assert_eq!(Option::<f32>::serde_from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::Bool(true))]);
+        assert_eq!(m.get("a"), Some(&Value::Bool(true)));
+        assert_eq!(m.get("b"), None);
+    }
+}

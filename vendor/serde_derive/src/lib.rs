@@ -1,0 +1,444 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! Upstream serde_derive builds on `syn`/`quote`; neither is available in
+//! this offline environment, so these macros parse the derive input token
+//! stream by hand. They cover exactly the shapes this workspace derives
+//! on:
+//!
+//! * structs with named fields (including `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes),
+//! * unit structs,
+//! * enums whose variants are unit or struct-like (named fields).
+//!
+//! Generics are not supported — no derived type in the workspace has any.
+//! The generated code targets the stand-in's `Value` data model
+//! (`serde::Serialize::serde_to_value` / `Deserialize::serde_from_value`)
+//! with the same JSON conventions upstream serde_json uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let mut s =
+                String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "entries.push((\"{name}\".to_string(), \
+                     ::serde::Serialize::serde_to_value(&self.{name})));\n",
+                    name = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(entries)");
+            s
+        }
+        Data::UnitStruct => format!("::serde::Value::Str(\"{}\".to_string())", item.name),
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                if v.fields.is_empty() {
+                    s.push_str(&format!(
+                        "{ty}::{var} => ::serde::Value::Str(\"{var}\".to_string()),\n",
+                        ty = item.name,
+                        var = v.name
+                    ));
+                } else {
+                    let pat: Vec<String> = v.fields.iter().map(|f| f.name.clone()).collect();
+                    s.push_str(&format!(
+                        "{ty}::{var} {{ {pat} }} => {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        ty = item.name,
+                        var = v.name,
+                        pat = pat.join(", ")
+                    ));
+                    for f in &v.fields {
+                        s.push_str(&format!(
+                            "entries.push((\"{name}\".to_string(), \
+                             ::serde::Serialize::serde_to_value({name})));\n",
+                            name = f.name
+                        ));
+                    }
+                    s.push_str(&format!(
+                        "::serde::Value::Map(vec![(\"{var}\".to_string(), \
+                         ::serde::Value::Map(entries))])\n}},\n",
+                        var = v.name
+                    ));
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serde_to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = item.name,
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let mut s = format!(
+                "let map = match value {{\n\
+                 ::serde::Value::Map(m) => m,\n\
+                 other => return Err(::serde::DeError::new(format!(\n\
+                 \"expected object for {name}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 Ok({name} {{\n",
+                name = item.name
+            );
+            for f in fields {
+                s.push_str(&field_init(f, &item.name));
+            }
+            s.push_str("})");
+            s
+        }
+        Data::UnitStruct => format!(
+            "match value {{\n\
+             ::serde::Value::Str(s) if s == \"{name}\" => Ok({name}),\n\
+             ::serde::Value::Map(m) if m.is_empty() => Ok({name}),\n\
+             other => Err(::serde::DeError::new(format!(\n\
+             \"expected unit struct {name}, got {{other:?}}\"))),\n\
+             }}",
+            name = item.name
+        ),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                if v.fields.is_empty() {
+                    unit_arms.push_str(&format!(
+                        "\"{var}\" => Ok({ty}::{var}),\n",
+                        ty = item.name,
+                        var = v.name
+                    ));
+                } else {
+                    let mut fields_src = String::new();
+                    for f in &v.fields {
+                        fields_src.push_str(&field_init(f, &format!("{}::{}", item.name, v.name)));
+                    }
+                    data_arms.push_str(&format!(
+                        "\"{var}\" => {{\n\
+                         let map = match inner {{\n\
+                         ::serde::Value::Map(m) => m,\n\
+                         other => return Err(::serde::DeError::new(format!(\n\
+                         \"expected object for variant {ty}::{var}, got {{other:?}}\"))),\n\
+                         }};\n\
+                         Ok({ty}::{var} {{\n{fields_src}}})\n\
+                         }},\n",
+                        ty = item.name,
+                        var = v.name,
+                        fields_src = fields_src
+                    ));
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::new(format!(\n\
+                 \"unknown unit variant {{other}} for {ty}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(::serde::DeError::new(format!(\n\
+                 \"unknown variant {{other}} for {ty}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::new(format!(\n\
+                 \"expected string or single-key object for {ty}, got {{other:?}}\"))),\n\
+                 }}",
+                ty = item.name,
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn serde_from_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n",
+        name = item.name,
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// `field: <extract from map>,` source for a struct/variant initializer.
+fn field_init(f: &Field, owner: &str) -> String {
+    let missing = match &f.default {
+        FieldDefault::None => format!(
+            "return Err(::serde::DeError::new(\
+             \"missing field {name} for {owner}\".to_string()))",
+            name = f.name,
+            owner = owner.replace("::", " :: "),
+        ),
+        FieldDefault::DefaultTrait => "::core::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+    };
+    format!(
+        "{name}: match map.iter().find(|(k, _)| k == \"{name}\") {{\n\
+         Some((_, field_value)) => \
+         <{ty} as ::serde::Deserialize>::serde_from_value(field_value)?,\n\
+         None => {missing},\n\
+         }},\n",
+        name = f.name,
+        ty = f.ty,
+    )
+}
+
+/// How a missing field is filled during deserialization.
+enum FieldDefault {
+    /// No default: missing field is an error.
+    None,
+    /// `#[serde(default)]`: `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: FieldDefault,
+}
+
+struct Variant {
+    name: String,
+    fields: Vec<Field>,
+}
+
+enum Data {
+    Struct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+/// Parses the derive input: attributes, visibility, `struct`/`enum`,
+/// name, body. Panics with a clear message on unsupported shapes
+/// (generics, tuple structs/variants) — compile-time feedback is the
+/// right failure mode for a derive.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stand-in): generic type {name} is not supported");
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive (offline stand-in): tuple struct {name} is not supported")
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for {other} items"),
+    };
+    Item { name, data }
+}
+
+/// Advances `pos` past outer attributes (`#[...]`) and visibility
+/// (`pub`, `pub(...)`), returning any `#[serde(...)]` attribute contents
+/// seen along the way.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> Vec<TokenStream> {
+    let mut serde_attrs = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    if let Some(ts) = serde_attr_contents(g.stream()) {
+                        serde_attrs.push(ts);
+                    }
+                }
+                *pos += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return serde_attrs,
+        }
+    }
+}
+
+/// If an attribute body (the tokens inside `#[...]`) is `serde(...)`,
+/// returns the parenthesized contents.
+fn serde_attr_contents(attr: TokenStream) -> Option<TokenStream> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g.stream())
+        }
+        _ => None,
+    }
+}
+
+/// Parses `default` / `default = "path"` from `#[serde(...)]` contents.
+fn parse_default(attrs: &[TokenStream]) -> FieldDefault {
+    for attr in attrs {
+        let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            if let TokenTree::Ident(id) = &tokens[i] {
+                if id.to_string() == "default" {
+                    // `default = "path"`?
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (tokens.get(i + 1), tokens.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let raw = lit.to_string();
+                            let path = raw.trim_matches('"').to_string();
+                            return FieldDefault::Path(path);
+                        }
+                    }
+                    return FieldDefault::DefaultTrait;
+                }
+            }
+            i += 1;
+        }
+    }
+    FieldDefault::None
+}
+
+/// Parses named fields: `attrs vis name: Type, ...`.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let serde_attrs = skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde_derive: expected `:` after field {name}, got {other} \
+                 (tuple fields are not supported)"
+            ),
+        }
+        // Collect type tokens up to the next top-level comma, tracking
+        // angle-bracket depth so `HashMap<String, f64>` stays whole.
+        // Delimited groups are single trees, so parens/brackets nest free.
+        let mut depth = 0i32;
+        let mut ty = String::new();
+        let mut glue_next = false;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            if !ty.is_empty() && !glue_next {
+                ty.push(' ');
+            }
+            ty.push_str(&tokens[pos].to_string());
+            // A lifetime arrives as a joint `'` punct followed by its
+            // ident; a space between them would not re-parse.
+            glue_next = matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '\'');
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            ty,
+            default: parse_default(&serde_attrs),
+        });
+    }
+    fields
+}
+
+/// Parses enum variants: `attrs Name { fields }?, ...`.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in {enum_name}, got {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive (offline stand-in): tuple variant \
+                     {enum_name}::{name} is not supported"
+                )
+            }
+            _ => Vec::new(),
+        };
+        // Skip to the next top-level comma (covers discriminants, which
+        // derived enums here do not use anyway).
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
