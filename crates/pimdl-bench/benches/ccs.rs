@@ -1,6 +1,7 @@
 //! Measures the closest-centroid-search (CCS) operator: plain L2 search vs
-//! the inner-product formulation the paper's host kernels use, plus the
-//! INT8 vs f32 gather on the LUT side (the two halves of LUT-NN inference).
+//! the inner-product formulation the paper's host kernels use vs the
+//! interleaved-layout kernel, plus the INT8 vs f32 gather on the LUT side
+//! (the two halves of LUT-NN inference).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -25,6 +26,11 @@ fn bench_ccs(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("inner_product", ct), &ct, |b, _| {
             b.iter(|| pq.encode_via_inner_product(black_box(&x)).expect("encode"))
+        });
+        // The production layout: centroid-interleaved lanes + unrolled V.
+        let cbs = pq.interleaved();
+        group.bench_with_input(BenchmarkId::new("interleaved", ct), &ct, |b, _| {
+            b.iter(|| cbs.encode(black_box(&x)).expect("encode"))
         });
     }
 

@@ -9,6 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pimdl_lutnn::kernels::lut_linear_fused;
 use pimdl_lutnn::lut::{lut_linear, LutTable};
 use pimdl_lutnn::pq::ProductQuantizer;
 use pimdl_tensor::rng::DataRng;
@@ -55,6 +56,27 @@ fn bench_gemm_vs_lut(c: &mut Criterion) {
         let (x, _, pq, lut) = setup(4, ct);
         group.bench_with_input(BenchmarkId::new("lut_ct", ct), &ct, |b, _| {
             b.iter(|| lut_linear(black_box(&x), black_box(&pq), black_box(&lut)).expect("lut"))
+        });
+    }
+
+    // The fused production kernel on the same sweeps: single pass, no
+    // materialized index matrix.
+    for v in [2usize, 4, 8, 16] {
+        let (x, _, pq, lut) = setup(v, 16);
+        let cbs = pq.interleaved();
+        group.bench_with_input(BenchmarkId::new("lut_fused_v", v), &v, |b, _| {
+            b.iter(|| {
+                lut_linear_fused(black_box(&x), black_box(&cbs), black_box(&lut)).expect("fused")
+            })
+        });
+    }
+    for ct in [64usize, 32, 16, 8] {
+        let (x, _, pq, lut) = setup(4, ct);
+        let cbs = pq.interleaved();
+        group.bench_with_input(BenchmarkId::new("lut_fused_ct", ct), &ct, |b, _| {
+            b.iter(|| {
+                lut_linear_fused(black_box(&x), black_box(&cbs), black_box(&lut)).expect("fused")
+            })
         });
     }
     group.finish();

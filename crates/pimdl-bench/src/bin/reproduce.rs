@@ -1,31 +1,37 @@
 //! `reproduce` — regenerates every table and figure of the PIM-DL paper.
 //!
 //! ```text
-//! reproduce <experiment> [--json DIR] [--quick]
+//! reproduce <experiment> [--json DIR] [--quick] [--smoke]
 //!
 //! experiments:
 //!   table1  fig3  fig4  table4  table5  fig10  fig11  fig12  fig13
 //!   fig14  fig15  tuner-error  data-efficiency  discussion  scaling  serving
-//!   elutnn-ablation  all
+//!   elutnn-ablation  bench_kernels  all
 //! ```
 //!
 //! `--quick` shrinks the workload sizes (useful for smoke runs); the
 //! paper-scale defaults are used otherwise. `--json DIR` additionally
 //! writes each result as JSON for EXPERIMENTS.md bookkeeping.
+//!
+//! `bench_kernels` times the host CCS+LUT kernel trajectory (scalar →
+//! blocked → fused → fused+pool) and writes `BENCH_kernels.json` to the
+//! current directory. `--smoke` shrinks it to a CI-friendly shape and
+//! asserts the fused kernel is not slower than the scalar baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use pimdl_bench::experiments::{
-    accuracy, data_efficiency, discussion, elutnn_ablation, fig10, fig11, fig12, fig13, fig14,
-    fig15, fig3, fig4, scaling, serving, table1, tuner_error,
+    accuracy, bench_kernels, data_efficiency, discussion, elutnn_ablation, fig10, fig11, fig12,
+    fig13, fig14, fig15, fig3, fig4, scaling, serving, table1, tuner_error,
 };
 use pimdl_bench::report::write_json;
 
 struct Options {
     json_dir: Option<PathBuf>,
     quick: bool,
+    smoke: bool,
 }
 
 fn main() -> ExitCode {
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
     let mut options = Options {
         json_dir: None,
         quick: false,
+        smoke: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => options.quick = true,
+            "--smoke" => options.smoke = true,
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -258,6 +266,30 @@ fn dispatch(which: &str, options: &Options) -> Result<String, Box<dyn std::error
             let r = tuner_error::run(cap)?;
             json("tuner_error", &r)?;
             Ok(tuner_error::render(&r))
+        }
+        "bench_kernels" | "bench-kernels" => {
+            let (shape, reps) = if options.smoke {
+                (bench_kernels::KernelShape::smoke(), 3)
+            } else {
+                (bench_kernels::KernelShape::serving(), 15)
+            };
+            let r = bench_kernels::run(&shape, reps)?;
+            if options.smoke {
+                // CI guard: fusion must never regress below the scalar
+                // two-pass. Best-of-reps timing keeps this non-flaky.
+                let fused = r.rows_per_s("fused");
+                let scalar = r.rows_per_s("scalar");
+                if fused < scalar {
+                    return Err(format!(
+                        "fused kernel slower than scalar: {fused:.0} vs {scalar:.0} rows/s"
+                    )
+                    .into());
+                }
+            } else {
+                write_json(std::path::Path::new("."), "BENCH_kernels", &r)?;
+            }
+            json("bench_kernels", &r)?;
+            Ok(bench_kernels::render(&r))
         }
         other => Err(format!("unknown experiment: {other}").into()),
     }

@@ -3,6 +3,7 @@
 //! and a `render(&result)` producing the text report.
 
 pub mod accuracy;
+pub mod bench_kernels;
 pub mod data_efficiency;
 pub mod discussion;
 pub mod elutnn_ablation;

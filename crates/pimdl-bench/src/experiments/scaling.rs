@@ -157,6 +157,6 @@ mod tests {
         let r = run(4, 32).unwrap();
         let s = render(&r);
         assert!(s.contains("DIMM scalability"));
-        assert_eq!(s.matches('%').count() >= 6, true);
+        assert!(s.matches('%').count() >= 6);
     }
 }

@@ -126,6 +126,10 @@ pub struct RuntimeLoadPoint {
     pub runtime: MetricsSnapshot,
     /// Runtime achieved throughput: completed requests / makespan.
     pub runtime_throughput_rps: f64,
+    /// Remaining runtime-vs-DES throughput gap: runtime achieved rate over
+    /// the DES achieved rate. Both sides divide by their drained makespan,
+    /// so a value near 1.0 means the two accounting models agree.
+    pub throughput_gap: f64,
 }
 
 /// Arrival-rate sweep through the `pimdl-serve` runtime next to the
@@ -222,11 +226,13 @@ pub fn run_vs_runtime(
         };
         let runtime_throughput_rps =
             report.completed() as f64 / report.makespan_s.max(f64::MIN_POSITIVE);
+        let throughput_gap = runtime_throughput_rps / stats.throughput_rps.max(f64::MIN_POSITIVE);
         points.push(RuntimeLoadPoint {
             offered_rps: rate,
             sim: stats,
             runtime: report.metrics,
             runtime_throughput_rps,
+            throughput_gap,
         });
     }
     Ok(RuntimeComparison {
@@ -250,6 +256,7 @@ pub fn render_vs_runtime(result: &RuntimeComparison) -> String {
         "Runtime rps",
         "RT batch",
         "RT p95",
+        "RT/DES",
     ]);
     for p in &result.points {
         t.row(vec![
@@ -260,6 +267,7 @@ pub fn render_vs_runtime(result: &RuntimeComparison) -> String {
             format!("{:.2}", p.runtime_throughput_rps),
             format!("{:.1}", p.runtime.mean_batch),
             format!("{:.2} s", p.runtime.p95_latency_s),
+            format!("{:.2}x", p.throughput_gap),
         ]);
     }
     format!(

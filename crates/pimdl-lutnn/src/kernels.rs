@@ -1,0 +1,879 @@
+//! Optimized host kernels for LUT-NN inference: interleaved centroid
+//! layouts, unrolled distance kernels, and the fused CCS+LUT operator.
+//!
+//! The hot path of LUT-NN serving is host-side closest-centroid search (CCS)
+//! feeding the LUT gather (paper §3.3, Fig. 11). The reference operators in
+//! [`pq`](crate::pq) and [`lut`](crate::lut) are written for clarity: CCS
+//! walks row-major centroids one sub-vector at a time, and `lut_linear`
+//! materializes a full [`IndexMatrix`] between two passes over memory. This
+//! module provides the production layout and kernels:
+//!
+//! * [`InterleavedCodebooks`] — codebook-major, **centroid-interleaved**
+//!   centroid storage: within one codebook, dimension `d` of all `CT`
+//!   centroids is contiguous (`data[(cb·V + d)·CT + k]`), so the inner CCS
+//!   loop over candidate centroids streams unit-stride and autovectorizes.
+//!   Distance kernels are monomorphized for V ∈ {1, 2, 4, 8, 16} (fully
+//!   unrolled over `V`) with a lane-wise generic fallback.
+//! * [`lut_linear_fused`] / [`lut_linear_fused_quant`] — encode a tile of
+//!   rows and immediately gather/accumulate it into the output, tiled over
+//!   rows ([`FUSED_ROW_TILE`]) and output features ([`FUSED_F_TILE`]) so the
+//!   active LUT slice stays cache-resident. The intermediate index matrix is
+//!   never materialized beyond one row tile.
+//! * `*_parallel` variants — partition rows across the persistent
+//!   [`WorkerPool`], not per-call spawned threads.
+//!
+//! **Bit-exactness contract**: every kernel here reproduces the reference
+//! operators exactly, bit for bit. Distances accumulate in the same order as
+//! [`sq_dist`](crate::kmeans::sq_dist) (dimension-ascending, starting from
+//! `+0.0`, and `0.0 + x == x` bitwise because squared terms are never
+//! `-0.0`), argmin keeps the reference first-wins strict `<` tie-break, and
+//! the fused gather accumulates codebooks in ascending order per output
+//! element, so row/feature tiling cannot reassociate any float sum. The
+//! property tests in `tests/properties.rs` assert exact equality.
+
+use pimdl_tensor::pool::WorkerPool;
+use pimdl_tensor::Matrix;
+
+use crate::lut::{LutTable, QuantLutTable};
+use crate::pq::{IndexMatrix, ProductQuantizer};
+use crate::{LutError, Result};
+
+/// Rows encoded per fused tile before their gather begins.
+///
+/// The dominant cost of the gather is streaming table entries: a tile of
+/// `R` rows touching a feature block reads each codebook's candidate slice
+/// at most once (up to `CT` entries) instead of once per row, so larger
+/// tiles asymptotically reduce table traffic by `R / CT`. 256 rows keeps
+/// the tile's output block (`256 × FUSED_F_TILE × 4 B`) L2-resident at the
+/// serving shapes while capturing nearly all of that reuse.
+pub const FUSED_ROW_TILE: usize = 256;
+
+/// Output features processed per fused tile.
+///
+/// At the serving shape (F = 768, f32 tables) the tile's output block is
+/// `256 × 768 × 4 B = 768 KiB` — L2-resident, revisited once per codebook —
+/// so F up to 768 runs unblocked; wider FFN-style tables split into 768-wide
+/// blocks to keep that bound.
+pub const FUSED_F_TILE: usize = 768;
+
+/// Codebook-major, centroid-interleaved centroid storage.
+///
+/// For codebook `cb`, dimension `d`, centroid `k`, the value lives at
+/// `data[(cb * v + d) * ct + k]`: all `CT` candidates' `d`-th components are
+/// contiguous ("lanes"), which is the layout the distance kernels stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterleavedCodebooks {
+    v: usize,
+    ct: usize,
+    cb: usize,
+    data: Vec<f32>,
+}
+
+impl InterleavedCodebooks {
+    /// Re-lays a fitted quantizer's `(CB*CT) x V` centroid matrix into the
+    /// interleaved layout.
+    pub fn from_quantizer(pq: &ProductQuantizer) -> Self {
+        Self::from_centroid_rows(pq.centroids(), pq.v(), pq.ct())
+    }
+
+    /// Builds the interleaved layout from row-major centroids (`(cb*ct) x v`
+    /// with codebook `cb`'s centroid `k` at row `cb*ct + k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is inconsistent with `v`/`ct`.
+    pub fn from_centroid_rows(centroids: &Matrix, v: usize, ct: usize) -> Self {
+        assert!(ct > 0, "ct must be positive");
+        assert_eq!(centroids.cols(), v, "centroid length != v");
+        assert_eq!(
+            centroids.rows() % ct,
+            0,
+            "centroid rows not a multiple of ct"
+        );
+        let cb = centroids.rows() / ct;
+        let mut data = vec![0.0f32; cb * v * ct];
+        for c in 0..cb {
+            for k in 0..ct {
+                for (d, &val) in centroids.row(c * ct + k).iter().enumerate() {
+                    data[(c * v + d) * ct + k] = val;
+                }
+            }
+        }
+        InterleavedCodebooks { v, ct, cb, data }
+    }
+
+    /// Sub-vector length `V`.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Centroids per codebook `CT`.
+    pub fn ct(&self) -> usize {
+        self.ct
+    }
+
+    /// Codebook count `CB`.
+    pub fn cb(&self) -> usize {
+        self.cb
+    }
+
+    /// Hidden dimension `H = CB * V` this layout encodes.
+    pub fn hidden(&self) -> usize {
+        self.cb * self.v
+    }
+
+    /// Squared L2 distances from `sub` to every centroid of codebook `cb`,
+    /// written into `out[..ct]`. Dispatches to an unrolled kernel for the
+    /// paper's sub-vector lengths, with a lane-wise generic fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub.len() != v` or `out.len() != ct`.
+    #[inline(always)]
+    pub fn dists_into(&self, cb: usize, sub: &[f32], out: &mut [f32]) {
+        let lanes = &self.data[cb * self.v * self.ct..(cb + 1) * self.v * self.ct];
+        match self.v {
+            1 => dists_unrolled::<1>(lanes, self.ct, sub, out),
+            2 => dists_unrolled::<2>(lanes, self.ct, sub, out),
+            4 => dists_unrolled::<4>(lanes, self.ct, sub, out),
+            8 => dists_unrolled::<8>(lanes, self.ct, sub, out),
+            16 => dists_unrolled::<16>(lanes, self.ct, sub, out),
+            _ => dists_generic(lanes, self.ct, sub, out),
+        }
+    }
+
+    /// CCS over the interleaved layout: bit-identical indices to
+    /// [`ProductQuantizer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::Config`] if `x.cols() != hidden()`.
+    pub fn encode(&self, x: &Matrix) -> Result<IndexMatrix> {
+        self.check_input(x, "InterleavedCodebooks::encode")?;
+        let n = x.rows();
+        let mut data = vec![0u16; n * self.cb];
+        let mut dists = vec![0.0f32; self.ct];
+        self.encode_rows_into(x, 0, &mut data, &mut dists);
+        IndexMatrix::from_vec(n, self.cb, data)
+    }
+
+    /// Pool-parallel CCS: activation rows are partitioned into `threads`
+    /// bands executed on the global [`WorkerPool`]. Identical output to
+    /// [`Self::encode`] for any `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::Config`] if `x.cols() != hidden()` or
+    /// `threads == 0`.
+    pub fn encode_parallel(&self, x: &Matrix, threads: usize) -> Result<IndexMatrix> {
+        self.check_input(x, "InterleavedCodebooks::encode_parallel")?;
+        if threads == 0 {
+            return Err(LutError::Config {
+                op: "InterleavedCodebooks::encode_parallel",
+                detail: "thread count must be positive".to_string(),
+            });
+        }
+        let n = x.rows();
+        if n == 0 {
+            return IndexMatrix::from_vec(0, self.cb, Vec::new());
+        }
+        let rows_per = n.div_ceil(threads.min(n));
+        let mut data = vec![0u16; n * self.cb];
+        WorkerPool::global().run_row_bands(&mut data, self.cb, rows_per, |first_row, band| {
+            let mut dists = vec![0.0f32; self.ct];
+            self.encode_rows_into(x, first_row, band, &mut dists);
+        });
+        IndexMatrix::from_vec(n, self.cb, data)
+    }
+
+    /// Encodes rows `first_row ..` of `x` into `band` (one `cb`-wide index
+    /// row per activation row). `dists` is `ct`-length scratch.
+    ///
+    /// Dispatches once to an AVX2-compiled clone of the same body when the
+    /// CPU supports it: element-wise float ops are IEEE-identical at any
+    /// vector width (FMA contraction is *not* enabled), so the wider kernel
+    /// stays bit-exact.
+    fn encode_rows_into(&self, x: &Matrix, first_row: usize, band: &mut [u16], dists: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked at runtime.
+            return unsafe { self.encode_rows_avx2(x, first_row, band, dists) };
+        }
+        self.encode_rows_body(x, first_row, band, dists);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn encode_rows_avx2(
+        &self,
+        x: &Matrix,
+        first_row: usize,
+        band: &mut [u16],
+        dists: &mut [f32],
+    ) {
+        self.encode_rows_body(x, first_row, band, dists);
+    }
+
+    #[inline(always)]
+    fn encode_rows_body(&self, x: &Matrix, first_row: usize, band: &mut [u16], dists: &mut [f32]) {
+        for (local, idx_row) in band.chunks_mut(self.cb).enumerate() {
+            let row = x.row(first_row + local);
+            for (c, slot) in idx_row.iter_mut().enumerate() {
+                let sub = &row[c * self.v..(c + 1) * self.v];
+                self.dists_into(c, sub, dists);
+                *slot = argmin(dists) as u16;
+            }
+        }
+    }
+
+    fn check_input(&self, x: &Matrix, op: &'static str) -> Result<()> {
+        if x.cols() != self.hidden() {
+            return Err(LutError::Config {
+                op,
+                detail: format!("input width {} != H = {}", x.cols(), self.hidden()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Distance kernel monomorphized over the sub-vector length: the `V` loop
+/// unrolls completely and the `k` loop streams `V` contiguous lanes, which
+/// rustc autovectorizes.
+///
+/// Accumulation is dimension-ascending from `0.0`, matching the reference
+/// [`sq_dist`](crate::kmeans::sq_dist) bit for bit.
+#[inline(always)]
+fn dists_unrolled<const V: usize>(lanes: &[f32], ct: usize, sub: &[f32], out: &mut [f32]) {
+    assert_eq!(lanes.len(), V * ct);
+    assert_eq!(out.len(), ct);
+    let xs: &[f32; V] = sub.try_into().expect("sub-vector length mismatch");
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for d in 0..V {
+            let diff = xs[d] - lanes[d * ct + k];
+            acc += diff * diff;
+        }
+        *o = acc;
+    }
+}
+
+/// Generic fallback: lane-wise accumulation (still unit-stride in `k`).
+/// Per centroid the terms are added dimension-ascending starting from a
+/// `0.0` fill, so results match [`dists_unrolled`] and the reference scalar
+/// path exactly.
+#[inline(always)]
+fn dists_generic(lanes: &[f32], ct: usize, sub: &[f32], out: &mut [f32]) {
+    assert_eq!(lanes.len(), sub.len() * ct);
+    assert_eq!(out.len(), ct);
+    out.fill(0.0);
+    for (d, &x) in sub.iter().enumerate() {
+        let lane = &lanes[d * ct..(d + 1) * ct];
+        for (o, &c) in out.iter_mut().zip(lane) {
+            let diff = x - c;
+            *o += diff * diff;
+        }
+    }
+}
+
+/// First-wins argmin under strict `<` — the reference CCS tie-break.
+#[inline(always)]
+fn argmin(dists: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (k, &d) in dists.iter().enumerate() {
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Nearest centroid of `points.row(i)`-style slices for flat row-major
+/// centroid sets, as `(index, squared distance)` pairs for each point row.
+///
+/// This is the k-means assignment step (one "codebook" of `k` centroids of
+/// length `dim`), shared with CCS so calibration does not re-implement the
+/// search. Rows are partitioned across the global [`WorkerPool`] when the
+/// problem is large enough to amortize dispatch.
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty, the dimensions disagree, or
+/// `out.len() != points.rows()`.
+pub fn assign_nearest(points: &Matrix, centroids: &Matrix, out: &mut [(usize, f32)]) {
+    let n = points.rows();
+    let k = centroids.rows();
+    let dim = points.cols();
+    assert!(k > 0, "no centroids");
+    assert_eq!(centroids.cols(), dim, "dimension mismatch");
+    assert_eq!(out.len(), n, "output length mismatch");
+    if n == 0 {
+        return;
+    }
+    let lanes = InterleavedCodebooks::from_centroid_rows(centroids, dim, k);
+    // Only fan out when the assignment is big enough to amortize pool
+    // dispatch; the partition below never changes results, only wall time.
+    let work = n * k * dim.max(1);
+    let chunk_rows = if work < (1 << 18) {
+        n
+    } else {
+        n.div_ceil(WorkerPool::global().threads() * 4).max(32)
+    };
+    WorkerPool::global().run_row_bands(out, 1, chunk_rows, |first_row, band| {
+        let mut dists = vec![0.0f32; k];
+        for (local, slot) in band.iter_mut().enumerate() {
+            lanes.dists_into(0, points.row(first_row + local), &mut dists);
+            let best = argmin(&dists);
+            *slot = (best, dists[best]);
+        }
+    });
+}
+
+fn check_fused_dims(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    (cb, ct): (usize, usize),
+    op: &'static str,
+) -> Result<()> {
+    if x.cols() != cbs.hidden() {
+        return Err(LutError::Config {
+            op,
+            detail: format!("input width {} != H = {}", x.cols(), cbs.hidden()),
+        });
+    }
+    if cb != cbs.cb() || ct != cbs.ct() {
+        return Err(LutError::Config {
+            op,
+            detail: format!(
+                "table shape CB={cb}, CT={ct} != codebooks CB={}, CT={}",
+                cbs.cb(),
+                cbs.ct()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Fused CCS + LUT gather over `f32` tables.
+///
+/// Encodes [`FUSED_ROW_TILE`]-row tiles and immediately accumulates their
+/// table entries into the output, blocked over output features, without
+/// materializing an [`IndexMatrix`]. Bit-identical to
+/// `lut.lookup(&pq.encode(x)?)` (same distance accumulation order, same
+/// argmin tie-break, same per-element codebook-ascending accumulation).
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] if `x`'s width or the table's `CB`/`CT`
+/// disagree with `cbs`.
+pub fn lut_linear_fused(x: &Matrix, cbs: &InterleavedCodebooks, lut: &LutTable) -> Result<Matrix> {
+    check_fused_dims(x, cbs, (lut.cb(), lut.ct()), "lut_linear_fused")?;
+    let mut out = Matrix::zeros(x.rows(), lut.f());
+    if x.rows() > 0 && lut.f() > 0 {
+        fused_band_f32(x, cbs, lut, 0, out.as_mut_slice());
+    }
+    Ok(out)
+}
+
+/// Pool-parallel [`lut_linear_fused`]: rows are partitioned into `threads`
+/// bands on the global [`WorkerPool`]. Identical output for any `threads`.
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] on shape mismatch or `threads == 0`.
+pub fn lut_linear_fused_parallel(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    lut: &LutTable,
+    threads: usize,
+) -> Result<Matrix> {
+    check_fused_dims(x, cbs, (lut.cb(), lut.ct()), "lut_linear_fused_parallel")?;
+    if threads == 0 {
+        return Err(LutError::Config {
+            op: "lut_linear_fused_parallel",
+            detail: "thread count must be positive".to_string(),
+        });
+    }
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, lut.f());
+    if n == 0 || lut.f() == 0 {
+        return Ok(out);
+    }
+    let rows_per = n.div_ceil(threads.min(n));
+    WorkerPool::global().run_row_bands(out.as_mut_slice(), lut.f(), rows_per, |first_row, band| {
+        fused_band_f32(x, cbs, lut, first_row, band);
+    });
+    Ok(out)
+}
+
+/// Fused CCS + LUT gather over INT8 tables with i32 accumulation.
+///
+/// Bit-identical to `qlut.lookup(&pq.encode(x)?)`: integer accumulation is
+/// exact, and the single dequantizing multiply per output element is
+/// unchanged.
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] on shape mismatch.
+pub fn lut_linear_fused_quant(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    qlut: &QuantLutTable,
+) -> Result<Matrix> {
+    check_fused_dims(x, cbs, (qlut.cb(), qlut.ct()), "lut_linear_fused_quant")?;
+    let mut out = Matrix::zeros(x.rows(), qlut.f());
+    if x.rows() > 0 && qlut.f() > 0 {
+        fused_band_quant(x, cbs, qlut, 0, out.as_mut_slice());
+    }
+    Ok(out)
+}
+
+/// Pool-parallel [`lut_linear_fused_quant`].
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] on shape mismatch or `threads == 0`.
+pub fn lut_linear_fused_quant_parallel(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    qlut: &QuantLutTable,
+    threads: usize,
+) -> Result<Matrix> {
+    check_fused_dims(
+        x,
+        cbs,
+        (qlut.cb(), qlut.ct()),
+        "lut_linear_fused_quant_parallel",
+    )?;
+    if threads == 0 {
+        return Err(LutError::Config {
+            op: "lut_linear_fused_quant_parallel",
+            detail: "thread count must be positive".to_string(),
+        });
+    }
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, qlut.f());
+    if n == 0 || qlut.f() == 0 {
+        return Ok(out);
+    }
+    let rows_per = n.div_ceil(threads.min(n));
+    WorkerPool::global().run_row_bands(
+        out.as_mut_slice(),
+        qlut.f(),
+        rows_per,
+        |first_row, band| {
+            fused_band_quant(x, cbs, qlut, first_row, band);
+        },
+    );
+    Ok(out)
+}
+
+/// The fused f32 tile kernel for rows `first_row ..` of `x`, writing into a
+/// zero-initialized `band` (`rows × f`, row-major).
+///
+/// Loop order inside one row tile: features are blocked, and within one
+/// feature block the codebook loop is outermost so one codebook's table
+/// slice is reused across every row of the tile before moving on.
+fn fused_band_f32(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    lut: &LutTable,
+    first_row: usize,
+    band: &mut [f32],
+) {
+    let f = lut.f();
+    let (cb, ct) = (cbs.cb(), cbs.ct());
+    let rows = band.len() / f;
+    let table = lut.table().as_slice();
+    let mut idx = vec![0u16; FUSED_ROW_TILE * cb];
+    let mut dists = vec![0.0f32; ct];
+    for t0 in (0..rows).step_by(FUSED_ROW_TILE) {
+        let t1 = (t0 + FUSED_ROW_TILE).min(rows);
+        let tile = &mut idx[..(t1 - t0) * cb];
+        cbs.encode_rows_into(x, first_row + t0, tile, &mut dists);
+        for j0 in (0..f).step_by(FUSED_F_TILE) {
+            let j1 = (j0 + FUSED_F_TILE).min(f);
+            gather_block_f32(band, f, (t0, t1), (j0, j1), table, (cb, ct), tile);
+        }
+    }
+}
+
+/// One feature block of the fused f32 gather: accumulates every codebook's
+/// entry slice into the row tile's output block.
+///
+/// Codebooks are unrolled 8-wide — each output element is loaded and stored
+/// once per 8 accumulated entries instead of once per entry — with the adds
+/// still applied in ascending codebook order per element, so the result is
+/// bit-identical to the reference lookup. Dispatches to an AVX2 clone when
+/// the CPU supports it (element-wise adds are IEEE-identical at any vector
+/// width; FMA contraction is not enabled).
+fn gather_block_f32(
+    band: &mut [f32],
+    f: usize,
+    (t0, t1): (usize, usize),
+    (j0, j1): (usize, usize),
+    table: &[f32],
+    (cb, ct): (usize, usize),
+    tile: &[u16],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe {
+            gather_block_f32_avx2(band, f, (t0, t1), (j0, j1), table, (cb, ct), tile)
+        };
+    }
+    gather_block_f32_body(band, f, (t0, t1), (j0, j1), table, (cb, ct), tile);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_block_f32_avx2(
+    band: &mut [f32],
+    f: usize,
+    rt: (usize, usize),
+    jb: (usize, usize),
+    table: &[f32],
+    shape: (usize, usize),
+    tile: &[u16],
+) {
+    gather_block_f32_body(band, f, rt, jb, table, shape, tile);
+}
+
+#[inline(always)]
+fn gather_block_f32_body(
+    band: &mut [f32],
+    f: usize,
+    (t0, t1): (usize, usize),
+    (j0, j1): (usize, usize),
+    table: &[f32],
+    (cb, ct): (usize, usize),
+    tile: &[u16],
+) {
+    let b = j1 - j0;
+    let mut c = 0;
+    while c + 8 <= cb {
+        for r in t0..t1 {
+            let irow = &tile[(r - t0) * cb..(r - t0 + 1) * cb];
+            let o0 = ((c * ct) + irow[c] as usize) * f + j0;
+            let o1 = (((c + 1) * ct) + irow[c + 1] as usize) * f + j0;
+            let o2 = (((c + 2) * ct) + irow[c + 2] as usize) * f + j0;
+            let o3 = (((c + 3) * ct) + irow[c + 3] as usize) * f + j0;
+            let o4 = (((c + 4) * ct) + irow[c + 4] as usize) * f + j0;
+            let o5 = (((c + 5) * ct) + irow[c + 5] as usize) * f + j0;
+            let o6 = (((c + 6) * ct) + irow[c + 6] as usize) * f + j0;
+            let o7 = (((c + 7) * ct) + irow[c + 7] as usize) * f + j0;
+            let e0 = &table[o0..o0 + b];
+            let e1 = &table[o1..o1 + b];
+            let e2 = &table[o2..o2 + b];
+            let e3 = &table[o3..o3 + b];
+            let e4 = &table[o4..o4 + b];
+            let e5 = &table[o5..o5 + b];
+            let e6 = &table[o6..o6 + b];
+            let e7 = &table[o7..o7 + b];
+            let out_row = &mut band[r * f + j0..r * f + j0 + b];
+            for j in 0..b {
+                let a = (((out_row[j] + e0[j]) + e1[j]) + e2[j]) + e3[j];
+                out_row[j] = (((a + e4[j]) + e5[j]) + e6[j]) + e7[j];
+            }
+        }
+        c += 8;
+    }
+    while c < cb {
+        let base = c * ct;
+        for r in t0..t1 {
+            let k = tile[(r - t0) * cb + c] as usize;
+            let entry = &table[(base + k) * f + j0..(base + k) * f + j0 + b];
+            let out_row = &mut band[r * f + j0..r * f + j0 + b];
+            for (o, &e) in out_row.iter_mut().zip(entry) {
+                *o += e;
+            }
+        }
+        c += 1;
+    }
+}
+
+/// The fused INT8 tile kernel: same structure as [`fused_band_f32`] with an
+/// i32 accumulator tile and one dequantizing multiply per output element.
+fn fused_band_quant(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    qlut: &QuantLutTable,
+    first_row: usize,
+    band: &mut [f32],
+) {
+    let f = qlut.f();
+    let (cb, ct) = (cbs.cb(), cbs.ct());
+    let rows = band.len() / f;
+    let codes = qlut.table().codes();
+    let scale = qlut.table().scale();
+    let mut idx = vec![0u16; FUSED_ROW_TILE * cb];
+    let mut dists = vec![0.0f32; ct];
+    let mut acc = vec![0i32; FUSED_ROW_TILE * FUSED_F_TILE.min(f.max(1))];
+    for t0 in (0..rows).step_by(FUSED_ROW_TILE) {
+        let t1 = (t0 + FUSED_ROW_TILE).min(rows);
+        let tile = &mut idx[..(t1 - t0) * cb];
+        cbs.encode_rows_into(x, first_row + t0, tile, &mut dists);
+        for j0 in (0..f).step_by(FUSED_F_TILE) {
+            let j1 = (j0 + FUSED_F_TILE).min(f);
+            let jb = j1 - j0;
+            let acc_tile = &mut acc[..(t1 - t0) * jb];
+            acc_tile.fill(0);
+            gather_block_quant(acc_tile, jb, (t0, t1), j0, codes, f, (cb, ct), tile);
+            for r in t0..t1 {
+                let acc_row = &acc_tile[(r - t0) * jb..(r - t0 + 1) * jb];
+                let out_row = &mut band[r * f + j0..r * f + j1];
+                for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                    *o = a as f32 * scale;
+                }
+            }
+        }
+    }
+}
+
+/// One feature block of the fused INT8 gather: widening i8 → i32
+/// accumulation into the tile accumulator, 4-wide over codebooks (integer
+/// addition is associative, so the unroll is exact by construction).
+/// Dispatches to an AVX2 clone when available.
+#[allow(clippy::too_many_arguments)]
+fn gather_block_quant(
+    acc_tile: &mut [i32],
+    jb: usize,
+    (t0, t1): (usize, usize),
+    j0: usize,
+    codes: &[i8],
+    f: usize,
+    (cb, ct): (usize, usize),
+    tile: &[u16],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe {
+            gather_block_quant_avx2(acc_tile, jb, (t0, t1), j0, codes, f, (cb, ct), tile)
+        };
+    }
+    gather_block_quant_body(acc_tile, jb, (t0, t1), j0, codes, f, (cb, ct), tile);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gather_block_quant_avx2(
+    acc_tile: &mut [i32],
+    jb: usize,
+    rt: (usize, usize),
+    j0: usize,
+    codes: &[i8],
+    f: usize,
+    shape: (usize, usize),
+    tile: &[u16],
+) {
+    gather_block_quant_body(acc_tile, jb, rt, j0, codes, f, shape, tile);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gather_block_quant_body(
+    acc_tile: &mut [i32],
+    jb: usize,
+    (t0, t1): (usize, usize),
+    j0: usize,
+    codes: &[i8],
+    f: usize,
+    (cb, ct): (usize, usize),
+    tile: &[u16],
+) {
+    let mut c = 0;
+    while c + 4 <= cb {
+        for r in t0..t1 {
+            let irow = &tile[(r - t0) * cb..(r - t0 + 1) * cb];
+            let o0 = ((c * ct) + irow[c] as usize) * f + j0;
+            let o1 = (((c + 1) * ct) + irow[c + 1] as usize) * f + j0;
+            let o2 = (((c + 2) * ct) + irow[c + 2] as usize) * f + j0;
+            let o3 = (((c + 3) * ct) + irow[c + 3] as usize) * f + j0;
+            let e0 = &codes[o0..o0 + jb];
+            let e1 = &codes[o1..o1 + jb];
+            let e2 = &codes[o2..o2 + jb];
+            let e3 = &codes[o3..o3 + jb];
+            let acc_row = &mut acc_tile[(r - t0) * jb..(r - t0 + 1) * jb];
+            for j in 0..jb {
+                acc_row[j] += e0[j] as i32 + e1[j] as i32 + e2[j] as i32 + e3[j] as i32;
+            }
+        }
+        c += 4;
+    }
+    while c < cb {
+        let base = c * ct;
+        for r in t0..t1 {
+            let k = tile[(r - t0) * cb + c] as usize;
+            let entry = &codes[(base + k) * f + j0..(base + k) * f + j0 + jb];
+            let acc_row = &mut acc_tile[(r - t0) * jb..(r - t0 + 1) * jb];
+            for (a, &e) in acc_row.iter_mut().zip(entry) {
+                *a += e as i32;
+            }
+        }
+        c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::lut_linear;
+    use pimdl_tensor::rng::DataRng;
+
+    fn setup(
+        seed: u64,
+        n: usize,
+        h: usize,
+        f: usize,
+        v: usize,
+        ct: usize,
+    ) -> (ProductQuantizer, LutTable, Matrix) {
+        let mut rng = DataRng::new(seed);
+        let acts = rng.normal_matrix((4 * ct).max(8), h, 0.0, 1.0);
+        let weight = rng.normal_matrix(h, f, 0.0, 0.5);
+        let pq = ProductQuantizer::fit(&acts, v, ct, 12, &mut rng).unwrap();
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let x = rng.normal_matrix(n, h, 0.0, 1.0);
+        (pq, lut, x)
+    }
+
+    #[test]
+    fn interleaved_encode_bit_identical_for_all_v() {
+        // Cover every specialized kernel plus the generic fallback (v=3).
+        for (v, h) in [(1, 6), (2, 8), (3, 9), (4, 8), (8, 16), (16, 32)] {
+            let mut rng = DataRng::new(7 + v as u64);
+            let acts = rng.normal_matrix(64, h, 0.0, 1.0);
+            let pq = ProductQuantizer::fit(&acts, v, 8, 10, &mut rng).unwrap();
+            let x = rng.normal_matrix(19, h, 0.0, 1.0);
+            let cbs = pq.interleaved();
+            assert_eq!(cbs.encode(&x).unwrap(), pq.encode(&x).unwrap(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn encode_parallel_matches_serial() {
+        let (pq, _, x) = setup(1, 37, 12, 8, 3, 8);
+        let cbs = pq.interleaved();
+        let serial = cbs.encode(&x).unwrap();
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(cbs.encode_parallel(&x, threads).unwrap(), serial);
+        }
+        assert!(cbs.encode_parallel(&x, 0).is_err());
+        let empty = Matrix::zeros(0, 12);
+        assert_eq!(cbs.encode_parallel(&empty, 3).unwrap().rows(), 0);
+    }
+
+    #[test]
+    fn fused_bit_identical_to_reference() {
+        let (pq, lut, x) = setup(2, 53, 16, 37, 4, 16);
+        let cbs = pq.interleaved();
+        let reference = lut_linear(&x, &pq, &lut).unwrap();
+        assert_eq!(lut_linear_fused(&x, &cbs, &lut).unwrap(), reference);
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(
+                lut_linear_fused_parallel(&x, &cbs, &lut, threads).unwrap(),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_quant_bit_identical_to_reference() {
+        let (pq, lut, x) = setup(3, 41, 16, 29, 2, 16);
+        let cbs = pq.interleaved();
+        let qlut = lut.quantize();
+        let reference = qlut.lookup(&pq.encode(&x).unwrap()).unwrap();
+        assert_eq!(lut_linear_fused_quant(&x, &cbs, &qlut).unwrap(), reference);
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(
+                lut_linear_fused_quant_parallel(&x, &cbs, &qlut, threads).unwrap(),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_handles_degenerate_shapes() {
+        // n = 0 rows.
+        let (pq, lut, _) = setup(4, 4, 8, 6, 2, 4);
+        let cbs = pq.interleaved();
+        let empty = Matrix::zeros(0, 8);
+        assert_eq!(
+            lut_linear_fused(&empty, &cbs, &lut).unwrap().shape(),
+            (0, 6)
+        );
+        assert_eq!(
+            lut_linear_fused_parallel(&empty, &cbs, &lut, 4)
+                .unwrap()
+                .shape(),
+            (0, 6)
+        );
+        // CT = 1: every index is 0.
+        let centroids = Matrix::from_vec(2, 1, vec![0.5, -0.5]).unwrap();
+        let pq1 = ProductQuantizer::from_centroids(centroids, 1, 1).unwrap();
+        let w = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let lut1 = LutTable::build(&pq1, &w).unwrap();
+        let cbs1 = pq1.interleaved();
+        let x1 = Matrix::from_vec(2, 2, vec![9.0, -9.0, 0.0, 0.0]).unwrap();
+        let reference = lut_linear(&x1, &pq1, &lut1).unwrap();
+        assert_eq!(lut_linear_fused(&x1, &cbs1, &lut1).unwrap(), reference);
+    }
+
+    #[test]
+    fn fused_rejects_mismatched_shapes() {
+        let (pq, lut, x) = setup(5, 8, 8, 6, 2, 4);
+        let cbs = pq.interleaved();
+        let bad_x = Matrix::zeros(2, 6);
+        assert!(lut_linear_fused(&bad_x, &cbs, &lut).is_err());
+        assert!(lut_linear_fused_parallel(&x, &cbs, &lut, 0).is_err());
+        let (other_pq, _, _) = setup(6, 8, 8, 6, 2, 8); // different CT
+        assert!(lut_linear_fused(&x, &other_pq.interleaved(), &lut).is_err());
+        let qlut = lut.quantize();
+        assert!(lut_linear_fused_quant(&bad_x, &cbs, &qlut).is_err());
+        assert!(lut_linear_fused_quant_parallel(&x, &cbs, &qlut, 0).is_err());
+    }
+
+    #[test]
+    fn assign_nearest_matches_scalar_argmin() {
+        let mut rng = DataRng::new(9);
+        let points = rng.normal_matrix(100, 5, 0.0, 1.0);
+        let centroids = rng.normal_matrix(7, 5, 0.0, 1.0);
+        let mut out = vec![(0usize, 0.0f32); 100];
+        assign_nearest(&points, &centroids, &mut out);
+        for (i, &(best, d)) in out.iter().enumerate() {
+            let mut exp_best = 0;
+            let mut exp_d = f32::INFINITY;
+            for c in 0..7 {
+                let dc = crate::kmeans::sq_dist(points.row(i), centroids.row(c));
+                if dc < exp_d {
+                    exp_d = dc;
+                    exp_best = c;
+                }
+            }
+            assert_eq!(best, exp_best, "row {i}");
+            assert_eq!(d.to_bits(), exp_d.to_bits(), "row {i}");
+        }
+        // Empty point set is a no-op.
+        assign_nearest(&Matrix::zeros(0, 5), &centroids, &mut []);
+    }
+
+    #[test]
+    fn tie_breaks_pick_first_centroid() {
+        // Two identical centroids: index 0 must always win, as in the
+        // reference scalar path.
+        let centroids = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let pq = ProductQuantizer::from_centroids(centroids, 2, 2).unwrap();
+        let cbs = pq.interleaved();
+        let x = Matrix::from_vec(3, 2, vec![1.0, 1.0, 0.0, 0.0, -5.0, 2.0]).unwrap();
+        let idx = cbs.encode(&x).unwrap();
+        assert!(idx.as_slice().iter().all(|&k| k == 0));
+        assert_eq!(idx, pq.encode(&x).unwrap());
+    }
+}

@@ -7,6 +7,7 @@
 use pimdl_tensor::rng::DataRng;
 use pimdl_tensor::Matrix;
 
+use crate::kernels::assign_nearest;
 use crate::{LutError, Result};
 
 /// Result of a k-means run.
@@ -61,24 +62,17 @@ pub fn kmeans(
 
     let mut centroids = kmeanspp_init(points, k, rng);
     let mut assignments = vec![0usize; n];
+    let mut nearest = vec![(0usize, 0.0f32); n];
     let mut inertia = f32::INFINITY;
     let mut iterations = 0;
 
     for iter in 0..max_iters.max(1) {
         iterations = iter + 1;
-        // Assignment step.
+        // Assignment step — the shared CCS kernel (interleaved distance
+        // lanes, pool-parallel on large inputs).
+        assign_nearest(points, &centroids, &mut nearest);
         let mut new_inertia = 0.0;
-        for (i, assignment) in assignments.iter_mut().enumerate() {
-            let row = points.row(i);
-            let mut best = 0;
-            let mut best_d = f32::INFINITY;
-            for c in 0..k {
-                let d = sq_dist(row, centroids.row(c));
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
+        for (assignment, &(best, best_d)) in assignments.iter_mut().zip(&nearest) {
             *assignment = best;
             new_inertia += best_d;
         }
@@ -117,17 +111,8 @@ pub fn kmeans(
     // Final assignment pass so assignments are consistent with the returned
     // (post-update) centroids.
     inertia = 0.0;
-    for (i, assignment) in assignments.iter_mut().enumerate() {
-        let row = points.row(i);
-        let mut best = 0;
-        let mut best_d = f32::INFINITY;
-        for c in 0..k {
-            let d = sq_dist(row, centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+    assign_nearest(points, &centroids, &mut nearest);
+    for (assignment, &(best, best_d)) in assignments.iter_mut().zip(&nearest) {
         *assignment = best;
         inertia += best_d;
     }
@@ -180,15 +165,10 @@ pub fn kmeans_minibatch(
         for _ in 0..batch_size {
             let i = rng.index(n);
             let row = points.row(i);
-            let mut best = 0;
-            let mut best_d = f32::INFINITY;
-            for c in 0..k {
-                let d = sq_dist(row, centroids.row(c));
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
+            // Single-point search: the online update mutates a centroid
+            // after every sample, so rows cannot be batched through
+            // `assign_nearest` here.
+            let (best, _) = nearest_row(&centroids, row);
             counts[best] += 1;
             let eta = 1.0 / counts[best] as f32;
             let centroid = centroids.row_mut(best);
@@ -200,18 +180,10 @@ pub fn kmeans_minibatch(
 
     // Final assignment pass against the converged centroids.
     let mut assignments = vec![0usize; n];
+    let mut nearest = vec![(0usize, 0.0f32); n];
     let mut inertia = 0.0;
-    for (i, assignment) in assignments.iter_mut().enumerate() {
-        let row = points.row(i);
-        let mut best = 0;
-        let mut best_d = f32::INFINITY;
-        for c in 0..k {
-            let d = sq_dist(row, centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
+    assign_nearest(points, &centroids, &mut nearest);
+    for (assignment, &(best, best_d)) in assignments.iter_mut().zip(&nearest) {
         *assignment = best;
         inertia += best_d;
     }
@@ -255,6 +227,23 @@ fn kmeanspp_init(points: &Matrix, k: usize, rng: &mut DataRng) -> Matrix {
         }
     }
     centroids
+}
+
+/// Nearest centroid of a single point under strict-`<` first-wins argmin.
+///
+/// Only the mini-batch online update uses this; every full assignment pass
+/// goes through [`assign_nearest`].
+fn nearest_row(centroids: &Matrix, row: &[f32]) -> (usize, f32) {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = sq_dist(row, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
 }
 
 fn farthest_point(points: &Matrix, centroids: &Matrix, assignments: &[usize]) -> usize {

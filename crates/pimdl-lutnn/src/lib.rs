@@ -47,6 +47,7 @@ mod error;
 pub mod calibrate;
 pub mod convert;
 pub mod flops;
+pub mod kernels;
 pub mod kmeans;
 pub mod lut;
 pub mod pq;

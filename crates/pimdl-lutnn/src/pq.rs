@@ -11,6 +11,7 @@ use pimdl_tensor::rng::DataRng;
 use pimdl_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::InterleavedCodebooks;
 use crate::kmeans::{kmeans, sq_dist};
 use crate::{LutError, Result};
 
@@ -335,55 +336,33 @@ impl ProductQuantizer {
     }
 
     /// Multi-threaded CCS: identical results to [`Self::encode`], with
-    /// activation rows partitioned across `threads` workers. CCS is the
-    /// host-side hot path of LUT-NN serving, and it is embarrassingly
-    /// parallel over rows.
+    /// activation rows partitioned across `threads` bands executed on the
+    /// persistent worker pool. CCS is the host-side hot path of LUT-NN
+    /// serving, and it is embarrassingly parallel over rows.
+    ///
+    /// This re-lays the centroids into the interleaved layout on every call;
+    /// hot callers should hold an [`InterleavedCodebooks`] (see
+    /// [`Self::interleaved`]) and call its encode methods directly.
     ///
     /// # Errors
     ///
     /// Returns [`LutError::Config`] if `x.cols() != hidden()` or
     /// `threads == 0`.
     pub fn encode_parallel(&self, x: &Matrix, threads: usize) -> Result<IndexMatrix> {
-        if x.cols() != self.hidden() {
-            return Err(LutError::Config {
-                op: "ProductQuantizer::encode_parallel",
-                detail: format!("input width {} != H = {}", x.cols(), self.hidden()),
-            });
-        }
         if threads == 0 {
             return Err(LutError::Config {
                 op: "ProductQuantizer::encode_parallel",
                 detail: "thread count must be positive".to_string(),
             });
         }
-        let n = x.rows();
-        if n == 0 {
-            return IndexMatrix::from_vec(0, self.cb, Vec::new());
-        }
-        let threads = threads.min(n);
-        let rows_per = n.div_ceil(threads);
-        let mut data = vec![0u16; n * self.cb];
-        {
-            let bands: Vec<&mut [u16]> = data.chunks_mut(rows_per * self.cb).collect();
-            crossbeam::scope(|scope| {
-                for (t, band) in bands.into_iter().enumerate() {
-                    let r0 = t * rows_per;
-                    scope.spawn(move |_| {
-                        let rows = band.len() / self.cb;
-                        for local in 0..rows {
-                            let row = x.row(r0 + local);
-                            for col in 0..self.cb {
-                                let sub = &row[col * self.v..(col + 1) * self.v];
-                                band[local * self.cb + col] =
-                                    self.nearest_in_codebook(col, sub) as u16;
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("CCS worker panicked");
-        }
-        IndexMatrix::from_vec(n, self.cb, data)
+        self.interleaved().encode_parallel(x, threads)
+    }
+
+    /// Re-lays the centroids into the cache-friendly
+    /// [`InterleavedCodebooks`] layout used by the optimized CCS and fused
+    /// kernels.
+    pub fn interleaved(&self) -> InterleavedCodebooks {
+        InterleavedCodebooks::from_quantizer(self)
     }
 
     fn nearest_in_codebook(&self, cb: usize, sub: &[f32]) -> usize {

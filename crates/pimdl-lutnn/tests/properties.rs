@@ -2,11 +2,27 @@
 
 use proptest::prelude::*;
 
+use pimdl_lutnn::kernels::{
+    lut_linear_fused, lut_linear_fused_parallel, lut_linear_fused_quant,
+    lut_linear_fused_quant_parallel,
+};
 use pimdl_lutnn::kmeans::{kmeans, sq_dist};
 use pimdl_lutnn::lut::LutTable;
 use pimdl_lutnn::pq::ProductQuantizer;
 use pimdl_tensor::gemm;
 use pimdl_tensor::rng::DataRng;
+use pimdl_tensor::Matrix;
+
+/// Rounds every entry to a multiple of `step`, manufacturing duplicate
+/// centroids and exactly equidistant candidates so ties are common.
+fn snap_to_grid(m: &Matrix, step: f32) -> Matrix {
+    let data = m
+        .as_slice()
+        .iter()
+        .map(|&v| (v / step).round() * step)
+        .collect();
+    Matrix::from_vec(m.rows(), m.cols(), data).expect("same shape")
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -114,5 +130,95 @@ proptest! {
         let lhs = approx.sub(&exact).unwrap();
         let rhs = gemm::matmul(&x_hat.sub(&x).unwrap(), &weight).unwrap();
         prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    /// The fused kernel is *bit-identical* to the two-pass reference
+    /// `lookup(encode(x))` — f32 and INT8 — over random shapes including
+    /// n = 0, V = 1, CT = 1, and tie-prone grid-snapped inputs.
+    #[test]
+    fn fused_matches_two_pass_exactly(
+        seed in any::<u64>(),
+        n in 0usize..7,
+        cb in 1usize..4,
+        v in 1usize..5,
+        ct in 1usize..9,
+        f in 1usize..10,
+        ties in any::<bool>(),
+    ) {
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let mut centroids = rng.normal_matrix(cb * ct, v, 0.0, 1.0);
+        let mut x = rng.normal_matrix(n, h, 0.0, 1.0);
+        if ties {
+            centroids = snap_to_grid(&centroids, 1.0);
+            x = snap_to_grid(&x, 1.0);
+        }
+        let pq = ProductQuantizer::from_centroids(centroids, v, ct).unwrap();
+        let weight = rng.normal_matrix(h, f, 0.0, 0.5);
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let qlut = lut.quantize();
+        let cbs = pq.interleaved();
+        let idx = pq.encode(&x).unwrap();
+
+        let reference = lut.lookup(&idx).unwrap();
+        let fused = lut_linear_fused(&x, &cbs, &lut).unwrap();
+        prop_assert_eq!(reference.as_slice(), fused.as_slice());
+
+        let qreference = qlut.lookup(&idx).unwrap();
+        let qfused = lut_linear_fused_quant(&x, &cbs, &qlut).unwrap();
+        prop_assert_eq!(qreference.as_slice(), qfused.as_slice());
+    }
+
+    /// The interleaved-layout CCS picks identical indices to the row-major
+    /// reference encode — same strict-`<` first-wins tie-break — including
+    /// on tie-prone snapped inputs and degenerate V = 1 / CT = 1 / n = 0.
+    #[test]
+    fn interleaved_encode_matches_row_major(
+        seed in any::<u64>(),
+        n in 0usize..8,
+        cb in 1usize..4,
+        v in 1usize..5,
+        ct in 1usize..9,
+        ties in any::<bool>(),
+    ) {
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let mut centroids = rng.normal_matrix(cb * ct, v, 0.0, 1.0);
+        let mut x = rng.normal_matrix(n, h, 0.0, 1.0);
+        if ties {
+            centroids = snap_to_grid(&centroids, 1.0);
+            x = snap_to_grid(&x, 1.0);
+        }
+        let pq = ProductQuantizer::from_centroids(centroids, v, ct).unwrap();
+        let cbs = pq.interleaved();
+        prop_assert_eq!(pq.encode(&x).unwrap(), cbs.encode(&x).unwrap());
+    }
+
+    /// Worker-pool width never changes a single bit of any parallel kernel's
+    /// output: encode, fused f32, and fused INT8 agree with their
+    /// single-thread runs for threads ∈ {1, 2, 7, 64}.
+    #[test]
+    fn pool_width_does_not_change_bits(seed in any::<u64>(), n in 0usize..9) {
+        let (cb, v, ct, f) = (3usize, 2usize, 4usize, 5usize);
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let centroids = rng.normal_matrix(cb * ct, v, 0.0, 1.0);
+        let pq = ProductQuantizer::from_centroids(centroids, v, ct).unwrap();
+        let weight = rng.normal_matrix(h, f, 0.0, 0.5);
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let qlut = lut.quantize();
+        let cbs = pq.interleaved();
+        let x = rng.normal_matrix(n, h, 0.0, 1.0);
+
+        let idx = cbs.encode(&x).unwrap();
+        let fused = lut_linear_fused(&x, &cbs, &lut).unwrap();
+        let qfused = lut_linear_fused_quant(&x, &cbs, &qlut).unwrap();
+        for threads in [1usize, 2, 7, 64] {
+            prop_assert_eq!(&idx, &cbs.encode_parallel(&x, threads).unwrap());
+            let par = lut_linear_fused_parallel(&x, &cbs, &lut, threads).unwrap();
+            prop_assert_eq!(fused.as_slice(), par.as_slice());
+            let qpar = lut_linear_fused_quant_parallel(&x, &cbs, &qlut, threads).unwrap();
+            prop_assert_eq!(qfused.as_slice(), qpar.as_slice());
+        }
     }
 }

@@ -442,11 +442,8 @@ impl Runtime {
                     let service_s = self.service.batch_service_s(batch.len())?;
                     let ticket = shards.dispatch(now, service_s);
                     metrics.record_batch(batch.len());
-                    let mut executed = Vec::with_capacity(batch.len());
-                    for req in batch {
-                        let correct = self.replica.execute(&req)?;
-                        executed.push((req, correct));
-                    }
+                    let flags = self.replica.execute_batch(&batch)?;
+                    let executed: Vec<(Request, bool)> = batch.into_iter().zip(flags).collect();
                     inflight.push((ticket.finish_s, ticket.shard, executed.len(), executed));
                     continue; // another batch may be ready for another shard
                 }
@@ -663,17 +660,15 @@ impl Runtime {
                     for msg in rx.iter() {
                         debug_assert_eq!(msg.shard, sid);
                         let batch_size = msg.batch.len();
-                        let mut executed = Vec::with_capacity(batch_size);
-                        for req in msg.batch {
-                            let correct = match replica.execute(&req) {
-                                Ok(ok) => ok,
-                                Err(e) => {
-                                    *error_ref.lock().expect("error slot poisoned") = Some(e);
-                                    false
-                                }
-                            };
-                            executed.push((req, correct));
-                        }
+                        let flags = match replica.execute_batch(&msg.batch) {
+                            Ok(flags) => flags,
+                            Err(e) => {
+                                *error_ref.lock().expect("error slot poisoned") = Some(e);
+                                vec![false; batch_size]
+                            }
+                        };
+                        let executed: Vec<(Request, bool)> =
+                            msg.batch.into_iter().zip(flags).collect();
                         clock_ref.sleep(msg.service_s);
                         let finish = clock_ref.now();
                         for (req, correct) in executed {

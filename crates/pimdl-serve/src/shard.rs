@@ -12,23 +12,31 @@ use std::sync::Mutex;
 
 use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
 use pimdl_engine::shapes::TransformerShape;
+use pimdl_lutnn::lut::{QuantLutTable, TransposedQuantLutTable};
+use pimdl_lutnn::pq::IndexMatrix;
 use pimdl_sim::exec::{run_lut_kernel, LutKernelData};
 use pimdl_sim::{LutWorkload, Mapping, PlatformConfig};
+use pimdl_tensor::pool::WorkerPool;
+use pimdl_tensor::quant::QuantMatrix;
 use pimdl_tensor::rng::DataRng;
 
 use crate::error::ServeError;
 use crate::request::Request;
 use crate::Result;
 
-/// One model replica: the LUT table every request on a shard queries, plus
-/// the tuned mapping it executes under.
+/// One model replica: the quantized LUT every request on a shard queries,
+/// plus the tuned mapping it executes under.
+///
+/// The tables are held as a real [`QuantLutTable`] (row-major, what the
+/// simulated PEs gather from) together with its transposed slice layout
+/// (what the host-side integrity check streams).
 #[derive(Debug)]
 pub struct ReplicaModel {
     platform: PlatformConfig,
     workload: LutWorkload,
     mapping: Mapping,
-    table: Vec<i8>,
-    scale: f32,
+    table: QuantLutTable,
+    transposed: TransposedQuantLutTable,
 }
 
 impl ReplicaModel {
@@ -39,20 +47,36 @@ impl ReplicaModel {
     /// # Errors
     ///
     /// Propagates tuner failures (no legal mapping for the workload on the
-    /// platform).
+    /// platform) and rejects table shapes the LUT types cannot index.
     pub fn build(engine: &PimDlEngine, workload: LutWorkload, seed: u64) -> Result<Self> {
         let mapping = engine.mapping_for(&workload)?;
         let mut rng = DataRng::new(seed);
-        let table: Vec<i8> = (0..workload.cb * workload.ct * workload.f)
+        let codes: Vec<i8> = (0..workload.cb * workload.ct * workload.f)
             .map(|_| rng.index(16) as i8 - 8)
             .collect();
+        let qm = QuantMatrix::from_codes(workload.cb * workload.ct, workload.f, 0.05, codes)
+            .map_err(|e| ServeError::Config {
+                detail: e.to_string(),
+            })?;
+        let table =
+            QuantLutTable::from_parts(workload.cb, workload.ct, workload.f, qm).map_err(|e| {
+                ServeError::Config {
+                    detail: e.to_string(),
+                }
+            })?;
+        let transposed = table.transposed();
         Ok(ReplicaModel {
             platform: engine.platform().clone(),
             workload,
             mapping,
             table,
-            scale: 0.05,
+            transposed,
         })
+    }
+
+    /// The replica's quantized look-up table.
+    pub fn table(&self) -> &QuantLutTable {
+        &self.table
     }
 
     /// The per-request workload shape.
@@ -81,22 +105,19 @@ impl ReplicaModel {
         }
     }
 
-    /// Host-reference output checksum: the same INT32 gather-accumulate and
-    /// dequantization the simulated PEs perform, summed over the output in
-    /// row-major order (so the comparison is exact, not approximate).
+    /// Host-reference output checksum: the transposed-layout LUT gather
+    /// (the same INT32 accumulate and dequantization the simulated PEs
+    /// perform), summed over the output in row-major order so the
+    /// comparison is exact, not approximate.
     fn reference_checksum(&self, indices: &[u16]) -> f64 {
         let w = self.workload;
-        let mut sum = 0.0f64;
-        for r in 0..w.n {
-            for col in 0..w.f {
-                let mut acc = 0i32;
-                for (cb, &k) in indices[r * w.cb..(r + 1) * w.cb].iter().enumerate() {
-                    acc += i32::from(self.table[(cb * w.ct + k as usize) * w.f + col]);
-                }
-                sum += f64::from(acc as f32 * self.scale);
-            }
-        }
-        sum
+        let idx = IndexMatrix::from_vec(w.n, w.cb, indices.to_vec())
+            .expect("request index shape is consistent with the workload");
+        let out = self
+            .transposed
+            .lookup(&idx)
+            .expect("request indices are within the codebook range");
+        out.as_slice().iter().map(|&v| f64::from(v)).sum()
     }
 
     /// Executes a request's query functionally on the simulated PEs and
@@ -113,12 +134,32 @@ impl ReplicaModel {
             &self.mapping,
             LutKernelData {
                 indices: &req.indices,
-                table: &self.table,
-                scale: self.scale,
+                table: self.table.table().codes(),
+                scale: self.table.table().scale(),
             },
         )?;
         let checksum: f64 = out.as_slice().iter().map(|&v| f64::from(v)).sum();
         Ok(checksum == req.expected_checksum)
+    }
+
+    /// Executes a batch of requests with rows fanned across the persistent
+    /// worker pool, returning one correctness flag per request (in order).
+    ///
+    /// Single-request batches run inline with no dispatch overhead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator failure of any request.
+    pub fn execute_batch(&self, reqs: &[Request]) -> Result<Vec<bool>> {
+        let mut slots: Vec<Result<bool>> = reqs.iter().map(|_| Ok(false)).collect();
+        let pool = WorkerPool::global();
+        let chunk = reqs.len().div_ceil(pool.threads()).max(1);
+        pool.run_row_bands(&mut slots, 1, chunk, |first, band| {
+            for (local, slot) in band.iter_mut().enumerate() {
+                *slot = self.execute(&reqs[first + local]);
+            }
+        });
+        slots.into_iter().collect()
     }
 }
 

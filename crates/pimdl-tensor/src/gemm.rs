@@ -6,7 +6,7 @@
 //!   contiguous AXPY; this is the correctness oracle).
 //! * [`matmul_blocked`] — cache-blocked variant.
 //! * [`matmul_parallel`] — row-partitioned multi-threaded variant built on
-//!   `crossbeam::scope`.
+//!   the persistent [`WorkerPool`](crate::pool::WorkerPool).
 //!
 //! All PIM-DL LUT results in this workspace are validated against [`matmul`].
 
@@ -134,33 +134,21 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix>
     let rows_per = m.div_ceil(threads);
 
     let mut c = Matrix::zeros(m, n);
-    {
-        let c_data = c.as_mut_slice();
-        let bands: Vec<&mut [f32]> = c_data.chunks_mut(rows_per * n).collect();
-        crossbeam::scope(|scope| {
-            for (t, band) in bands.into_iter().enumerate() {
-                let i0 = t * rows_per;
-                scope.spawn(move |_| {
-                    let band_rows = band.len() / n;
-                    for local_i in 0..band_rows {
-                        let i = i0 + local_i;
-                        let a_row = a.row(i);
-                        let c_row = &mut band[local_i * n..(local_i + 1) * n];
-                        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                            if a_ip == 0.0 {
-                                continue;
-                            }
-                            let b_row = b.row(p);
-                            for j in 0..n {
-                                c_row[j] += a_ip * b_row[j];
-                            }
-                        }
-                    }
-                });
+    crate::pool::WorkerPool::global().run_row_bands(c.as_mut_slice(), n, rows_per, |i0, band| {
+        for (local_i, c_row) in band.chunks_mut(n).enumerate() {
+            let i = i0 + local_i;
+            let a_row = a.row(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for j in 0..n {
+                    c_row[j] += a_ip * b_row[j];
+                }
             }
-        })
-        .expect("gemm worker panicked");
-    }
+        }
+    });
     Ok(c)
 }
 

@@ -32,6 +32,7 @@ mod matrix;
 pub mod elementwise;
 pub mod gemm;
 pub mod norm;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 

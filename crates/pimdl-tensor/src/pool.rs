@@ -1,0 +1,366 @@
+//! A persistent worker pool for row-partitioned kernels.
+//!
+//! Every parallel kernel in this workspace (CCS encode, GEMM, k-means
+//! assignment, the serving shard executor) partitions disjoint row ranges of
+//! an output matrix across threads. Before this module existed each call
+//! spawned fresh OS threads; under serving traffic that is thousands of
+//! thread spawns per second, each paying stack allocation and scheduler
+//! latency. [`WorkerPool`] keeps one set of workers alive for the process
+//! lifetime and feeds them row-range tasks over a channel.
+//!
+//! Design constraints:
+//!
+//! * **std-only** — no rayon/crossbeam; no work stealing. One shared FIFO
+//!   injector channel; workers pop ranges in arrival order. Row-range tasks
+//!   are coarse enough that stealing would buy nothing.
+//! * **scoped borrows** — kernels operate on borrowed matrices.
+//!   [`WorkerPool::run_chunks`] blocks until every submitted range has
+//!   completed (tracked by a latch), so tasks may safely reference the
+//!   caller's stack frame even though the worker threads are `'static`.
+//! * **deterministic outputs** — tasks write disjoint output ranges, so
+//!   results are bit-identical regardless of worker count or interleaving.
+//!   The chunk partition itself is also independent of the worker count.
+//! * **no nested deadlock** — a task that itself calls into the pool (e.g. a
+//!   serving shard worker invoking a parallel kernel) runs the nested work
+//!   inline on the current worker instead of queueing and waiting.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    /// True on threads owned by a [`WorkerPool`]. Nested `run_chunks` calls
+    /// from inside a task detect this and execute inline, which both avoids
+    /// latch deadlock (a worker waiting on work only workers can run) and
+    /// keeps the outer partition the unit of parallelism.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Completion latch: counts outstanding ranges of one `run_chunks` call and
+/// records whether any task panicked so the caller can re-panic.
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new((count, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 -= 1;
+        state.1 |= panicked;
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until all ranges completed; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.0 > 0 {
+            state = self.done.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.1
+    }
+}
+
+/// One queued range of a `run_chunks` call.
+///
+/// `func` is a lifetime-erased pointer to the caller's closure. The caller
+/// blocks on `latch` until every job referencing the closure has completed,
+/// so the pointee is guaranteed alive for the job's whole execution.
+struct Job {
+    func: *const (dyn Fn(Range<usize>) + Sync),
+    range: Range<usize>,
+    latch: Arc<Latch>,
+}
+
+// SAFETY: `func` points at a `Sync` closure that outlives the job (see the
+// struct docs); `range` and `latch` are plainly Send.
+unsafe impl Send for Job {}
+
+/// A fixed-size pool of persistent worker threads executing row-range tasks.
+///
+/// Use [`WorkerPool::global`] for the shared process-wide pool (one worker
+/// per hardware thread) or [`WorkerPool::new`] for an explicitly sized pool
+/// in tests.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("pimdl-worker-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|w| w.set(true));
+                        loop {
+                            let job = {
+                                let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                                rx.recv()
+                            };
+                            let Ok(job) = job else { break };
+                            let panicked = catch_unwind(AssertUnwindSafe(|| {
+                                // SAFETY: the submitting `run_chunks` call is
+                                // still blocked on `job.latch`, so the closure
+                                // behind `func` is alive (see `Job` docs).
+                                let func = unsafe { &*job.func };
+                                func(job.range.clone());
+                            }))
+                            .is_err();
+                            job.latch.complete(panicked);
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// The process-wide shared pool, sized to the machine's available
+    /// parallelism. Created on first use and kept alive for the process.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| WorkerPool::new(thread::available_parallelism().map_or(4, |n| n.get())))
+    }
+
+    /// Number of worker threads in this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..total` into chunks of at most `chunk` items and runs `f`
+    /// once per chunk across the pool, blocking until all chunks complete.
+    ///
+    /// The partition depends only on `(total, chunk)` — never on the worker
+    /// count — so kernels that write disjoint ranges produce identical bytes
+    /// on any pool. Called from inside a pool task, the chunks execute inline
+    /// on the current worker (same partition, sequential).
+    ///
+    /// # Panics
+    ///
+    /// Re-panics in the caller if any task panicked.
+    pub fn run_chunks<F>(&self, total: usize, chunk: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if total == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let starts = (0..total).step_by(chunk);
+        let n_chunks = total.div_ceil(chunk);
+        if n_chunks == 1 || self.threads == 1 || IN_WORKER.with(|w| w.get()) {
+            for start in starts {
+                f(start..(start + chunk).min(total));
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(n_chunks));
+        // Erase the closure's lifetime: `*const dyn Fn` defaults to a
+        // `'static` trait-object bound, but `f` lives on this stack frame.
+        // SAFETY: both pointers are fat pointers to the same allocation with
+        // the same vtable; we block on the latch below, so no job outlives
+        // `f`.
+        let func: *const (dyn Fn(Range<usize>) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(Range<usize>) + Sync + '_),
+                *const (dyn Fn(Range<usize>) + Sync + 'static),
+            >(&f as *const F as *const (dyn Fn(Range<usize>) + Sync))
+        };
+        let sender = self.sender.as_ref().expect("pool is shut down");
+        for start in starts {
+            let job = Job {
+                func,
+                range: start..(start + chunk).min(total),
+                latch: Arc::clone(&latch),
+            };
+            if let Err(e) = sender.send(job) {
+                // Workers gone (only possible mid-shutdown): run inline.
+                let job = e.0;
+                f(job.range);
+                latch.complete(false);
+            }
+        }
+        if latch.wait() {
+            panic!("worker pool task panicked");
+        }
+    }
+
+    /// Partitions a flat row-major buffer into horizontal bands of
+    /// `chunk_rows` rows and runs `f(first_row, band)` for each band across
+    /// the pool. This is the safe entry point for kernels that fill disjoint
+    /// rows of an output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len == 0` or `data.len()` is not a multiple of
+    /// `row_len`, and re-panics if any task panicked.
+    pub fn run_row_bands<T, F>(&self, data: &mut [T], row_len: usize, chunk_rows: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(row_len > 0, "row_len must be positive");
+        assert!(
+            data.len().is_multiple_of(row_len),
+            "buffer length {} not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        let base = SendPtr(data.as_mut_ptr());
+        self.run_chunks(rows, chunk_rows, move |range| {
+            // Capture the whole wrapper, not the (non-Sync) raw pointer field.
+            let base = base;
+            // SAFETY: `run_chunks` hands out disjoint subranges of `0..rows`,
+            // so every band is a disjoint sub-slice of `data`, which outlives
+            // this call (run_chunks blocks until all tasks finish).
+            let band = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.0.add(range.start * row_len),
+                    range.len() * row_len,
+                )
+            };
+            f(range.start, band);
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv() fail and exit.
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Raw-pointer wrapper asserting cross-thread use is safe because tasks
+/// receive disjoint regions.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: `derive` would add unwanted `T: Copy`/`T: Clone` bounds.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: see `run_row_bands` — each task dereferences a disjoint region.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_chunks_covers_every_index_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_chunks(103, 7, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn run_chunks_empty_total_is_noop() {
+        let pool = WorkerPool::new(2);
+        pool.run_chunks(0, 8, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn row_bands_fill_disjoint_rows() {
+        for threads in [1, 2, 7] {
+            let pool = WorkerPool::new(threads);
+            let mut data = vec![0u32; 13 * 5];
+            pool.run_row_bands(&mut data, 5, 3, |first_row, band| {
+                for (local, row) in band.chunks_mut(5).enumerate() {
+                    row.fill((first_row + local) as u32);
+                }
+            });
+            for (r, row) in data.chunks(5).enumerate() {
+                assert!(row.iter().all(|&v| v == r as u32), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.run_chunks(4, 1, |_| {
+            // A second level of pool use from inside a task must not deadlock.
+            pool.run_chunks(8, 2, |range| {
+                count.fetch_add(range.len(), Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4 * 8);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(8, 1, |range| {
+                if range.start == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable after a task panicked.
+        let count = AtomicUsize::new(0);
+        pool.run_chunks(3, 1, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = WorkerPool::global() as *const _;
+        let b = WorkerPool::global() as *const _;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().threads() >= 1);
+    }
+}

@@ -66,6 +66,40 @@ impl QuantMatrix {
         }
     }
 
+    /// Builds a quantized matrix from pre-computed codes.
+    ///
+    /// This is the constructor for tables whose INT8 codes come from an
+    /// external source (e.g. a serving checkpoint) rather than from
+    /// quantizing an `f32` matrix in-process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `codes.len() != rows *
+    /// cols` or if `scale` is not positive and finite.
+    pub fn from_codes(rows: usize, cols: usize, scale: f32, codes: Vec<i8>) -> Result<Self> {
+        if codes.len() != rows * cols {
+            return Err(TensorError::InvalidDimension {
+                op: "QuantMatrix::from_codes",
+                detail: format!(
+                    "code buffer length {} does not match shape {rows}x{cols}",
+                    codes.len()
+                ),
+            });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(TensorError::InvalidDimension {
+                op: "QuantMatrix::from_codes",
+                detail: format!("scale must be positive and finite, got {scale}"),
+            });
+        }
+        Ok(QuantMatrix {
+            rows,
+            cols,
+            scale,
+            codes,
+        })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

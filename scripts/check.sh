@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
-# Pre-merge gate for the serving runtime: formatting, lints, and the
-# pimdl-serve test suite, all offline (see README.md, "Offline builds").
+# Pre-merge gate for the host kernels and serving runtime: formatting,
+# lints on every kernel-touching crate, the crate test suites, and a fast
+# kernel-performance smoke, all offline (see README.md, "Offline builds").
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+KERNEL_CRATES=(pimdl-tensor pimdl-lutnn pimdl-serve pimdl-engine pimdl-bench)
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy -p pimdl-serve -- -D warnings"
-cargo clippy --offline -p pimdl-serve -- -D warnings
+for crate in "${KERNEL_CRATES[@]}"; do
+    echo "==> cargo clippy -p ${crate} -- -D warnings"
+    cargo clippy --offline -p "${crate}" --all-targets -- -D warnings
+done
 
-echo "==> cargo test -p pimdl-serve --offline"
-cargo test --offline -p pimdl-serve
+for crate in pimdl-tensor pimdl-lutnn pimdl-serve; do
+    echo "==> cargo test -p ${crate} --offline"
+    cargo test --offline -p "${crate}"
+done
+
+# Kernel-performance smoke: small shape, best-of-reps timing; the binary
+# exits non-zero if the fused kernel regresses below the scalar two-pass.
+echo "==> reproduce bench_kernels --smoke"
+cargo run --offline --release -p pimdl-bench --bin reproduce -- bench_kernels --smoke
 
 echo "All checks passed."
