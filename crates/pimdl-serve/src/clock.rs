@@ -14,7 +14,7 @@ use crate::error::ServeError;
 use crate::Result;
 
 /// A monotone time source in simulated seconds.
-pub trait Clock: Send + Sync {
+pub trait Clock: Send + Sync + std::fmt::Debug {
     /// Current time (simulated seconds since the clock's origin).
     fn now(&self) -> f64;
 

@@ -19,6 +19,21 @@ pub enum ServeError {
     Engine(EngineError),
     /// Functional execution on the simulated platform failed.
     Sim(SimError),
+    /// A reactor or socket operation failed.
+    Io {
+        /// The failing operation and the OS error text.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Adapter turning an [`std::io::Error`] into [`ServeError::Io`] with
+    /// the failing operation named, usable directly in `map_err`.
+    pub fn from_io(op: &str) -> impl FnOnce(std::io::Error) -> ServeError + '_ {
+        move |e| ServeError::Io {
+            detail: format!("{op}: {e}"),
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -27,6 +42,7 @@ impl fmt::Display for ServeError {
             ServeError::Config { detail } => write!(f, "serving configuration error: {detail}"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Sim(e) => write!(f, "simulator error: {e}"),
+            ServeError::Io { detail } => write!(f, "reactor I/O error: {detail}"),
         }
     }
 }
@@ -34,7 +50,7 @@ impl fmt::Display for ServeError {
 impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ServeError::Config { .. } => None,
+            ServeError::Config { .. } | ServeError::Io { .. } => None,
             ServeError::Engine(e) => Some(e),
             ServeError::Sim(e) => Some(e),
         }
@@ -50,5 +66,13 @@ impl From<EngineError> for ServeError {
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
         ServeError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io {
+            detail: e.to_string(),
+        }
     }
 }

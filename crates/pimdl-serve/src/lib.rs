@@ -50,18 +50,26 @@ mod error;
 pub mod admission;
 pub mod batcher;
 pub mod clock;
+pub mod codec;
 pub mod metrics;
+pub mod reactor;
 pub mod request;
 pub mod runtime;
+pub mod server;
 pub mod shard;
 
 pub use admission::AdmissionQueue;
 pub use batcher::ContinuousBatcher;
 pub use clock::{Clock, RealClock, VirtualClock};
+pub use codec::{LineBuffer, LineClient, ServerMsg};
 pub use error::ServeError;
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use reactor::{
+    EpollPoller, EventSource, IoEvent, ReactorStats, ReactorStatsSnapshot, SimPoller, Token, Waker,
+};
 pub use request::{Outcome, Request, RequestRecord};
 pub use runtime::{OpenLoop, Runtime, ServeConfig, ServeReport};
+pub use server::{BatchExecutor, ServeHandle, ServerLoop, SimExecutor, ThreadedExecutor};
 pub use shard::{DispatchTicket, ReplicaModel, ServiceModel, ShardManager};
 
 /// Crate-wide result alias.

@@ -9,6 +9,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::reactor::ReactorStatsSnapshot;
+
 /// A fixed-bucket histogram with atomic counters.
 ///
 /// Quantiles are read as the **upper bound** of the bucket holding the
@@ -133,6 +135,7 @@ pub struct Metrics {
     rejected: AtomicU64,
     deadline_exceeded: AtomicU64,
     batches: AtomicU64,
+    shard_wakeups: AtomicU64,
     queue_depth_peak: AtomicU64,
     latency: Histogram,
     batch_size: Histogram,
@@ -147,6 +150,7 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            shard_wakeups: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
             latency: Histogram::log_time(),
             batch_size: Histogram::linear_counts(max_batch),
@@ -180,26 +184,43 @@ impl Metrics {
         self.batch_size.record(size as f64);
     }
 
+    /// One shard worker woke to process a batch. A reactor-parked runtime
+    /// wakes a shard exactly once per dispatched batch, so
+    /// `shard_wakeups == batches` is the no-spurious-wakeups invariant the
+    /// pipeline tests pin.
+    pub fn record_shard_wakeup(&self) {
+        self.shard_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Updates the peak queue depth.
     pub fn observe_queue_depth(&self, depth: usize) {
         self.queue_depth_peak
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
-    /// Immutable snapshot of every counter and derived statistic.
+    /// Immutable snapshot of every counter and derived statistic (reactor
+    /// stats zeroed; see [`Metrics::snapshot_with_reactor`]).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_with_reactor(ReactorStatsSnapshot::default())
+    }
+
+    /// Snapshot with the event source's [`ReactorStatsSnapshot`] attached
+    /// (reactor-backed drivers pass their poller's stats at shutdown).
+    pub fn snapshot_with_reactor(&self, reactor: ReactorStatsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shard_wakeups: self.shard_wakeups.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             mean_latency_s: self.latency.mean(),
             p50_latency_s: self.latency.quantile(0.50),
             p95_latency_s: self.latency.quantile(0.95),
             p99_latency_s: self.latency.quantile(0.99),
             mean_batch: self.batch_size.mean(),
+            reactor,
         }
     }
 }
@@ -217,6 +238,8 @@ pub struct MetricsSnapshot {
     pub deadline_exceeded: u64,
     /// Batches dispatched to shards.
     pub batches: u64,
+    /// Shard worker wakeups (equals `batches` when no wakeup is spurious).
+    pub shard_wakeups: u64,
     /// Peak admission-queue depth observed.
     pub queue_depth_peak: u64,
     /// Mean end-to-end latency (seconds).
@@ -229,6 +252,10 @@ pub struct MetricsSnapshot {
     pub p99_latency_s: f64,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
+    /// Event-source counters of the run's reactor (all zero for drivers
+    /// without one, e.g. the deterministic virtual event loop).
+    #[serde(default)]
+    pub reactor: ReactorStatsSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -241,19 +268,31 @@ impl MetricsSnapshot {
              \x20 rejected           {}\n\
              \x20 deadline exceeded  {}\n\
              \x20 batches            {} (mean size {:.2})\n\
+             \x20 shard wakeups      {}\n\
              \x20 peak queue depth   {}\n\
-             \x20 latency mean/p50/p95/p99  {:.3e} / {:.3e} / {:.3e} / {:.3e} s",
+             \x20 latency mean/p50/p95/p99  {:.3e} / {:.3e} / {:.3e} / {:.3e} s\n\
+             \x20 reactor polls/wakeups/spurious  {} / {} / {}\n\
+             \x20 reactor accepts/reads/writes    {} / {} / {}\n\
+             \x20 reactor mean wake latency       {:.3e} s",
             self.submitted,
             self.completed,
             self.rejected,
             self.deadline_exceeded,
             self.batches,
             self.mean_batch,
+            self.shard_wakeups,
             self.queue_depth_peak,
             self.mean_latency_s,
             self.p50_latency_s,
             self.p95_latency_s,
             self.p99_latency_s,
+            self.reactor.polls,
+            self.reactor.wakeups,
+            self.reactor.spurious_wakeups,
+            self.reactor.accepts,
+            self.reactor.reads,
+            self.reactor.writes,
+            self.reactor.mean_wake_latency_s,
         )
     }
 }

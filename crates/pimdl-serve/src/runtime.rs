@@ -20,8 +20,7 @@
 //! is `DeadlineExceeded`; once dispatched it runs to completion.
 
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::Mutex;
 
 use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
 use pimdl_engine::scheduler::BatchingPolicy;
@@ -34,6 +33,7 @@ use crate::batcher::ContinuousBatcher;
 use crate::clock::{Clock, RealClock, VirtualClock};
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::reactor::{EpollPoller, EventSource, IoEvent, WAKE_ARRIVAL, WAKE_COMPLETION};
 use crate::request::{Outcome, Request, RequestRecord};
 use crate::shard::{ReplicaModel, ServiceModel, ShardManager};
 use crate::Result;
@@ -279,6 +279,12 @@ impl Runtime {
         &self.service
     }
 
+    /// The model replica (exposed for the network front end and for test
+    /// oracles computing reference checksums).
+    pub fn replica(&self) -> &ReplicaModel {
+        &self.replica
+    }
+
     /// Poisson arrival times for `load` (exponential inter-arrivals, the
     /// same construction as `pimdl_engine::scheduler`).
     fn arrival_times(load: &OpenLoop) -> Vec<f64> {
@@ -442,6 +448,7 @@ impl Runtime {
                     let service_s = self.service.batch_service_s(batch.len())?;
                     let ticket = shards.dispatch(now, service_s);
                     metrics.record_batch(batch.len());
+                    metrics.record_shard_wakeup();
                     let flags = self.replica.execute_batch(&batch)?;
                     let executed: Vec<(Request, bool)> = batch.into_iter().zip(flags).collect();
                     inflight.push((ticket.finish_s, ticket.shard, executed.len(), executed));
@@ -485,6 +492,19 @@ impl Runtime {
     /// failures.
     pub fn run_threaded(&self, load: &OpenLoop, speedup: f64) -> Result<ServeReport> {
         load.validate()?;
+        // Payloads (indices + reference checksums) are generated before the
+        // clock starts: the reference computation is a simulation artifact,
+        // and at high clock speedups its real cost would otherwise stretch
+        // the open-loop arrival schedule by whole simulated seconds.
+        let payloads: Vec<Request> = {
+            let mut payload_rng = Self::payload_rng(load);
+            (0..load.num_requests)
+                .map(|i| {
+                    self.replica
+                        .make_request(i as u64, 0.0, 0.0, &mut payload_rng)
+                })
+                .collect()
+        };
         let clock = RealClock::accelerated(speedup)?;
         let metrics = Metrics::new(self.cfg.policy.max_batch);
         let deadline_rel = self.cfg.deadline_s;
@@ -495,7 +515,17 @@ impl Runtime {
             closed: false,
             shard_busy: vec![false; num_shards],
         });
-        let cv = Condvar::new();
+        // The batcher thread parks on a readiness reactor instead of a
+        // condition variable with a fallback poll: the generator wakes it
+        // with WAKE_ARRIVAL, shard workers with WAKE_COMPLETION, and with
+        // nothing timed pending it parks indefinitely — an idle front end
+        // burns zero wakeups. Wake tokens are remembered by the poller's
+        // pipe, so the update-under-mutex / drop / park sequence cannot
+        // lose a notification.
+        let mut park = EpollPoller::new(speedup)?;
+        let wake_front = park.waker(WAKE_ARRIVAL);
+        let wake_done = park.waker(WAKE_COMPLETION);
+        let park_stats = park.stats();
         let error_slot: Mutex<Option<ServeError>> = Mutex::new(None);
 
         let (records_tx, records_rx) = mpsc::channel::<RequestRecord>();
@@ -513,26 +543,26 @@ impl Runtime {
         std::thread::scope(|s| -> Result<()> {
             // Load generator: open-loop Poisson arrivals.
             let gen_tx = records_tx.clone();
-            let (clock_ref, front_ref, cv_ref, metrics_ref) = (&clock, &front, &cv, &metrics);
+            let (clock_ref, front_ref, metrics_ref) = (&clock, &front, &metrics);
             let replica = &self.replica;
             let arrivals_ref = &arrivals;
+            let wake_front_ref = &wake_front;
             s.spawn(move || {
-                let mut payload_rng = Self::payload_rng(load);
-                for (i, &target) in arrivals_ref.iter().enumerate() {
+                for (&target, payload) in arrivals_ref.iter().zip(payloads) {
                     clock_ref.sleep(target - clock_ref.now());
                     let arrival = clock_ref.now();
-                    let req = replica.make_request(
-                        i as u64,
-                        arrival,
-                        arrival + deadline_rel,
-                        &mut payload_rng,
-                    );
+                    let req = Request {
+                        arrival_s: arrival,
+                        deadline_s: arrival + deadline_rel,
+                        ..payload
+                    };
                     metrics_ref.record_submitted();
                     let mut g = front_ref.lock().expect("front end poisoned");
                     match g.queue.try_admit(req) {
                         Ok(()) => {
                             metrics_ref.observe_queue_depth(g.queue.len());
-                            cv_ref.notify_all();
+                            drop(g);
+                            wake_front_ref.wake();
                         }
                         Err(back) => {
                             drop(g);
@@ -547,7 +577,8 @@ impl Runtime {
                 }
                 let mut g = front_ref.lock().expect("front end poisoned");
                 g.closed = true;
-                cv_ref.notify_all();
+                drop(g);
+                wake_front_ref.wake();
             });
 
             // Batcher: drains the queue, forms batches, routes to shards.
@@ -558,6 +589,7 @@ impl Runtime {
                 let mut batcher =
                     ContinuousBatcher::new(self.cfg.policy).expect("policy validated");
                 let mut shards = ShardManager::new(num_shards).expect("shards validated");
+                let mut events: Vec<IoEvent> = Vec::new();
                 let mut g = front_ref.lock().expect("front end poisoned");
                 loop {
                     let now = clock_ref.now();
@@ -626,29 +658,31 @@ impl Runtime {
                             continue;
                         }
                     }
-                    // Nothing actionable: wait for an arrival, a shard
-                    // completion, the flush window, or the next deadline.
+                    // Nothing actionable: park on the reactor until an
+                    // arrival or completion wake, the flush window, or the
+                    // next deadline. The flush window only matters while a
+                    // shard could absorb the batch — with every shard busy
+                    // the completion wake is the real signal, so parking
+                    // without it avoids a busy-wait on a ready batch.
                     let mut wake_s = f64::INFINITY;
-                    if !batcher.is_empty() {
+                    if !batcher.is_empty() && g.shard_busy.iter().any(|&b| !b) {
                         if let Some(d) = batcher.flush_deadline_s() {
                             wake_s = wake_s.min(d);
                         }
                     }
                     if let Some(d) = g.queue.min_deadline_s() {
-                        wake_s = wake_s.min(d);
+                        wake_s = wake_s.min(d + crate::server::DEADLINE_SLOP_S);
                     }
                     if let Some(d) = batcher.min_deadline_s() {
-                        wake_s = wake_s.min(d);
+                        wake_s = wake_s.min(d + crate::server::DEADLINE_SLOP_S);
                     }
-                    let timeout = if wake_s.is_finite() {
-                        clock_ref.real_duration((wake_s - now).max(0.0))
-                    } else {
-                        Duration::from_millis(50)
-                    };
-                    let (guard, _) = cv_ref
-                        .wait_timeout(g, timeout.max(Duration::from_micros(50)))
-                        .expect("front end poisoned");
-                    g = guard;
+                    drop(g);
+                    let timeout = wake_s.is_finite().then(|| (wake_s - now).max(0.0));
+                    if let Err(e) = park.wait(timeout, &mut events) {
+                        *error_ref.lock().expect("error slot poisoned") = Some(e);
+                        break;
+                    }
+                    g = front_ref.lock().expect("front end poisoned");
                 }
                 drop(shard_txs); // closes the worker channels
             });
@@ -656,9 +690,12 @@ impl Runtime {
             // Shard workers: functional execution + cost-model service time.
             for (sid, rx) in shard_rxs.into_iter().enumerate() {
                 let worker_tx = records_tx.clone();
+                let wake_done_ref = &wake_done;
                 s.spawn(move || {
                     for msg in rx.iter() {
                         debug_assert_eq!(msg.shard, sid);
+                        metrics_ref.record_shard_wakeup();
+                        let t_recv = clock_ref.now();
                         let batch_size = msg.batch.len();
                         let flags = match replica.execute_batch(&msg.batch) {
                             Ok(flags) => flags,
@@ -669,7 +706,10 @@ impl Runtime {
                         };
                         let executed: Vec<(Request, bool)> =
                             msg.batch.into_iter().zip(flags).collect();
-                        clock_ref.sleep(msg.service_s);
+                        // The functional check runs on the host only to
+                        // verify the PIM result — it overlaps the modeled
+                        // service time rather than adding to it.
+                        clock_ref.sleep(msg.service_s - (clock_ref.now() - t_recv));
                         let finish = clock_ref.now();
                         for (req, correct) in executed {
                             let latency_s = finish - req.arrival_s;
@@ -687,7 +727,8 @@ impl Runtime {
                         }
                         let mut g = front_ref.lock().expect("front end poisoned");
                         g.shard_busy[sid] = false;
-                        cv_ref.notify_all();
+                        drop(g);
+                        wake_done_ref.wake();
                     }
                 });
             }
@@ -704,7 +745,7 @@ impl Runtime {
         }
         Ok(ServeReport {
             records,
-            metrics: metrics.snapshot(),
+            metrics: metrics.snapshot_with_reactor(park_stats.snapshot()),
             makespan_s: clock.now(),
         })
     }

@@ -105,6 +105,60 @@ impl ReplicaModel {
         }
     }
 
+    /// Builds a request from externally supplied indices (the network
+    /// front end's path), validating shape and codebook range and
+    /// computing the host-reference checksum the PIM execution is
+    /// verified against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when the index count is not
+    /// `n × CB` or any index reaches past the codebook.
+    pub fn request_from_indices(
+        &self,
+        id: u64,
+        arrival_s: f64,
+        deadline_s: f64,
+        indices: Vec<u16>,
+    ) -> Result<Request> {
+        let expected_checksum = self.checksum_of(&indices)?;
+        Ok(Request {
+            id,
+            arrival_s,
+            deadline_s,
+            indices,
+            expected_checksum,
+        })
+    }
+
+    /// Host-reference checksum of the output `indices` should produce,
+    /// after validating them against the replica's workload shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for a wrong index count or an index
+    /// outside the codebook range.
+    pub fn checksum_of(&self, indices: &[u16]) -> Result<f64> {
+        let w = self.workload;
+        if indices.len() != w.n * w.cb {
+            return Err(ServeError::Config {
+                detail: format!(
+                    "query carries {} indices, workload shape needs {} ({}x{})",
+                    indices.len(),
+                    w.n * w.cb,
+                    w.n,
+                    w.cb
+                ),
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| usize::from(i) >= w.ct) {
+            return Err(ServeError::Config {
+                detail: format!("query index {bad} outside codebook range 0..{}", w.ct),
+            });
+        }
+        Ok(self.reference_checksum(indices))
+    }
+
     /// Host-reference output checksum: the transposed-layout LUT gather
     /// (the same INT32 accumulate and dequantization the simulated PEs
     /// perform), summed over the output in row-major order so the
@@ -182,6 +236,7 @@ pub struct DispatchTicket {
 pub struct ShardManager {
     busy_until_s: Vec<f64>,
     dispatched: Vec<u64>,
+    wakeups: Vec<u64>,
 }
 
 impl ShardManager {
@@ -199,6 +254,7 @@ impl ShardManager {
         Ok(ShardManager {
             busy_until_s: vec![0.0; num_shards],
             dispatched: vec![0; num_shards],
+            wakeups: vec![0; num_shards],
         })
     }
 
@@ -267,6 +323,17 @@ impl ShardManager {
     /// Batches dispatched per shard.
     pub fn dispatch_counts(&self) -> &[u64] {
         &self.dispatched
+    }
+
+    /// Records one wakeup of `shard` (delivered through its reactor wake
+    /// token). In a spurious-free run `wakeup_counts == dispatch_counts`.
+    pub fn record_wakeup(&mut self, shard: usize) {
+        self.wakeups[shard] += 1;
+    }
+
+    /// Wake-token deliveries per shard.
+    pub fn wakeup_counts(&self) -> &[u64] {
+        &self.wakeups
     }
 }
 

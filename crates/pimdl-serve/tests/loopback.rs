@@ -1,0 +1,91 @@
+//! Loopback smoke test of the real epoll reactor path.
+//!
+//! Binds the serving runtime to `127.0.0.1:0`, fires concurrent client
+//! threads through the line protocol, and checks every response against a
+//! single-threaded oracle ([`ReplicaModel::checksum_of`] computed
+//! client-side before sending). Runs in tier-1: no `#[ignore]`, and the
+//! clock speedup keeps the whole test well under two seconds.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_serve::codec::{ErrorKind, ServerMsg};
+use pimdl_serve::{LineClient, Runtime, ServeConfig};
+use pimdl_sim::PlatformConfig;
+use pimdl_tensor::rng::DataRng;
+
+const NUM_CLIENTS: usize = 4;
+const PER_CLIENT: usize = 25;
+
+#[test]
+fn loopback_concurrent_clients_match_oracle() {
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 64;
+    let cfg = ServeConfig::example();
+    let rt = Arc::new(Runtime::new(platform, TransformerShape::tiny(), cfg).unwrap());
+    // One single-request service in ~0.5 ms of real time: 4 x 25
+    // in-order queries stay far below the 2 s budget.
+    let t1 = rt.service_model().batch_service_s(1).unwrap();
+    let speedup = (t1 / 0.5e-3).max(1.0);
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = rt.serve(listener, speedup).unwrap();
+    let addr = handle.addr();
+    let w = rt.replica().workload();
+
+    let clients: Vec<_> = (0..NUM_CLIENTS)
+        .map(|c| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                let mut client = LineClient::connect(addr).unwrap();
+                let mut rng = DataRng::new(0xC11E57 + c as u64);
+                let mut errors = 0usize;
+                for k in 0..PER_CLIENT {
+                    let indices: Vec<u16> =
+                        (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
+                    // The oracle: the same checksum the server must echo.
+                    let oracle = rt.replica().checksum_of(&indices).unwrap().to_bits();
+                    let tag = format!("c{c}-{k}");
+                    match client.query(&tag, &indices).unwrap() {
+                        ServerMsg::Result {
+                            tag: rtag,
+                            correct,
+                            checksum_bits,
+                        } => {
+                            assert_eq!(rtag, tag, "response routed to the wrong query");
+                            assert!(correct, "{tag}: PIM execution mismatched the host");
+                            assert_eq!(checksum_bits, oracle, "{tag}: wrong checksum");
+                        }
+                        // The example config has an infinite deadline and a
+                        // 64-deep queue per 100 sequential queries, but a
+                        // refusal under momentary pressure is still legal —
+                        // it just must be an admission rejection.
+                        ServerMsg::Error { tag: rtag, kind } => {
+                            assert_eq!(rtag, tag);
+                            assert_eq!(kind, ErrorKind::Rejected, "{tag}: unexpected {kind:?}");
+                            errors += 1;
+                        }
+                    }
+                }
+                errors
+            })
+        })
+        .collect();
+
+    let rejected: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let snap = handle.shutdown().unwrap();
+
+    // Conservation across the wire: every query terminated exactly once.
+    let total = (NUM_CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(snap.submitted, total);
+    assert_eq!(snap.rejected, rejected as u64);
+    assert_eq!(snap.completed + snap.rejected, total);
+    assert_eq!(snap.deadline_exceeded, 0);
+
+    // The reactor actually carried the traffic.
+    assert_eq!(snap.reactor.accepts as usize, NUM_CLIENTS);
+    assert_eq!(snap.shard_wakeups, snap.batches);
+    assert!(snap.batches >= (total - rejected as u64).div_ceil(4));
+    assert!(snap.reactor.reads > 0 && snap.reactor.writes > 0);
+}

@@ -1,86 +1,126 @@
-//! The serving runtime end to end: synthetic open-loop load through the
-//! real multi-threaded front end — bounded admission, continuous batching,
-//! least-loaded DIMM-shard routing — with the metrics report printed at
-//! shutdown.
+//! The serving runtime end to end, over a real socket: the epoll-backed
+//! reactor accepts TCP clients on loopback, the front end admits and
+//! batches their queries, DIMM shards execute them, and responses travel
+//! back through the same reactor. Every response is checked against a
+//! checksum oracle computed client-side before the query is sent.
 //!
 //! ```text
-//! cargo run --release --example serve_demo [num_requests] [rate_multiplier]
+//! cargo run --release --example serve_demo [num_clients] [per_client]
 //! ```
 //!
-//! `rate_multiplier` scales the arrival rate relative to the single-request
-//! service rate of one shard (default 3.0: beyond one shard, comfortably
-//! within two with batching).
+//! Each client opens its own connection and issues `per_client` in-order
+//! queries through the line protocol (`LineClient`). The metrics report
+//! printed at shutdown includes the reactor counters: polls, wakeups,
+//! accepts, and the measured shard wake latency that calibrates the
+//! discrete-event simulator's dispatch overhead.
+
+use std::net::TcpListener;
+use std::sync::Arc;
 
 use pimdl::engine::shapes::TransformerShape;
-use pimdl::serve::{OpenLoop, Runtime, ServeConfig};
+use pimdl::serve::codec::{ErrorKind, ServerMsg};
+use pimdl::serve::{LineClient, Runtime, ServeConfig};
 use pimdl::sim::PlatformConfig;
+use pimdl::tensor::rng::DataRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let num_requests: usize = std::env::args()
+    let num_clients: usize = std::env::args()
         .nth(1)
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(2000);
-    let rate_x: f64 = std::env::args()
+        .unwrap_or(4);
+    let per_client: usize = std::env::args()
         .nth(2)
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(3.0);
+        .unwrap_or(50);
 
     let mut platform = PlatformConfig::upmem();
     platform.num_pes = 64;
     let shape = TransformerShape::tiny();
-    let mut cfg = ServeConfig::example();
-    cfg.queue_capacity = 256;
+    let cfg = ServeConfig::example();
+    let rt = Arc::new(Runtime::new(platform, shape, cfg)?);
 
-    let rt = Runtime::new(platform, shape, cfg)?;
+    // Compress simulated service times so the demo finishes quickly: one
+    // single-request service time ≈ 1 ms of wall time.
     let single_s = rt.service_model().batch_service_s(1)?;
-    let rate_rps = rate_x / single_s;
+    let speedup = (single_s / 1e-3).max(1.0);
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let handle = rt.serve(listener, speedup)?;
+    let addr = handle.addr();
     println!(
-        "serving runtime: {} shards, max_batch {}, window {:.1} ms, queue {} deep",
+        "serving on {addr}: {} shards, max_batch {}, window {:.1} ms, queue {} deep",
         cfg.num_shards,
         cfg.policy.max_batch,
         cfg.policy.max_wait_s * 1e3,
         cfg.queue_capacity,
     );
     println!(
-        "open-loop load: {num_requests} requests at {rate_rps:.1} rps \
-         ({rate_x:.1}x the single-request rate, single = {single_s:.4} s)\n"
+        "load: {num_clients} clients x {per_client} queries \
+         (single-request service {single_s:.4} s, clock speedup {speedup:.0}x)\n"
     );
 
-    // Compress simulated service times so the demo finishes quickly: one
-    // single-request service time ≈ 2 ms of wall time.
-    let speedup = (single_s / 2e-3).max(1.0);
-    let load = OpenLoop {
-        rate_rps,
-        num_requests,
-        seed: 42,
-    };
-    let report = rt.run_threaded(&load, speedup)?;
+    let workload = rt.replica().workload();
+    let clients: Vec<_> = (0..num_clients)
+        .map(|c| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || -> Result<(usize, usize), String> {
+                let mut client = LineClient::connect(addr).map_err(|e| e.to_string())?;
+                let mut rng = DataRng::new(0xD0_0D + c as u64);
+                let (mut ok, mut shed) = (0usize, 0usize);
+                for k in 0..per_client {
+                    let indices: Vec<u16> = (0..workload.n * workload.cb)
+                        .map(|_| rng.index(workload.ct) as u16)
+                        .collect();
+                    let oracle = rt
+                        .replica()
+                        .checksum_of(&indices)
+                        .map_err(|e| e.to_string())?
+                        .to_bits();
+                    let tag = format!("c{c}-{k}");
+                    match client.query(&tag, &indices).map_err(|e| e.to_string())? {
+                        ServerMsg::Result {
+                            tag: rtag,
+                            correct,
+                            checksum_bits,
+                        } => {
+                            if rtag != tag || !correct || checksum_bits != oracle {
+                                return Err(format!("{tag}: response mismatched the oracle"));
+                            }
+                            ok += 1;
+                        }
+                        ServerMsg::Error { kind, .. } => {
+                            if kind != ErrorKind::Rejected {
+                                return Err(format!("{tag}: unexpected error {kind:?}"));
+                            }
+                            shed += 1;
+                        }
+                    }
+                }
+                Ok((ok, shed))
+            })
+        })
+        .collect();
 
-    println!("{}", report.metrics.render());
+    let (mut ok, mut shed) = (0usize, 0usize);
+    for c in clients {
+        let (o, s) = c.join().expect("client thread panicked")?;
+        ok += o;
+        shed += s;
+    }
+    let snap = handle.shutdown()?;
+
+    println!("{}", snap.render());
     println!(
-        "\nledger: {} completed / {} rejected / {} deadline-exceeded over {:.2} simulated s",
-        report.completed(),
-        report.rejected(),
-        report.deadline_exceeded(),
-        report.makespan_s,
+        "\nclients saw {ok} correct results and {shed} admission rejections \
+         ({} queries total)",
+        num_clients * per_client,
     );
     println!(
-        "conservation: {} | metrics consistent: {} | all outputs correct: {}",
-        report.conserves(num_requests),
-        report.consistent_with_metrics(),
-        report.all_completed_correct(),
-    );
-
-    // The same load through the deterministic virtual-clock driver, for
-    // comparison (identical state machines, idealized timing).
-    let virt = rt.run_virtual(&load)?;
-    println!(
-        "\nvirtual-clock reference: {} completed, mean batch {:.2}, p95 latency {:.4} s",
-        virt.completed(),
-        virt.metrics.mean_batch,
-        virt.metrics.p95_latency_s,
+        "conservation: {} | every result matched its client-side oracle",
+        snap.completed + snap.rejected + snap.deadline_exceeded
+            == (num_clients * per_client) as u64,
     );
     Ok(())
 }

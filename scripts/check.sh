@@ -20,6 +20,13 @@ for crate in pimdl-tensor pimdl-lutnn pimdl-serve; do
     cargo test --offline -p "${crate}"
 done
 
+# Reactor end-to-end: the deterministic SimPoller pipeline (1k scripted
+# requests, bit-identical across runs) and the real-epoll loopback smoke.
+echo "==> cargo test -p pimdl --test reactor_pipeline"
+cargo test --offline -p pimdl --test reactor_pipeline
+echo "==> cargo test -p pimdl-serve --test loopback"
+cargo test --offline -p pimdl-serve --test loopback
+
 # Kernel-performance smoke: small shape, best-of-reps timing; the binary
 # exits non-zero if the fused kernel regresses below the scalar two-pass.
 echo "==> reproduce bench_kernels --smoke"
