@@ -111,13 +111,23 @@ pub trait EventSource: fmt::Debug {
     /// Parks until an event arrives or `timeout_s` **simulated** seconds
     /// pass (`None` parks indefinitely). Events are appended to `out`
     /// (cleared first). Returning with `out` empty means the timeout
-    /// elapsed — or, for [`SimPoller`] with no timeout, that the script is
-    /// exhausted and no event can ever arrive (quiescence).
+    /// elapsed — or, when [`EventSource::supports_quiescence`] is true and
+    /// no timeout was given, that the script is exhausted and no event can
+    /// ever arrive (quiescence).
     ///
     /// # Errors
     ///
     /// Fails on poller syscall errors; never on timeouts.
     fn wait(&mut self, timeout_s: Option<f64>, out: &mut Vec<IoEvent>) -> Result<()>;
+
+    /// Whether an empty untimed [`EventSource::wait`] proves no event can
+    /// ever arrive again. True only for scripted sources ([`SimPoller`]):
+    /// a live poller may legitimately return an empty batch (e.g. a stale
+    /// wake-pipe byte whose token was already drained by an earlier poll),
+    /// so the serving loop must park again instead of exiting.
+    fn supports_quiescence(&self) -> bool {
+        false
+    }
 
     /// A cloneable wake handle delivering `token` to this source.
     fn waker(&self, token: Token) -> Waker;
@@ -170,6 +180,7 @@ pub struct ReactorStats {
     wakeups: AtomicU64,
     spurious_wakeups: AtomicU64,
     accepts: AtomicU64,
+    accept_errors: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
     wake_latency_sum_bits: AtomicU64,
@@ -202,6 +213,10 @@ impl ReactorStats {
 
     fn record_accept(&self) {
         self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     fn record_read(&self) {
@@ -239,6 +254,7 @@ impl ReactorStats {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
             accepts: self.accepts.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             mean_wake_latency_s: if count == 0 { 0.0 } else { sum / count as f64 },
@@ -259,6 +275,10 @@ pub struct ReactorStatsSnapshot {
     pub spurious_wakeups: u64,
     /// Connections accepted.
     pub accepts: u64,
+    /// Accept-path failures survived without aborting the loop
+    /// (ECONNABORTED races, fd exhaustion, per-connection setup errors).
+    #[serde(default)]
+    pub accept_errors: u64,
     /// Read drains that moved bytes (or observed EOF).
     pub reads: u64,
     /// Write attempts that moved bytes.
@@ -646,19 +666,27 @@ impl EpollPoller {
             };
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    stream
-                        .set_nonblocking(true)
-                        .map_err(ServeError::from_io("conn nonblocking"))?;
+                    // Post-accept setup failures only cost this one
+                    // connection (the stream drops, sending RST); the
+                    // listener keeps serving everyone else.
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.record_accept_error();
+                        continue;
+                    }
                     let token = self.next_conn;
                     self.next_conn += 1;
-                    sys::epoll_ctl(
+                    if sys::epoll_ctl(
                         self.epfd,
                         sys::EPOLL_CTL_ADD,
                         raw_fd(&stream),
                         sys::EPOLLIN | sys::EPOLLRDHUP,
                         token,
                     )
-                    .map_err(ServeError::from_io("conn registration"))?;
+                    .is_err()
+                    {
+                        self.stats.record_accept_error();
+                        continue;
+                    }
                     self.conns.insert(
                         token,
                         EpollConn {
@@ -671,7 +699,22 @@ impl EpollPoller {
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(ServeError::from_io("accept")(e)),
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {
+                    // Client connected and RST before we accepted — Linux
+                    // surfaces this on accept(); skip to the next pending
+                    // connection rather than killing the server.
+                    self.stats.record_accept_error();
+                }
+                Err(_) => {
+                    // Everything else (EMFILE/ENFILE fd exhaustion, EPROTO,
+                    // ENETDOWN, ...) is transient relative to the server's
+                    // lifetime: stop this accept round and retry on the next
+                    // poll instead of propagating a fatal error out of
+                    // wait(). Level-triggered epoll re-reports the listener
+                    // while a connection is still pending.
+                    self.stats.record_accept_error();
+                    return Ok(());
+                }
             }
         }
     }
@@ -679,16 +722,24 @@ impl EpollPoller {
     fn drain_wakes(&mut self, out: &mut Vec<IoEvent>) {
         let mut sink = [0u8; 64];
         while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
-        let stamp = self.sink.earliest_ns.swap(u64::MAX, Ordering::Relaxed);
-        if stamp != u64::MAX {
-            let real_ns = self.sink.origin.elapsed().as_nanos() as u64;
-            let real_s = real_ns.saturating_sub(stamp) as f64 * 1e-9;
-            self.stats.record_wake_latency(real_s * self.speedup);
-        }
         let tokens: Vec<u64> = {
             let mut pending = self.sink.pending.lock().expect("wake sink poisoned");
             std::mem::take(&mut *pending)
         };
+        // Consume the latency stamp only when tokens were actually drained:
+        // wake() stamps before pushing, so the earliest stamp belongs to one
+        // of the tokens taken above. Swapping unconditionally would let a
+        // wake() racing between the swap and the token take leave its stamp
+        // behind to inflate an unrelated later poll's measurement (which
+        // feeds the DES dispatch-overhead calibration).
+        if !tokens.is_empty() {
+            let stamp = self.sink.earliest_ns.swap(u64::MAX, Ordering::Relaxed);
+            if stamp != u64::MAX {
+                let real_ns = self.sink.origin.elapsed().as_nanos() as u64;
+                let real_s = real_ns.saturating_sub(stamp) as f64 * 1e-9;
+                self.stats.record_wake_latency(real_s * self.speedup);
+            }
+        }
         self.stats.record_wakeups(tokens.len() as u64);
         out.extend(tokens.into_iter().map(|t| IoEvent::Wake(Token(t))));
     }
@@ -1236,6 +1287,10 @@ impl EventSource for SimPoller {
         self.state.lock().expect("sim state poisoned").accepting = false;
     }
 
+    fn supports_quiescence(&self) -> bool {
+        true
+    }
+
     fn stats(&self) -> Arc<ReactorStats> {
         self.stats.clone()
     }
@@ -1305,6 +1360,44 @@ mod tests {
     fn idle_poller_observes_zero_wakeups() {
         let rate = idle_wakeup_rate(Duration::from_millis(20)).unwrap();
         assert_eq!(rate, 0.0, "an idle reactor must not wake");
+    }
+
+    #[test]
+    fn only_the_scripted_source_claims_quiescence() {
+        // The serving loop exits on an empty untimed wait only when the
+        // source guarantees no further event is possible. Epoll cannot: a
+        // wake() racing a concurrent drain can leave a stale self-pipe byte
+        // whose tokens were already delivered, making the next wait return
+        // empty on a still-live server.
+        let epoll = EpollPoller::new(1.0).unwrap();
+        assert!(!epoll.supports_quiescence());
+        let sim = SimPoller::new(Arc::new(VirtualClock::new()));
+        assert!(sim.supports_quiescence());
+    }
+
+    #[test]
+    fn epoll_stale_wake_byte_yields_empty_batch_not_tokens() {
+        // Reproduce the wake/drain race outcome deterministically: tokens
+        // already drained, byte still in the pipe. The poller must report
+        // an empty (spurious) batch, never invent or double-deliver wakes.
+        let mut p = EpollPoller::new(1.0).unwrap();
+        let w = p.waker(WAKE_ARRIVAL);
+        w.wake();
+        {
+            // Drain the token list out-of-band, leaving the pipe byte.
+            let mut pending = p.sink.pending.lock().unwrap();
+            assert_eq!(std::mem::take(&mut *pending), vec![WAKE_ARRIVAL.0]);
+        }
+        let mut out = Vec::new();
+        p.wait(Some(1.0), &mut out).unwrap();
+        assert!(
+            out.is_empty(),
+            "stale byte must not produce events: {out:?}"
+        );
+        // A fresh wake afterwards still gets through.
+        w.wake();
+        p.wait(Some(1.0), &mut out).unwrap();
+        assert_eq!(out, vec![IoEvent::Wake(WAKE_ARRIVAL)]);
     }
 
     #[test]

@@ -404,11 +404,15 @@ impl<'a> ServerLoop<'a> {
         executor: &mut dyn BatchExecutor,
     ) -> Result<()> {
         let stats = source.stats();
+        let can_quiesce = source.supports_quiescence();
         let mut events: Vec<IoEvent> = Vec::new();
         loop {
             let timeout = self.next_timeout(executor);
             source.wait(timeout, &mut events)?;
-            let quiescent = events.is_empty() && timeout.is_none();
+            // Only a scripted source proves end-of-input with an empty
+            // untimed wait; a live poller can return an empty batch
+            // spuriously (stale wake-pipe byte) and must be re-parked.
+            let quiescent = can_quiesce && events.is_empty() && timeout.is_none();
             let mut had_wake = false;
             let mut progress = false;
             for &event in events.iter() {
@@ -437,19 +441,8 @@ impl<'a> ServerLoop<'a> {
                 }
             }
 
-            for done in executor.drain() {
+            if self.drain_completions(source, executor) {
                 progress = true;
-                for (req, correct) in done.results {
-                    self.metrics.record_completed(done.finish_s - req.arrival_s);
-                    if let Some((conn, tag)) = self.route.remove(&req.id) {
-                        if let Some(c) = self.conns.get_mut(&conn) {
-                            c.pending -= 1;
-                        }
-                        let line =
-                            codec::encode_result(&tag, correct, req.expected_checksum.to_bits());
-                        self.respond(source, Token(conn), &line);
-                    }
-                }
             }
 
             if self.pump(source, executor)? {
@@ -462,10 +455,41 @@ impl<'a> ServerLoop<'a> {
                 && self.queue.is_empty()
                 && self.batcher.is_empty()
                 && executor.in_flight() == 0
+                // A worker publishes its BatchDone *before* decrementing
+                // in-flight, so a completion landing between the drain above
+                // and the in-flight check is still undelivered here. Re-drain;
+                // if anything surfaced, its responses were just queued — loop
+                // once more instead of exiting with them unwritten.
+                && !self.drain_completions(source, executor)
             {
                 return Ok(());
             }
         }
+    }
+
+    /// Delivers every finished batch the executor has published: records
+    /// completion latency and writes each response back to its connection.
+    /// Returns whether anything was drained.
+    fn drain_completions(
+        &mut self,
+        source: &mut dyn EventSource,
+        executor: &mut dyn BatchExecutor,
+    ) -> bool {
+        let mut progress = false;
+        for done in executor.drain() {
+            progress = true;
+            for (req, correct) in done.results {
+                self.metrics.record_completed(done.finish_s - req.arrival_s);
+                if let Some((conn, tag)) = self.route.remove(&req.id) {
+                    if let Some(c) = self.conns.get_mut(&conn) {
+                        c.pending -= 1;
+                    }
+                    let line = codec::encode_result(&tag, correct, req.expected_checksum.to_bits());
+                    self.respond(source, Token(conn), &line);
+                }
+            }
+        }
+        progress
     }
 
     /// Relative wait timeout: the earliest timed obligation — the flush
