@@ -229,7 +229,7 @@ pub fn run_vs_runtime(
                 rt.replica()
                     .make_request(i as u64, 0.0, f64::INFINITY, &mut rng)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let t0 = std::time::Instant::now();
         rt.replica().execute_batch(&batch)?;
         t0.elapsed().as_secs_f64()

@@ -1,0 +1,178 @@
+//! Diagnostics, the report aggregate, and hand-rolled JSON encoding (the
+//! crate is std-only by design: the gate must build with zero deps).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One finding: `file:line: LINT-ID message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub lint: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(lint: &str, file: &Path, line: u32, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            lint: lint.to_string(),
+            file: file.display().to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// One `unsafe` site recorded by the L1 inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// Enclosing function, or `<module>` for impl-level / item-level sites.
+    pub context: String,
+    /// Whether the site carries a `// SAFETY:` / `# Safety` annotation.
+    pub documented: bool,
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the gate should fail.
+    pub fn failed(&self) -> bool {
+        !self.diagnostics.is_empty()
+    }
+
+    /// Stable ordering: by file, then line, then lint id.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+        self.unsafe_inventory
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human-readable report (diagnostics plus the unsafe inventory).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "pimdl-lint: {} file(s) scanned, {} finding(s), {} unsafe site(s) ({} documented)",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.unsafe_inventory.len(),
+            self.unsafe_inventory
+                .iter()
+                .filter(|s| s.documented)
+                .count(),
+        );
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&d.lint),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+            );
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"unsafe_inventory\": [");
+        for (i, s) in self.unsafe_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"context\": {}, \"documented\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(&s.context),
+                s.documented,
+            );
+        }
+        if !self.unsafe_inventory.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"findings\": {}\n}}\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+        );
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.diagnostics.push(Diagnostic::new(
+            "L2-PANIC",
+            Path::new("a/b.rs"),
+            7,
+            "say \"no\"",
+        ));
+        let json = r.render_json();
+        assert!(json.contains(r#""lint": "L2-PANIC""#));
+        assert!(json.contains(r#"\"no\""#));
+        assert!(json.contains(r#""findings": 1"#));
+    }
+}

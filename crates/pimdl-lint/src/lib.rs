@@ -1,0 +1,186 @@
+//! pimdl-lint — the workspace static-analysis gate.
+//!
+//! Five passes over every crate's source, built on a comment/string-aware
+//! token scanner (no rustc, no deps, fully offline):
+//!
+//! * **L1-SAFETY** — every `unsafe` site needs a `// SAFETY:` comment (or
+//!   doc `# Safety` section) and is recorded in an inventory.
+//! * **L2-PANIC** — `unwrap()/expect()/panic!`-family forbidden in
+//!   non-test code of the serving hot-path modules unless excused by a
+//!   justified `lint-allow.toml` entry.
+//! * **L3-ATOMIC** — `load(Ordering::Relaxed)` of an atomic published
+//!   with `Release`/`AcqRel` anywhere is a suspect publication read.
+//! * **L4-LOCK-ORDER** — per-function lock-acquisition sequences are
+//!   propagated through the call graph; cycles in the lock graph fail.
+//! * **L5-SYSCALL** — `asm!`/`syscall*` invocations only in the reactor's
+//!   syscall shim.
+//!
+//! See DESIGN.md ("Static analysis") for each pass's known approximations
+//! and the allowlist policy.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+use allow::AllowList;
+use diag::{Diagnostic, Report};
+use model::SourceFile;
+
+/// Pass configuration: which files are hot paths (L2) and which may hold
+/// raw syscalls (L5). Paths are component-guarded suffixes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    pub hot_paths: Vec<String>,
+    pub syscall_files: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            hot_paths: [
+                "crates/pimdl-serve/src/reactor.rs",
+                "crates/pimdl-serve/src/server.rs",
+                "crates/pimdl-serve/src/shard.rs",
+                "crates/pimdl-serve/src/batcher.rs",
+                "crates/pimdl-serve/src/admission.rs",
+                "crates/pimdl-tensor/src/pool.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
+            syscall_files: vec!["crates/pimdl-serve/src/reactor.rs".to_string()],
+        }
+    }
+}
+
+/// Directories under the workspace root that hold first-party sources.
+/// `vendor/` is excluded by design: the vendored crates are offline
+/// stand-ins for external deps, not code this workspace owns, and
+/// `tests/fixtures/` holds pimdl-lint's own deliberately-bad snippets.
+const SCAN_ROOTS: [&str; 3] = ["src", "tests", "crates"];
+const EXCLUDE_COMPONENTS: [&str; 3] = ["fixtures", "target", "vendor"];
+
+/// Recursively collects `.rs` files under the workspace roots, sorted for
+/// deterministic reports.
+pub fn discover_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for dir in SCAN_ROOTS {
+        let p = root.join(dir);
+        if p.is_dir() {
+            walk(&p, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if EXCLUDE_COMPONENTS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every pass over `files` and returns the aggregated report,
+/// including allowlist hygiene findings (parse errors, entries with no
+/// justification, entries that excused nothing).
+pub fn run_lints(files: &[SourceFile], allow: &AllowList, cfg: &LintConfig) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    // Allowlist hygiene first: a malformed allowlist must fail the gate.
+    for (line, msg) in &allow.errors {
+        report.diagnostics.push(Diagnostic::new(
+            "LINT-ALLOW",
+            Path::new("lint-allow.toml"),
+            *line,
+            format!("allowlist parse error: {msg}"),
+        ));
+    }
+    for e in &allow.entries {
+        if e.justification.trim().is_empty() {
+            report.diagnostics.push(Diagnostic::new(
+                "LINT-ALLOW",
+                Path::new("lint-allow.toml"),
+                e.decl_line,
+                format!(
+                    "entry ({} {} {} {}) has no justification — every exemption \
+                     must explain why the site is sound",
+                    e.lint, e.file, e.func, e.callee
+                ),
+            ));
+        }
+    }
+
+    let known_fns: HashSet<String> = files
+        .iter()
+        .flat_map(|f| f.fns().iter().map(|s| s.name.clone()))
+        .collect();
+
+    let mut atomic_accesses = Vec::new();
+    let mut lock_events: BTreeMap<String, Vec<passes::lock_order::Event>> = BTreeMap::new();
+
+    for file in files {
+        passes::unsafe_audit::run(file, &mut report);
+        let path = file.path.display().to_string().replace('\\', "/");
+        if cfg.hot_paths.iter().any(|p| allow::suffix_match(&path, p)) {
+            passes::panic_path::run(file, allow, &mut report);
+        }
+        atomic_accesses.extend(passes::atomic_order::collect(file));
+        for (func, mut events) in passes::lock_order::collect(file, &known_fns) {
+            lock_events.entry(func).or_default().append(&mut events);
+        }
+        passes::syscall_confine::run(file, &cfg.syscall_files, &mut report);
+    }
+
+    passes::atomic_order::run(&atomic_accesses, &mut report);
+    passes::lock_order::run(&lock_events, &mut report);
+
+    // Stale exemptions are findings: the allowlist may only shrink.
+    for e in &allow.entries {
+        if !e.used.get() && !e.justification.trim().is_empty() {
+            report.diagnostics.push(Diagnostic::new(
+                "LINT-ALLOW",
+                Path::new("lint-allow.toml"),
+                e.decl_line,
+                format!(
+                    "stale entry ({} {} {} {}): no site matches it any more — delete it",
+                    e.lint, e.file, e.func, e.callee
+                ),
+            ));
+        }
+    }
+
+    report.sort();
+    report
+}
+
+/// Convenience: lint a set of paths with the given allowlist text.
+pub fn lint_paths(
+    paths: &[PathBuf],
+    allow: &AllowList,
+    cfg: &LintConfig,
+) -> std::io::Result<Report> {
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        files.push(SourceFile::read(p)?);
+    }
+    Ok(run_lints(&files, allow, cfg))
+}

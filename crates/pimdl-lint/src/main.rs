@@ -1,0 +1,109 @@
+//! `pimdl-lint` binary: the pre-merge static-analysis gate.
+//!
+//! ```text
+//! pimdl-lint [--json] [--root DIR] [--file F]... [--hot SUFFIX]... [--syscall-file SUFFIX]...
+//! ```
+//!
+//! With no `--file` arguments it scans the whole workspace (`src/`,
+//! `tests/`, `crates/*`; `vendor/` and fixture dirs excluded) against
+//! `<root>/lint-allow.toml`. Exit codes: 0 clean, 1 findings, 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pimdl_lint::allow::AllowList;
+use pimdl_lint::{discover_files, lint_paths, LintConfig};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut hot: Vec<String> = Vec::new();
+    let mut syscall_files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("pimdl-lint: {flag} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match take("--root") {
+                Some(v) => root = PathBuf::from(v),
+                None => return ExitCode::from(2),
+            },
+            "--file" => match take("--file") {
+                Some(v) => files.push(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
+            "--hot" => match take("--hot") {
+                Some(v) => hot.push(v),
+                None => return ExitCode::from(2),
+            },
+            "--syscall-file" => match take("--syscall-file") {
+                Some(v) => syscall_files.push(v),
+                None => return ExitCode::from(2),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: pimdl-lint [--json] [--root DIR] [--file F]... \
+                     [--hot SUFFIX]... [--syscall-file SUFFIX]..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pimdl-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut cfg = LintConfig::default();
+    if !hot.is_empty() {
+        cfg.hot_paths = hot;
+    }
+    if !syscall_files.is_empty() {
+        cfg.syscall_files = syscall_files;
+    }
+
+    let allow = AllowList::load(&root.join("lint-allow.toml"));
+    let paths = if files.is_empty() {
+        match discover_files(&root) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("pimdl-lint: scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        files
+    };
+    if paths.is_empty() {
+        eprintln!("pimdl-lint: no .rs files found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = match lint_paths(&paths, &allow, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pimdl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,100 @@
+//! L3 — atomic-ordering audit: a `load(Ordering::Relaxed)` of an atomic
+//! that is *published* anywhere in the workspace (a non-`load` access with
+//! `Release`/`AcqRel` ordering outside test code) is a suspect publication
+//! read: the Relaxed load may observe the flag without the writes ordered
+//! before the store.
+//!
+//! Known approximation (DESIGN.md): atomics are identified by field/
+//! binding *name*, not by type resolution, so identically named atomics in
+//! different types alias. Names used only with Relaxed everywhere (pure
+//! counters) are never flagged.
+
+use std::collections::HashMap;
+
+use crate::diag::{Diagnostic, Report};
+use crate::model::SourceFile;
+use crate::passes::{enclosing_call_open, receiver_name};
+
+pub const LINT: &str = "L3-ATOMIC";
+
+/// One `Ordering::X` use, resolved to its method call and receiver.
+#[derive(Debug)]
+pub struct AtomicAccess {
+    pub name: String,
+    pub method: String,
+    pub ordering: String,
+    pub file: String,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// Collects every `.method(..., Ordering::X, ...)` access in `file`.
+pub fn collect(file: &SourceFile) -> Vec<AtomicAccess> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for idx in 0..toks.len() {
+        if toks[idx].ident() != Some("Ordering") {
+            continue;
+        }
+        // Expect `Ordering :: <ord>`.
+        let Some(ord) = toks.get(idx + 3).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !(toks[idx + 1].is_punct(':') && toks[idx + 2].is_punct(':')) {
+            continue;
+        }
+        let Some(open) = enclosing_call_open(toks, idx) else {
+            continue;
+        };
+        let Some(method_idx) = open.checked_sub(1) else {
+            continue;
+        };
+        let Some(method) = toks[method_idx].ident() else {
+            continue;
+        };
+        let Some(name) = receiver_name(toks, method_idx) else {
+            continue;
+        };
+        out.push(AtomicAccess {
+            name,
+            method: method.to_string(),
+            ordering: ord.to_string(),
+            file: file.path.display().to_string(),
+            line: toks[idx].line,
+            in_test: file.in_test(idx),
+        });
+    }
+    out
+}
+
+/// Cross-file analysis over every collected access.
+pub fn run(accesses: &[AtomicAccess], report: &mut Report) {
+    // Publication writes: non-load accesses with Release/AcqRel ordering
+    // in production code. (SeqCst writes also publish but every SeqCst
+    // load already synchronizes, and mixed-SeqCst protocols are out of
+    // scope for a token-level pass.)
+    let mut publishers: HashMap<&str, &AtomicAccess> = HashMap::new();
+    for a in accesses {
+        if !a.in_test && a.method != "load" && (a.ordering == "Release" || a.ordering == "AcqRel") {
+            publishers.entry(a.name.as_str()).or_insert(a);
+        }
+    }
+    for a in accesses {
+        if a.in_test || a.method != "load" || a.ordering != "Relaxed" {
+            continue;
+        }
+        if let Some(publisher) = publishers.get(a.name.as_str()) {
+            report.diagnostics.push(Diagnostic::new(
+                LINT,
+                std::path::Path::new(&a.file),
+                a.line,
+                format!(
+                    "Relaxed load of `{}`, which is published with {} by `{}` at {}:{} — \
+                     an Acquire load is required to observe the writes ordered before \
+                     that store",
+                    a.name, publisher.ordering, publisher.method, publisher.file, publisher.line
+                ),
+            ));
+        }
+    }
+}

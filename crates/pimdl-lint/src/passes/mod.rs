@@ -1,0 +1,116 @@
+//! The five analysis passes and the token-walking helpers they share.
+
+pub mod atomic_order;
+pub mod lock_order;
+pub mod panic_path;
+pub mod syscall_confine;
+pub mod unsafe_audit;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Walking backward from `idx` (exclusive), finds the index of the `(`
+/// that opens the innermost call still unclosed at `idx`: `)`/`]` push
+/// depth, `(`/`[` pop it, and an unmatched `(` is the answer.
+pub(crate) fn enclosing_call_open(tokens: &[Tok], idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..idx).rev() {
+        match &tokens[j].kind {
+            TokKind::Punct(')') | TokKind::Punct(']') => depth += 1,
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                if depth == 0 {
+                    return if tokens[j].is_punct('(') {
+                        Some(j)
+                    } else {
+                        None
+                    };
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') if depth == 0 => {
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Base identifier of the receiver of a method call whose method-name
+/// token sits at `method_idx`: walks back over the `.`, then over one
+/// index/call group (`x[i]`, `f()`), and takes the nearest ident. Returns
+/// `None` for receivers that aren't a simple path (e.g. `(a + b).load()`).
+pub(crate) fn receiver_name(tokens: &[Tok], method_idx: usize) -> Option<String> {
+    let dot = method_idx.checked_sub(1)?;
+    if !tokens[dot].is_punct('.') {
+        return None;
+    }
+    let mut j = dot.checked_sub(1)?;
+    // Skip one trailing `[...]` or `(...)` group (e.g. `busy[sid].store`).
+    if tokens[j].is_punct(']') || tokens[j].is_punct(')') {
+        let (open, close) = if tokens[j].is_punct(']') {
+            ('[', ']')
+        } else {
+            ('(', ')')
+        };
+        let mut depth = 0i32;
+        loop {
+            if tokens[j].is_punct(close) {
+                depth += 1;
+            } else if tokens[j].is_punct(open) {
+                depth -= 1;
+                if depth == 0 {
+                    j = j.checked_sub(1)?;
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+    }
+    tokens[j].ident().map(str::to_string)
+}
+
+/// Whether the ident at `idx` is a method call: preceded by `.` and
+/// followed by `(`.
+pub(crate) fn is_method_call(tokens: &[Tok], idx: usize) -> bool {
+    idx > 0 && tokens[idx - 1].is_punct('.') && tokens.get(idx + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Whether the ident at `idx` is a macro invocation (`name!`).
+pub(crate) fn is_macro_call(tokens: &[Tok], idx: usize) -> bool {
+    tokens.get(idx + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn receiver_walks_over_index_groups() {
+        let toks = lex("self.busy[sid + 1].store(true, Ordering::Release)").tokens;
+        let store = toks
+            .iter()
+            .position(|t| t.ident() == Some("store"))
+            .unwrap();
+        assert_eq!(receiver_name(&toks, store), Some("busy".to_string()));
+    }
+
+    #[test]
+    fn receiver_of_simple_field_chain() {
+        let toks = lex("self.sink.pending.lock()").tokens;
+        let lock = toks.iter().position(|t| t.ident() == Some("lock")).unwrap();
+        assert_eq!(receiver_name(&toks, lock), Some("pending".to_string()));
+    }
+
+    #[test]
+    fn enclosing_call_finds_the_right_paren() {
+        let toks = lex("x.fetch_add(v[i], Ordering::Relaxed)").tokens;
+        let ord = toks
+            .iter()
+            .position(|t| t.ident() == Some("Ordering"))
+            .unwrap();
+        let open = enclosing_call_open(&toks, ord).unwrap();
+        let method = toks[open - 1].ident();
+        assert_eq!(method, Some("fetch_add"));
+    }
+}

@@ -1,0 +1,54 @@
+//! L2 — panic-path lint: `unwrap()`/`expect()` method calls and
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros are forbidden
+//! in non-test code of the serving hot-path modules. A site survives only
+//! through a `lint-allow.toml` entry carrying a justification.
+//!
+//! `assert!`/`debug_assert!` are deliberately not flagged: they state
+//! invariants and their failure is a logic bug, not an I/O-reachable
+//! panic path.
+
+use crate::allow::AllowList;
+use crate::diag::{Diagnostic, Report};
+use crate::model::SourceFile;
+use crate::passes::{is_macro_call, is_method_call};
+
+pub const LINT: &str = "L2-PANIC";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(file: &SourceFile, allow: &AllowList, report: &mut Report) {
+    let path = file.path.display().to_string();
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if file.in_test(idx) || file.in_attr(idx) {
+            continue;
+        }
+        let flagged = match name {
+            "unwrap" | "expect" => is_method_call(&file.tokens, idx),
+            m if PANIC_MACROS.contains(&m) => is_macro_call(&file.tokens, idx),
+            _ => false,
+        };
+        if !flagged {
+            continue;
+        }
+        let func = file.enclosing_fn(idx);
+        if allow.permits(LINT, &path, func, name) {
+            continue;
+        }
+        let in_fn = func.map_or(String::new(), |f| format!(" in fn {f}"));
+        let kind = if name == "unwrap" || name == "expect" {
+            format!(".{name}()")
+        } else {
+            format!("{name}!")
+        };
+        report.diagnostics.push(Diagnostic::new(
+            LINT,
+            &file.path,
+            tok.line,
+            format!(
+                "{kind}{in_fn} on a serving hot path: return an error (counted in \
+                 stats) or add a lint-allow.toml entry with a justification"
+            ),
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! L1 — unsafe audit: every `unsafe` keyword (block, fn, impl, trait)
+//! must be preceded by a `// SAFETY:` comment or a doc-comment `# Safety`
+//! section, and every site is recorded in the report's inventory.
+
+use crate::diag::{Diagnostic, Report, UnsafeSite};
+use crate::model::SourceFile;
+
+pub const LINT: &str = "L1-SAFETY";
+
+pub fn run(file: &SourceFile, report: &mut Report) {
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        if tok.ident() != Some("unsafe") || file.in_attr(idx) {
+            continue;
+        }
+        let context = file
+            .enclosing_fn(idx)
+            .map_or_else(|| "<module>".to_string(), |f| format!("fn {f}"));
+        let documented = file.has_safety_preamble(tok.line);
+        if !documented {
+            report.diagnostics.push(Diagnostic::new(
+                LINT,
+                &file.path,
+                tok.line,
+                format!(
+                    "`unsafe` in {context} lacks a preceding `// SAFETY:` comment \
+                     (or `# Safety` doc section) stating the invariant it relies on"
+                ),
+            ));
+        }
+        report.unsafe_inventory.push(UnsafeSite {
+            file: file.path.display().to_string(),
+            line: tok.line,
+            context,
+            documented,
+        });
+    }
+}

@@ -1,0 +1,177 @@
+//! Pins each pass against the checked-in fixture corpus: every bad
+//! snippet must fail with exactly its lint, every clean snippet must pass
+//! — both through the library API and through the shipped binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pimdl_lint::allow::AllowList;
+use pimdl_lint::{lint_paths, LintConfig};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints one fixture. The L2 fixtures are configured as hot paths (the
+/// l4 ones must not be: their `.lock().unwrap()` chains are L4 material,
+/// not L2 material) and `fixtures/reactor.rs` as the syscall shim, so
+/// L2/L5 apply to the corpus the way they apply to the real modules.
+fn lint_fixture(name: &str, allow_toml: &str) -> pimdl_lint::diag::Report {
+    let cfg = LintConfig {
+        hot_paths: vec!["l2_bad.rs".to_string(), "l2_clean.rs".to_string()],
+        syscall_files: vec!["fixtures/reactor.rs".to_string()],
+    };
+    let allow = AllowList::parse(allow_toml);
+    lint_paths(&[fixture(name)], &allow, &cfg).expect("fixture must be readable")
+}
+
+fn lints_hit(report: &pimdl_lint::diag::Report) -> Vec<&str> {
+    let mut lints: Vec<&str> = report.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+    lints.dedup();
+    lints
+}
+
+#[test]
+fn bad_fixtures_fail_with_exactly_their_lint() {
+    for (name, lint) in [
+        ("l1_bad.rs", "L1-SAFETY"),
+        ("l2_bad.rs", "L2-PANIC"),
+        ("l3_bad.rs", "L3-ATOMIC"),
+        ("l4_bad.rs", "L4-LOCK-ORDER"),
+        ("l5_bad.rs", "L5-SYSCALL"),
+    ] {
+        let report = lint_fixture(name, "");
+        assert!(report.failed(), "{name} must fail");
+        assert_eq!(lints_hit(&report), vec![lint], "{name} diagnostics");
+    }
+}
+
+#[test]
+fn clean_fixtures_pass() {
+    for name in [
+        "l1_clean.rs",
+        "l2_clean.rs",
+        "l3_clean.rs",
+        "l4_clean.rs",
+        "reactor.rs",
+    ] {
+        let report = lint_fixture(name, "");
+        assert!(
+            !report.failed(),
+            "{name} must pass, got:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn l1_inventory_lists_documented_and_undocumented_sites() {
+    let bad = lint_fixture("l1_bad.rs", "");
+    assert_eq!(bad.unsafe_inventory.len(), 2);
+    assert!(bad.unsafe_inventory.iter().all(|s| !s.documented));
+
+    let clean = lint_fixture("l1_clean.rs", "");
+    assert_eq!(clean.unsafe_inventory.len(), 3);
+    assert!(clean.unsafe_inventory.iter().all(|s| s.documented));
+}
+
+#[test]
+fn allowlist_excuses_a_justified_site_and_flags_stale_entries() {
+    let allow = r#"
+[[allow]]
+lint = "L2-PANIC"
+file = "l2_bad.rs"
+func = "*"
+callee = "unwrap"
+justification = "fixture test: demonstrate a justified exemption"
+
+[[allow]]
+lint = "L2-PANIC"
+file = "l2_bad.rs"
+func = "*"
+callee = "expect"
+justification = "fixture test"
+
+[[allow]]
+lint = "L2-PANIC"
+file = "l2_bad.rs"
+func = "*"
+callee = "panic"
+justification = "fixture test"
+"#;
+    let report = lint_fixture("l2_bad.rs", allow);
+    assert!(!report.failed(), "all three sites excused");
+
+    // The same allowlist against the clean fixture: every entry is stale,
+    // and stale entries are findings.
+    let report = lint_fixture("l2_clean.rs", allow);
+    assert!(report.failed());
+    assert_eq!(lints_hit(&report), vec!["LINT-ALLOW"]);
+}
+
+#[test]
+fn unjustified_allow_entry_is_a_finding() {
+    let allow = r#"
+[[allow]]
+lint = "L2-PANIC"
+file = "l2_bad.rs"
+func = "*"
+callee = "unwrap"
+justification = ""
+"#;
+    let report = lint_fixture("l2_bad.rs", allow);
+    assert!(report.failed());
+    assert!(lints_hit(&report).contains(&"LINT-ALLOW"));
+}
+
+/// Drives the shipped binary the way check.sh does: nonzero exit on every
+/// bad fixture, zero on the clean set, JSON mode parseable enough to
+/// carry the lint IDs.
+#[test]
+fn binary_exit_codes_match_fixture_corpus() {
+    let bin = env!("CARGO_BIN_EXE_pimdl-lint");
+    for (name, lint) in [
+        ("l1_bad.rs", "L1-SAFETY"),
+        ("l2_bad.rs", "L2-PANIC"),
+        ("l3_bad.rs", "L3-ATOMIC"),
+        ("l4_bad.rs", "L4-LOCK-ORDER"),
+        ("l5_bad.rs", "L5-SYSCALL"),
+    ] {
+        let out = Command::new(bin)
+            .args([
+                "--json",
+                "--hot",
+                "l2_bad.rs",
+                "--syscall-file",
+                "fixtures/reactor.rs",
+                "--file",
+            ])
+            .arg(fixture(name))
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "{name} must exit 1");
+        let json = String::from_utf8(out.stdout).expect("json is utf-8");
+        assert!(json.contains(lint), "{name} JSON names {lint}: {json}");
+    }
+
+    let mut clean = Command::new(bin);
+    clean.args([
+        "--hot",
+        "l2_clean.rs",
+        "--syscall-file",
+        "fixtures/reactor.rs",
+    ]);
+    for name in [
+        "l1_clean.rs",
+        "l2_clean.rs",
+        "l3_clean.rs",
+        "l4_clean.rs",
+        "reactor.rs",
+    ] {
+        clean.arg("--file").arg(fixture(name));
+    }
+    let out = clean.output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean corpus must exit 0");
+}

@@ -1,0 +1,10 @@
+//! L1 fixture: an `unsafe` block with no SAFETY preamble must be flagged.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+/// An unsafe fn whose docs never state its contract.
+pub unsafe fn no_contract(p: *const u8) -> u8 {
+    *p
+}

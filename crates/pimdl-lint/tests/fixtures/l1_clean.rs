@@ -1,0 +1,20 @@
+//! L1 fixture: documented unsafe sites pass and still land in the
+//! inventory.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice has a first element,
+    // so `as_ptr()` points to initialized memory.
+    unsafe { *v.as_ptr() }
+}
+
+/// Reads one byte from a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be non-null and point to initialized, readable memory.
+pub unsafe fn with_contract(p: *const u8) -> u8 {
+    // SAFETY: the caller upholds this fn's contract: `p` is non-null and
+    // readable.
+    unsafe { *p }
+}

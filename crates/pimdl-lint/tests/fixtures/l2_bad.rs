@@ -1,0 +1,23 @@
+//! L2 fixture (scanned as a hot-path file): panic-family calls in
+//! non-test code must be flagged; the test module's are exempt.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).expect("key must exist")
+}
+
+pub fn reject() {
+    panic!("hot paths must return errors");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u8, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! L2 fixture (scanned as a hot-path file): error returns instead of
+//! panics, so the pass stays quiet.
+
+pub fn parse_port(s: &str) -> Result<u16, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    map.get(&k).copied()
+}
+
+pub fn recover(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

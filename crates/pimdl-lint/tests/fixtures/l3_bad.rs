@@ -1,0 +1,13 @@
+//! L3 fixture: `ready` is published with `Release` but read with
+//! `Relaxed` — the load cannot see writes the store was meant to
+//! publish.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn publish(ready: &AtomicBool) {
+    ready.store(true, Ordering::Release);
+}
+
+pub fn consume(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Relaxed)
+}

@@ -1,0 +1,20 @@
+//! L3 fixture: Release-published atomics read with Acquire, and a pure
+//! Relaxed counter, both pass.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(ready: &AtomicBool) {
+    ready.store(true, Ordering::Release);
+}
+
+pub fn consume(ready: &AtomicBool) -> bool {
+    ready.load(Ordering::Acquire)
+}
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read_counter(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,22 @@
+//! L4 fixture: two functions take the same pair of locks in opposite
+//! orders while holding the first — a classic AB/BA deadlock cycle.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn enqueue(s: &State, v: u32) {
+    let mut queue = s.queue.lock().unwrap();
+    let mut stats = s.stats.lock().unwrap();
+    queue.push(v);
+    *stats += 1;
+}
+
+pub fn report(s: &State) -> (usize, u64) {
+    let stats = s.stats.lock().unwrap();
+    let queue = s.queue.lock().unwrap();
+    (queue.len(), *stats)
+}

@@ -1,0 +1,29 @@
+//! L4 fixture: both functions acquire `queue` before `stats`, and the
+//! sequential (non-nested) pair in `drain` releases each statement
+//! temporary before the next lock, so the lock graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub queue: Mutex<Vec<u32>>,
+    pub stats: Mutex<u64>,
+}
+
+pub fn enqueue(s: &State, v: u32) {
+    let mut queue = s.queue.lock().unwrap();
+    let mut stats = s.stats.lock().unwrap();
+    queue.push(v);
+    *stats += 1;
+}
+
+pub fn report(s: &State) -> (usize, u64) {
+    let queue = s.queue.lock().unwrap();
+    let stats = s.stats.lock().unwrap();
+    (queue.len(), *stats)
+}
+
+pub fn drain(s: &State) -> u64 {
+    s.queue.lock().unwrap().clear();
+    let total = *s.stats.lock().unwrap();
+    total
+}

@@ -1,0 +1,20 @@
+//! L5 fixture: raw kernel access outside the confined reactor shim.
+
+pub fn getpid_raw() -> isize {
+    syscall1(39, 0)
+}
+
+fn syscall1(n: usize, a: usize) -> isize {
+    let ret: isize;
+    // SAFETY: getpid takes no pointers and cannot fault; the asm clobbers
+    // only the declared registers. (Documented so this fixture fails L5
+    // alone, not L1.)
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+        );
+    }
+    ret
+}

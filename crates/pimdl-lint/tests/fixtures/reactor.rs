@@ -1,0 +1,20 @@
+//! L5 fixture: the same raw kernel access is fine inside a file the
+//! config names as the confined syscall shim.
+
+pub fn getpid_raw() -> isize {
+    syscall1(39, 0)
+}
+
+fn syscall1(n: usize, a: usize) -> isize {
+    let ret: isize;
+    // SAFETY: getpid takes no pointers and cannot fault; the asm clobbers
+    // only the declared registers.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+        );
+    }
+    ret
+}

@@ -202,6 +202,13 @@ impl InterleavedCodebooks {
         self.encode_rows_body(x, first_row, band, dists);
     }
 
+    /// AVX2-compiled clone of [`Self::encode_rows_body`].
+    ///
+    /// # Safety
+    ///
+    /// The body is safe code; `unsafe` comes only from `target_feature`.
+    /// The caller must verify AVX2 support (`is_x86_feature_detected!`)
+    /// before calling, or the compiled instructions fault on older CPUs.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn encode_rows_avx2(
@@ -528,6 +535,13 @@ fn gather_block_f32(
     gather_block_f32_body(band, f, (t0, t1), (j0, j1), table, (cb, ct), tile);
 }
 
+/// AVX2-compiled clone of [`gather_block_f32_body`].
+///
+/// # Safety
+///
+/// The body is safe code; `unsafe` comes only from `target_feature`. The
+/// caller must verify AVX2 support (`is_x86_feature_detected!`) before
+/// calling, or the compiled instructions fault on older CPUs.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn gather_block_f32_avx2(
@@ -658,6 +672,13 @@ fn gather_block_quant(
     gather_block_quant_body(acc_tile, jb, (t0, t1), j0, codes, f, (cb, ct), tile);
 }
 
+/// AVX2-compiled clone of [`gather_block_quant_body`].
+///
+/// # Safety
+///
+/// The body is safe code; `unsafe` comes only from `target_feature`. The
+/// caller must verify AVX2 support (`is_x86_feature_detected!`) before
+/// calling, or the compiled instructions fault on older CPUs.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]

@@ -28,7 +28,7 @@ use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -167,6 +167,22 @@ pub trait EventSource: fmt::Debug {
     fn stats(&self) -> Arc<ReactorStats>;
 }
 
+/// Recovers a poisoned reactor lock instead of panicking, counting the
+/// recovery in `stats`. A poisoned lock here means a producer thread died
+/// mid-update; every critical section in this module performs a single
+/// coherent step (push/take/insert), so the state behind the lock is
+/// usable as-is and killing the serving loop over it would turn one dead
+/// producer into a dead server.
+fn lock_recover<'a, T>(
+    result: std::sync::LockResult<MutexGuard<'a, T>>,
+    stats: &ReactorStats,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(|poisoned| {
+        stats.record_lock_recovery();
+        poisoned.into_inner()
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Statistics
 // ---------------------------------------------------------------------------
@@ -183,6 +199,7 @@ pub struct ReactorStats {
     accept_errors: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    lock_recoveries: AtomicU64,
     wake_latency_sum_bits: AtomicU64,
     wake_latency_count: AtomicU64,
 }
@@ -227,6 +244,10 @@ impl ReactorStats {
         self.writes.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn record_lock_recovery(&self) {
+        self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record_wake_latency(&self, latency_s: f64) {
         let mut cur = self.wake_latency_sum_bits.load(Ordering::Relaxed);
         loop {
@@ -257,6 +278,7 @@ impl ReactorStats {
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
             mean_wake_latency_s: if count == 0 { 0.0 } else { sum / count as f64 },
         }
     }
@@ -283,6 +305,12 @@ pub struct ReactorStatsSnapshot {
     pub reads: u64,
     /// Write attempts that moved bytes.
     pub writes: u64,
+    /// Poisoned reactor locks recovered instead of panicking: a producer
+    /// thread died mid-update and the serving loop carried on with the
+    /// state it left behind (every protected update is single-step, so
+    /// the state is always coherent).
+    #[serde(default)]
+    pub lock_recoveries: u64,
     /// Mean wake → dispatch latency in simulated seconds (the constant the
     /// DES calibration consumes; 0 for the virtual/simulated sources).
     pub mean_wake_latency_s: f64,
@@ -405,6 +433,11 @@ mod sys {
 
     /// Unsupported architecture: report `ENOSYS` so [`super::EpollPoller`]
     /// construction fails cleanly (the simulated poller still works).
+    ///
+    /// # Safety
+    ///
+    /// Trivially safe (no kernel entry); `unsafe` only to keep the same
+    /// signature as the real per-arch syscall stubs.
     #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     unsafe fn syscall6(
         _n: usize,
@@ -537,6 +570,7 @@ struct PipeWakeSink {
     /// (`u64::MAX` = none): the wake → dispatch latency measurement.
     earliest_ns: AtomicU64,
     origin: Instant,
+    stats: Arc<ReactorStats>,
 }
 
 impl WakeSink for PipeWakeSink {
@@ -544,7 +578,7 @@ impl WakeSink for PipeWakeSink {
         let stamp = self.origin.elapsed().as_nanos() as u64;
         self.earliest_ns.fetch_min(stamp, Ordering::Relaxed);
         {
-            let mut pending = self.pending.lock().expect("wake sink poisoned");
+            let mut pending = lock_recover(self.pending.lock(), &self.stats);
             if !pending.contains(&token) {
                 pending.push(token);
             }
@@ -619,6 +653,7 @@ impl EpollPoller {
             sys::close(epfd);
             return Err(ServeError::from_io("wake pipe registration")(e));
         }
+        let stats = Arc::new(ReactorStats::new());
         Ok(EpollPoller {
             epfd,
             wake_rx: rx,
@@ -627,13 +662,14 @@ impl EpollPoller {
                 pending: Mutex::new(Vec::new()),
                 earliest_ns: AtomicU64::new(u64::MAX),
                 origin: Instant::now(),
+                stats: Arc::clone(&stats),
             }),
             listener: None,
             conns: HashMap::new(),
             next_conn: FIRST_CONN_TOKEN,
             speedup,
             pwait2_broken: false,
-            stats: Arc::new(ReactorStats::new()),
+            stats,
         })
     }
 
@@ -723,7 +759,7 @@ impl EpollPoller {
         let mut sink = [0u8; 64];
         while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
         let tokens: Vec<u64> = {
-            let mut pending = self.sink.pending.lock().expect("wake sink poisoned");
+            let mut pending = lock_recover(self.sink.pending.lock(), &self.stats);
             std::mem::take(&mut *pending)
         };
         // Consume the latency stamp only when tokens were actually drained:
@@ -994,11 +1030,12 @@ struct SimState {
 #[derive(Debug)]
 struct SimWakeSink {
     state: Arc<Mutex<SimState>>,
+    stats: Arc<ReactorStats>,
 }
 
 impl WakeSink for SimWakeSink {
     fn wake(&self, token: u64) {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         if !st.pending_wakes.contains(&token) {
             st.pending_wakes.push(token);
         }
@@ -1025,12 +1062,13 @@ pub struct SimPoller {
 #[derive(Debug, Clone)]
 pub struct SimHandle {
     state: Arc<Mutex<SimState>>,
+    stats: Arc<ReactorStats>,
 }
 
 impl SimHandle {
     /// Schedules `token` to fire at virtual time `at_s`.
     pub fn wake_at(&self, at_s: f64, token: Token) {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         let seq = st.seq;
         st.seq += 1;
         st.script.push(ScriptEvent {
@@ -1064,11 +1102,12 @@ impl SimPoller {
     pub fn handle(&self) -> SimHandle {
         SimHandle {
             state: self.state.clone(),
+            stats: self.stats.clone(),
         }
     }
 
     fn push_event(&self, at_s: f64, kind: ScriptKind) {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         let seq = st.seq;
         st.seq += 1;
         st.script.push(ScriptEvent { at_s, seq, kind });
@@ -1078,7 +1117,7 @@ impl SimPoller {
     /// assigned now so payload bytes can be scripted against it.
     pub fn connect_at(&self, at_s: f64) -> Token {
         let token = {
-            let mut st = self.state.lock().expect("sim state poisoned");
+            let mut st = lock_recover(self.state.lock(), &self.stats);
             let t = st.next_conn;
             st.next_conn += 1;
             t
@@ -1105,7 +1144,7 @@ impl SimPoller {
 
     /// Everything the server has written to `conn` so far.
     pub fn output_of(&self, conn: Token) -> Vec<u8> {
-        let st = self.state.lock().expect("sim state poisoned");
+        let st = lock_recover(self.state.lock(), &self.stats);
         st.conns
             .get(&conn.0)
             .map(|c| c.output.clone())
@@ -1116,7 +1155,7 @@ impl SimPoller {
     /// partial-write path (the remainder arms writable interest and
     /// flushes on the next poll).
     pub fn set_write_cap(&self, cap: Option<usize>) {
-        self.state.lock().expect("sim state poisoned").write_cap = cap;
+        lock_recover(self.state.lock(), &self.stats).write_cap = cap;
     }
 }
 
@@ -1124,7 +1163,7 @@ impl EventSource for SimPoller {
     fn wait(&mut self, timeout_s: Option<f64>, out: &mut Vec<IoEvent>) -> Result<()> {
         out.clear();
         self.stats.record_poll();
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
 
         // 1. Pending wake tokens fire immediately, without advancing time.
         if !st.pending_wakes.is_empty() {
@@ -1144,11 +1183,10 @@ impl EventSource for SimPoller {
             .collect();
         if !writable.is_empty() {
             for t in writable {
-                st.conns
-                    .get_mut(&t)
-                    .expect("token collected above")
-                    .writable_pending = false;
-                out.push(IoEvent::Writable(Token(t)));
+                if let Some(c) = st.conns.get_mut(&t) {
+                    c.writable_pending = false;
+                    out.push(IoEvent::Writable(Token(t)));
+                }
             }
             return Ok(());
         }
@@ -1178,7 +1216,7 @@ impl EventSource for SimPoller {
         self.clock.advance_to(at);
         let now = self.clock.now();
         while st.script.peek().is_some_and(|e| e.at_s <= now) {
-            let ev = st.script.pop().expect("peeked above");
+            let Some(ev) = st.script.pop() else { break };
             match ev.kind {
                 ScriptKind::Connect { token } => {
                     if st.accepting {
@@ -1221,13 +1259,14 @@ impl EventSource for SimPoller {
         Waker {
             sink: Arc::new(SimWakeSink {
                 state: self.state.clone(),
+                stats: self.stats.clone(),
             }),
             token,
         }
     }
 
     fn read(&mut self, conn: Token, buf: &mut Vec<u8>) -> Result<ReadResult> {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         let Some(c) = st.conns.get_mut(&conn.0) else {
             return Ok(ReadResult {
                 bytes: 0,
@@ -1244,7 +1283,7 @@ impl EventSource for SimPoller {
     }
 
     fn write(&mut self, conn: Token, data: &[u8]) -> Result<usize> {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         let cap = st.write_cap.unwrap_or(usize::MAX);
         let Some(c) = st.conns.get_mut(&conn.0) else {
             return Err(ServeError::Io {
@@ -1265,7 +1304,7 @@ impl EventSource for SimPoller {
     }
 
     fn set_writable_interest(&mut self, conn: Token, on: bool) -> Result<()> {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         if let Some(c) = st.conns.get_mut(&conn.0) {
             c.want_write = on;
             if on {
@@ -1276,7 +1315,7 @@ impl EventSource for SimPoller {
     }
 
     fn close(&mut self, conn: Token) {
-        let mut st = self.state.lock().expect("sim state poisoned");
+        let mut st = lock_recover(self.state.lock(), &self.stats);
         if let Some(c) = st.conns.get_mut(&conn.0) {
             // Keep the output buffer for post-run inspection.
             c.open = false;
@@ -1284,7 +1323,7 @@ impl EventSource for SimPoller {
     }
 
     fn stop_accepting(&mut self) {
-        self.state.lock().expect("sim state poisoned").accepting = false;
+        lock_recover(self.state.lock(), &self.stats).accepting = false;
     }
 
     fn supports_quiescence(&self) -> bool {

@@ -328,7 +328,7 @@ impl Runtime {
                 self.replica
                     .make_request(i as u64, t, t + deadline_rel, &mut payload_rng)
             })
-            .collect();
+            .collect::<Result<_>>()?;
 
         let mut queue = AdmissionQueue::new(self.cfg.queue_capacity)?;
         let mut batcher = ContinuousBatcher::new(self.cfg.policy)?;
@@ -503,7 +503,7 @@ impl Runtime {
                     self.replica
                         .make_request(i as u64, 0.0, 0.0, &mut payload_rng)
                 })
-                .collect()
+                .collect::<Result<_>>()?
         };
         let clock = RealClock::accelerated(speedup)?;
         let metrics = Metrics::new(self.cfg.policy.max_batch);

@@ -241,7 +241,9 @@ impl ThreadedExecutor {
                     let flags = match rt.replica().execute_batch(&msg.batch) {
                         Ok(flags) => flags,
                         Err(e) => {
-                            *error.lock().expect("executor error slot poisoned") = Some(e);
+                            *error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
                             vec![false; msg.batch.len()]
                         }
                     };
@@ -249,11 +251,13 @@ impl ThreadedExecutor {
                     // service time rather than adding to it.
                     clock.sleep(msg.service_s - (clock.now() - t_recv));
                     let finish_s = clock.now();
-                    done.lock().expect("done list poisoned").push(BatchDone {
-                        shard: sid,
-                        finish_s,
-                        results: msg.batch.into_iter().zip(flags).collect(),
-                    });
+                    done.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(BatchDone {
+                            shard: sid,
+                            finish_s,
+                            results: msg.batch.into_iter().zip(flags).collect(),
+                        });
                     busy[sid].store(false, Ordering::Release);
                     inflight.fetch_sub(1, Ordering::AcqRel);
                     completion.wake();
@@ -285,7 +289,7 @@ impl ThreadedExecutor {
         let stashed = self
             .error
             .lock()
-            .expect("executor error slot poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take();
         match stashed {
             Some(e) => Err(e),
@@ -308,7 +312,12 @@ impl BatchExecutor for ThreadedExecutor {
     }
 
     fn drain(&mut self) -> Vec<BatchDone> {
-        let mut done = std::mem::take(&mut *self.done.lock().expect("done list poisoned"));
+        let mut done = std::mem::take(
+            &mut *self
+                .done
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         sort_done(&mut done);
         done
     }

@@ -86,23 +86,28 @@ impl ReplicaModel {
 
     /// Synthesizes a request: random indices plus the host-reference
     /// checksum of the output they should produce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reference-checksum shape check (unreachable here:
+    /// the indices are generated in range for this workload).
     pub fn make_request(
         &self,
         id: u64,
         arrival_s: f64,
         deadline_s: f64,
         rng: &mut DataRng,
-    ) -> Request {
+    ) -> Result<Request> {
         let w = self.workload;
         let indices: Vec<u16> = (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect();
-        let expected_checksum = self.reference_checksum(&indices);
-        Request {
+        let expected_checksum = self.reference_checksum(&indices)?;
+        Ok(Request {
             id,
             arrival_s,
             deadline_s,
             indices,
             expected_checksum,
-        }
+        })
     }
 
     /// Builds a request from externally supplied indices (the network
@@ -156,22 +161,33 @@ impl ReplicaModel {
                 detail: format!("query index {bad} outside codebook range 0..{}", w.ct),
             });
         }
-        Ok(self.reference_checksum(indices))
+        self.reference_checksum(indices)
     }
 
     /// Host-reference output checksum: the transposed-layout LUT gather
     /// (the same INT32 accumulate and dequantization the simulated PEs
     /// perform), summed over the output in row-major order so the
     /// comparison is exact, not approximate.
-    fn reference_checksum(&self, indices: &[u16]) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when the indices do not form an
+    /// `n × CB` matrix or reach past the codebook — unreachable for
+    /// callers that validate first, but propagated rather than panicking
+    /// because this runs on the serving hot path.
+    fn reference_checksum(&self, indices: &[u16]) -> Result<f64> {
         let w = self.workload;
-        let idx = IndexMatrix::from_vec(w.n, w.cb, indices.to_vec())
-            .expect("request index shape is consistent with the workload");
+        let idx =
+            IndexMatrix::from_vec(w.n, w.cb, indices.to_vec()).map_err(|e| ServeError::Config {
+                detail: format!("reference index matrix: {e}"),
+            })?;
         let out = self
             .transposed
             .lookup(&idx)
-            .expect("request indices are within the codebook range");
-        out.as_slice().iter().map(|&v| f64::from(v)).sum()
+            .map_err(|e| ServeError::Config {
+                detail: format!("reference LUT gather: {e}"),
+            })?;
+        Ok(out.as_slice().iter().map(|&v| f64::from(v)).sum())
     }
 
     /// Executes a request's query functionally on the simulated PEs and
@@ -382,12 +398,20 @@ impl ServiceModel {
                 detail: "batch service time of an empty batch".to_string(),
             });
         }
-        if let Some(&t) = self.cache.lock().expect("cache poisoned").get(&batch) {
+        if let Some(&t) = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&batch)
+        {
             return Ok(t);
         }
         let cfg = ServingConfig { batch, ..self.base };
         let t = self.engine.serve(&self.shape, &cfg)?.total_s;
-        self.cache.lock().expect("cache poisoned").insert(batch, t);
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(batch, t);
         Ok(t)
     }
 
@@ -427,7 +451,7 @@ mod tests {
         let r = replica();
         let mut rng = DataRng::new(11);
         for id in 0..4 {
-            let req = r.make_request(id, 0.0, f64::INFINITY, &mut rng);
+            let req = r.make_request(id, 0.0, f64::INFINITY, &mut rng).unwrap();
             assert!(r.execute(&req).unwrap(), "request {id} checksum mismatch");
         }
     }
@@ -436,7 +460,7 @@ mod tests {
     fn corrupted_checksum_is_detected() {
         let r = replica();
         let mut rng = DataRng::new(12);
-        let mut req = r.make_request(0, 0.0, f64::INFINITY, &mut rng);
+        let mut req = r.make_request(0, 0.0, f64::INFINITY, &mut rng).unwrap();
         req.expected_checksum += 1.0;
         assert!(!r.execute(&req).unwrap());
     }

@@ -108,12 +108,16 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// Creates a pool with `threads` workers (clamped to at least 1).
+    ///
+    /// Spawn failures (thread exhaustion) degrade the pool instead of
+    /// panicking: only the workers that did spawn are kept, and if none
+    /// did, `run_chunks` falls back to inline execution on the caller.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|i| {
+        let workers: Vec<_> = (0..threads)
+            .filter_map(|i| {
                 let receiver = Arc::clone(&receiver);
                 thread::Builder::new()
                     .name(format!("pimdl-worker-{i}"))
@@ -136,9 +140,12 @@ impl WorkerPool {
                             job.latch.complete(panicked);
                         }
                     })
-                    .expect("failed to spawn pool worker")
+                    .ok()
             })
             .collect();
+        // `threads == 1` routes `run_chunks` inline, which also covers the
+        // zero-workers case.
+        let threads = workers.len().max(1);
         WorkerPool {
             sender: Some(sender),
             workers,
@@ -198,7 +205,14 @@ impl WorkerPool {
                 *const (dyn Fn(Range<usize>) + Sync + 'static),
             >(&f as *const F as *const (dyn Fn(Range<usize>) + Sync))
         };
-        let sender = self.sender.as_ref().expect("pool is shut down");
+        let Some(sender) = self.sender.as_ref() else {
+            // Only reachable mid-`Drop` (the sender is taken there): run
+            // the remaining work inline rather than panic.
+            for start in starts {
+                f(start..(start + chunk).min(total));
+            }
+            return;
+        };
         for start in starts {
             let job = Job {
                 func,
@@ -283,6 +297,9 @@ impl<T> Copy for SendPtr<T> {}
 
 // SAFETY: see `run_row_bands` — each task dereferences a disjoint region.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` exposes the pointer only by copy, so sharing the
+// wrapper across threads grants no access the `Send` impl above does not
+// already; disjointness (per `run_row_bands`) covers the actual derefs.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]

@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
 # Pre-merge gate for the host kernels and serving runtime: formatting,
-# lints on every kernel-touching crate, the crate test suites, and a fast
-# kernel-performance smoke, all offline (see README.md, "Offline builds").
+# the pimdl-lint static-analysis passes, lints on every workspace crate,
+# the crate test suites, and a fast kernel-performance smoke, all offline
+# (see README.md, "Offline builds" and "Static analysis").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-KERNEL_CRATES=(pimdl-tensor pimdl-lutnn pimdl-serve pimdl-engine pimdl-bench)
+WORKSPACE_CRATES=(
+    pimdl-tensor pimdl-lutnn pimdl-sim pimdl-nn
+    pimdl-engine pimdl-tuner pimdl-serve pimdl-bench
+    pimdl-lint
+)
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-for crate in "${KERNEL_CRATES[@]}"; do
+# Static analysis: unsafe audit, panic-path, atomic-ordering, lock-order,
+# and syscall-confinement over the whole workspace (hard gate; exemptions
+# live in lint-allow.toml and must carry justifications).
+echo "==> pimdl-lint"
+cargo run --offline -q -p pimdl-lint
+
+for crate in "${WORKSPACE_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} -- -D warnings"
     cargo clippy --offline -p "${crate}" --all-targets -- -D warnings
 done
 
-for crate in pimdl-tensor pimdl-lutnn pimdl-serve; do
+for crate in pimdl-tensor pimdl-lutnn pimdl-serve pimdl-lint; do
     echo "==> cargo test -p ${crate} --offline"
     cargo test --offline -p "${crate}"
 done

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ThreadSanitizer run over the concurrent serving runtime (reactor, shard
+# workers, worker pool). TSan needs a nightly toolchain with the
+# rust-src component (`-Zbuild-std` instruments std itself); on a
+# stable-only or offline box this script skips with exit 0 so it can sit
+# in CI next to scripts/check.sh without gating environments that cannot
+# run it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip() {
+    echo "sanitize.sh: SKIPPED — $1"
+    echo "sanitize.sh: the race-condition gate did NOT run; this is not a pass."
+    exit 0
+}
+
+command -v rustup >/dev/null 2>&1 || skip "rustup not installed"
+rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    || skip "no nightly toolchain installed (rustup toolchain install nightly)"
+
+host="$(rustc -vV | awk '/^host:/ {print $2}')"
+rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src (installed)' \
+    || skip "nightly rust-src component missing (rustup component add rust-src --toolchain nightly)"
+
+echo "==> ThreadSanitizer: pimdl-serve + pimdl-tensor test suites (${host})"
+RUSTFLAGS="-Zsanitizer=thread" \
+RUSTDOCFLAGS="-Zsanitizer=thread" \
+TSAN_OPTIONS="halt_on_error=1" \
+cargo +nightly test --offline \
+    -Zbuild-std \
+    --target "${host}" \
+    -p pimdl-serve -p pimdl-tensor
+
+echo "sanitize.sh: no data races reported."
