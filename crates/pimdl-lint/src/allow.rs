@@ -25,10 +25,25 @@ pub struct AllowEntry {
     /// `panic`, ...).
     pub callee: String,
     pub justification: String,
+    /// Optional line window (`lines = "A-B"` or `lines = "A"`): the entry
+    /// only excuses findings inside it, so it cannot silently swallow a
+    /// *new* finding of the same code elsewhere in the same file.
+    pub line_lo: Option<u32>,
+    pub line_hi: Option<u32>,
     /// Source line of the entry header, for diagnostics about the entry.
     pub decl_line: u32,
     /// Whether any site matched this entry during the run.
     pub used: Cell<bool>,
+}
+
+impl AllowEntry {
+    fn line_in_window(&self, line: u32) -> bool {
+        match (self.line_lo, self.line_hi) {
+            (Some(lo), Some(hi)) => lo <= line && line <= hi,
+            (Some(lo), None) => lo == line,
+            _ => true,
+        }
+    }
 }
 
 /// Parsed allowlist.
@@ -94,6 +109,21 @@ impl AllowList {
                 "func" => entry.func = value,
                 "callee" => entry.callee = value,
                 "justification" => entry.justification = value,
+                "lines" => {
+                    let (lo, hi) = match value.split_once('-') {
+                        Some((a, b)) => (a.trim().parse().ok(), b.trim().parse().ok()),
+                        None => (value.trim().parse().ok(), None),
+                    };
+                    if lo.is_none() || (value.contains('-') && hi.is_none()) {
+                        list.errors.push((
+                            lineno,
+                            format!("`lines` must be \"N\" or \"N-M\", got \"{value}\""),
+                        ));
+                    } else {
+                        entry.line_lo = lo;
+                        entry.line_hi = hi;
+                    }
+                }
                 other => list
                     .errors
                     .push((lineno, format!("unknown key `{other}` in [[allow]] entry"))),
@@ -114,13 +144,22 @@ impl AllowList {
         }
     }
 
-    /// Finds a matching entry for a flagged site and marks it used.
-    pub fn permits(&self, lint: &str, file: &str, func: Option<&str>, callee: &str) -> bool {
+    /// Finds a matching entry for a flagged site and marks it used. `line`
+    /// is checked against the entry's optional `lines` window.
+    pub fn permits(
+        &self,
+        lint: &str,
+        file: &str,
+        func: Option<&str>,
+        callee: &str,
+        line: u32,
+    ) -> bool {
         for e in &self.entries {
             if e.lint == lint
                 && e.callee == callee
                 && suffix_match(file, &e.file)
                 && (e.func == "*" || Some(e.func.as_str()) == func)
+                && e.line_in_window(line)
                 && !e.justification.trim().is_empty()
             {
                 e.used.set(true);
@@ -171,11 +210,31 @@ justification = ""
             "L2-PANIC",
             "crates/pimdl-tensor/src/pool.rs",
             Some("run_chunks"),
-            "panic"
+            "panic",
+            10
         ));
         assert!(list.entries[0].used.get());
         // Empty justification never matches.
-        assert!(!list.permits("L2-PANIC", "a/x.rs", Some("f"), "unwrap"));
+        assert!(!list.permits("L2-PANIC", "a/x.rs", Some("f"), "unwrap", 1));
+    }
+
+    #[test]
+    fn line_window_limits_what_an_entry_excuses() {
+        let list = AllowList::parse(
+            "[[allow]]\nlint = \"L6-LOCKSET\"\nfile = \"m.rs\"\nfunc = \"*\"\n\
+             callee = \"S::count\"\nlines = \"10-20\"\njustification = \"racy counter\"\n",
+        );
+        assert!(list.errors.is_empty(), "{:?}", list.errors);
+        assert!(list.permits("L6-LOCKSET", "a/m.rs", Some("f"), "S::count", 15));
+        assert!(!list.permits("L6-LOCKSET", "a/m.rs", Some("f"), "S::count", 42));
+        let single = AllowList::parse(
+            "[[allow]]\nlint = \"X\"\nfile = \"m.rs\"\nfunc = \"*\"\ncallee = \"c\"\n\
+             lines = \"7\"\njustification = \"j\"\n",
+        );
+        assert!(single.permits("X", "m.rs", None, "c", 7));
+        assert!(!single.permits("X", "m.rs", None, "c", 8));
+        let bad = AllowList::parse("[[allow]]\nlines = \"x-y\"\n");
+        assert_eq!(bad.errors.len(), 1);
     }
 
     #[test]

@@ -45,11 +45,30 @@ pub struct UnsafeSite {
     pub documented: bool,
 }
 
+/// Per-pass finding count and wall time.
+#[derive(Debug, Clone)]
+pub struct PassStat {
+    pub name: String,
+    pub findings: usize,
+    pub micros: u128,
+}
+
+/// One resolved lock identity: its canonical display name, kind, and the
+/// identity keys (with declaration sites) the union-find merged into it.
+#[derive(Debug, Clone)]
+pub struct LockGroup {
+    pub display: String,
+    pub kind: String,
+    pub members: Vec<String>,
+}
+
 /// Aggregate result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub unsafe_inventory: Vec<UnsafeSite>,
+    pub lock_inventory: Vec<LockGroup>,
+    pub pass_stats: Vec<PassStat>,
     pub files_scanned: usize,
 }
 
@@ -72,6 +91,14 @@ impl Report {
         let mut out = String::new();
         for d in &self.diagnostics {
             let _ = writeln!(out, "{d}");
+        }
+        if !self.pass_stats.is_empty() {
+            let summary: Vec<String> = self
+                .pass_stats
+                .iter()
+                .map(|p| format!("{} {} in {}µs", p.name, p.findings, p.micros))
+                .collect();
+            let _ = writeln!(out, "pimdl-lint passes: {}", summary.join(" | "));
         }
         let _ = writeln!(
             out,
@@ -123,6 +150,39 @@ impl Report {
         if !self.unsafe_inventory.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"lock_inventory\": [");
+        for (i, g) in self.lock_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let members: Vec<String> = g.members.iter().map(|m| json_str(m)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"lock\": {}, \"kind\": {}, \"members\": [{}]}}",
+                json_str(&g.display),
+                json_str(&g.kind),
+                members.join(", "),
+            );
+        }
+        if !self.lock_inventory.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"pass_stats\": [");
+        for (i, p) in self.pass_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"pass\": {}, \"findings\": {}, \"micros\": {}}}",
+                json_str(&p.name),
+                p.findings,
+                p.micros,
+            );
+        }
+        if !self.pass_stats.is_empty() {
+            out.push_str("\n  ");
+        }
         let _ = write!(
             out,
             "],\n  \"files_scanned\": {},\n  \"findings\": {}\n}}\n",
@@ -131,6 +191,93 @@ impl Report {
         );
         out
     }
+
+    /// GitHub Actions workflow annotations (`--format github`): one
+    /// `::error` command per finding, which the Actions runner turns into
+    /// inline PR annotations.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            // Annotation properties use the commands escaping rules.
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title={}::{}",
+                gh_prop(&d.file),
+                d.line,
+                gh_prop(&d.lint),
+                gh_msg(&d.message),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "pimdl-lint: {} file(s) scanned, {} finding(s)",
+            self.files_scanned,
+            self.diagnostics.len(),
+        );
+        out
+    }
+
+    /// The drift-reviewable inventory file (`results/lint_inventory.json`):
+    /// unsafe sites and resolved lock identities, no diagnostics.
+    pub fn render_inventory_json(&self) -> String {
+        let mut out = String::from("{\n  \"unsafe_sites\": [");
+        for (i, s) in self.unsafe_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"context\": {}, \"documented\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(&s.context),
+                s.documented,
+            );
+        }
+        if !self.unsafe_inventory.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"lock_identities\": [");
+        for (i, g) in self.lock_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let members: Vec<String> = g.members.iter().map(|m| json_str(m)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"lock\": {}, \"kind\": {}, \"members\": [{}]}}",
+                json_str(&g.display),
+                json_str(&g.kind),
+                members.join(", "),
+            );
+        }
+        if !self.lock_inventory.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"unsafe_count\": {},\n  \"lock_count\": {}\n}}\n",
+            self.unsafe_inventory.len(),
+            self.lock_inventory.len(),
+        );
+        out
+    }
+}
+
+/// Escapes a GitHub Actions annotation *property* (file, title).
+fn gh_prop(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Escapes a GitHub Actions annotation *message*.
+fn gh_msg(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// JSON string literal with escaping.

@@ -1,7 +1,11 @@
 //! pimdl-lint — the workspace static-analysis gate.
 //!
-//! Five passes over every crate's source, built on a comment/string-aware
-//! token scanner (no rustc, no deps, fully offline):
+//! Six passes over every crate's source, built on a comment/string-aware
+//! token scanner (no rustc, no deps, fully offline). The token-level
+//! passes run first; the concurrency passes run over a *resolution layer*
+//! ([`resolve`]) that builds a per-crate symbol table, resolves lock and
+//! atomic identities through fields, `Arc::clone`, and constructors, and
+//! emits per-function event streams over a method-resolved call graph:
 //!
 //! * **L1-SAFETY** — every `unsafe` site needs a `// SAFETY:` comment (or
 //!   doc `# Safety` section) and is recorded in an inventory.
@@ -9,34 +13,42 @@
 //!   non-test code of the serving hot-path modules unless excused by a
 //!   justified `lint-allow.toml` entry.
 //! * **L3-ATOMIC** — `load(Ordering::Relaxed)` of an atomic published
-//!   with `Release`/`AcqRel` anywhere is a suspect publication read.
-//! * **L4-LOCK-ORDER** — per-function lock-acquisition sequences are
-//!   propagated through the call graph; cycles in the lock graph fail.
+//!   with `Release`/`AcqRel` (or `fence(Release)` + Relaxed store) is a
+//!   suspect publication read, unless a `fence(Acquire)` follows it.
+//! * **L4-LOCK-ORDER** — lock-acquisition orders on resolved lock
+//!   identities are propagated through the call graph; cycles fail.
 //! * **L5-SYSCALL** — `asm!`/`syscall*` invocations only in the reactor's
 //!   syscall shim.
+//! * **L6-LOCKSET** — lockset race heuristic: a shared struct field
+//!   written under a lock but read with no lock held is a finding.
 //!
 //! See DESIGN.md ("Static analysis") for each pass's known approximations
-//! and the allowlist policy.
+//! and the allowlist policy, or run `pimdl-lint --explain <CODE>`.
 
 pub mod allow;
 pub mod diag;
+pub mod explain;
+pub mod hir;
 pub mod lexer;
 pub mod model;
 pub mod passes;
+pub mod resolve;
 
-use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
 use allow::AllowList;
 use diag::{Diagnostic, Report};
 use model::SourceFile;
 
-/// Pass configuration: which files are hot paths (L2) and which may hold
-/// raw syscalls (L5). Paths are component-guarded suffixes.
+/// Pass configuration: which files are hot paths (L2), which may hold
+/// raw syscalls (L5), and which concurrent modules the lockset race
+/// heuristic (L6) covers. Paths are component-guarded suffixes; L6
+/// entries without a `.rs` suffix match as directory substrings.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
     pub hot_paths: Vec<String>,
     pub syscall_files: Vec<String>,
+    pub lockset_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -53,6 +65,10 @@ impl Default for LintConfig {
             .map(String::from)
             .to_vec(),
             syscall_files: vec!["crates/pimdl-serve/src/reactor.rs".to_string()],
+            lockset_paths: vec![
+                "crates/pimdl-serve/src".to_string(),
+                "crates/pimdl-tensor/src/pool.rs".to_string(),
+            ],
         }
     }
 }
@@ -129,29 +145,66 @@ pub fn run_lints(files: &[SourceFile], allow: &AllowList, cfg: &LintConfig) -> R
         }
     }
 
-    let known_fns: HashSet<String> = files
-        .iter()
-        .flat_map(|f| f.fns().iter().map(|s| s.name.clone()))
+    // Timed per-pass loops: each pass runs to completion over every file
+    // so the summary line reports honest per-pass findings and wall time.
+    let timed = |name: &str, report: &mut Report, f: &mut dyn FnMut(&mut Report)| {
+        let before = report.diagnostics.len();
+        let t0 = std::time::Instant::now();
+        f(report);
+        report.pass_stats.push(diag::PassStat {
+            name: name.to_string(),
+            findings: report.diagnostics.len() - before,
+            micros: t0.elapsed().as_micros(),
+        });
+    };
+
+    timed("L1-SAFETY", &mut report, &mut |r| {
+        for file in files {
+            passes::unsafe_audit::run(file, r);
+        }
+    });
+    timed("L2-PANIC", &mut report, &mut |r| {
+        for file in files {
+            let path = file.path.display().to_string().replace('\\', "/");
+            if cfg.hot_paths.iter().any(|p| allow::suffix_match(&path, p)) {
+                passes::panic_path::run(file, allow, r);
+            }
+        }
+    });
+    timed("L5-SYSCALL", &mut report, &mut |r| {
+        for file in files {
+            passes::syscall_confine::run(file, &cfg.syscall_files, r);
+        }
+    });
+
+    // Resolution layer: symbol table, lock/atomic identities, events.
+    let t0 = std::time::Instant::now();
+    let ws = resolve::build(files);
+    report.pass_stats.push(diag::PassStat {
+        name: "resolve".to_string(),
+        findings: 0,
+        micros: t0.elapsed().as_micros(),
+    });
+    report.lock_inventory = ws
+        .ids
+        .lock_groups()
+        .into_iter()
+        .map(|(display, kind, members)| diag::LockGroup {
+            display,
+            kind: format!("{kind:?}"),
+            members,
+        })
         .collect();
 
-    let mut atomic_accesses = Vec::new();
-    let mut lock_events: BTreeMap<String, Vec<passes::lock_order::Event>> = BTreeMap::new();
-
-    for file in files {
-        passes::unsafe_audit::run(file, &mut report);
-        let path = file.path.display().to_string().replace('\\', "/");
-        if cfg.hot_paths.iter().any(|p| allow::suffix_match(&path, p)) {
-            passes::panic_path::run(file, allow, &mut report);
-        }
-        atomic_accesses.extend(passes::atomic_order::collect(file));
-        for (func, mut events) in passes::lock_order::collect(file, &known_fns) {
-            lock_events.entry(func).or_default().append(&mut events);
-        }
-        passes::syscall_confine::run(file, &cfg.syscall_files, &mut report);
-    }
-
-    passes::atomic_order::run(&atomic_accesses, &mut report);
-    passes::lock_order::run(&lock_events, &mut report);
+    timed("L3-ATOMIC", &mut report, &mut |r| {
+        passes::atomic_order::run(&ws, r);
+    });
+    timed("L4-LOCK-ORDER", &mut report, &mut |r| {
+        passes::lock_order::run(&ws, r);
+    });
+    timed("L6-LOCKSET", &mut report, &mut |r| {
+        passes::lockset::run(&ws, allow, &cfg.lockset_paths, r);
+    });
 
     // Stale exemptions are findings: the allowlist may only shrink.
     for e in &allow.entries {

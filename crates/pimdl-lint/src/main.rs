@@ -1,26 +1,43 @@
 //! `pimdl-lint` binary: the pre-merge static-analysis gate.
 //!
 //! ```text
-//! pimdl-lint [--json] [--root DIR] [--file F]... [--hot SUFFIX]... [--syscall-file SUFFIX]...
+//! pimdl-lint [--format human|json|github] [--root DIR] [--file F]...
+//!            [--hot SUFFIX]... [--syscall-file SUFFIX]... [--lockset PATH]...
+//!            [--inventory PATH] [--explain CODE]
 //! ```
 //!
 //! With no `--file` arguments it scans the whole workspace (`src/`,
 //! `tests/`, `crates/*`; `vendor/` and fixture dirs excluded) against
-//! `<root>/lint-allow.toml`. Exit codes: 0 clean, 1 findings, 2 usage or
-//! I/O error.
+//! `<root>/lint-allow.toml`. `--json` is shorthand for `--format json`;
+//! `--format github` emits `::error` workflow annotations. `--inventory`
+//! writes the unsafe-site and lock-identity inventories as JSON.
+//! `--explain CODE` prints the lint's rationale and exits. Exit codes:
+//! 0 clean, 1 findings, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use pimdl_lint::allow::AllowList;
-use pimdl_lint::{discover_files, lint_paths, LintConfig};
+use pimdl_lint::{discover_files, explain, lint_paths, LintConfig};
+
+const USAGE: &str = "usage: pimdl-lint [--format human|json|github] [--root DIR] \
+                     [--file F]... [--hot SUFFIX]... [--syscall-file SUFFIX]... \
+                     [--lockset PATH]... [--inventory PATH] [--explain CODE]";
+
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root = PathBuf::from(".");
     let mut files: Vec<PathBuf> = Vec::new();
     let mut hot: Vec<String> = Vec::new();
     let mut syscall_files: Vec<String> = Vec::new();
+    let mut lockset: Vec<String> = Vec::new();
+    let mut inventory: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,7 +49,21 @@ fn main() -> ExitCode {
             v
         };
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match take("--format").as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                Some(other) => {
+                    eprintln!("pimdl-lint: unknown format `{other}` (human|json|github)");
+                    return ExitCode::from(2);
+                }
+                None => return ExitCode::from(2),
+            },
+            "--explain" => match take("--explain") {
+                Some(code) => return explain_code(&code),
+                None => return ExitCode::from(2),
+            },
             "--root" => match take("--root") {
                 Some(v) => root = PathBuf::from(v),
                 None => return ExitCode::from(2),
@@ -49,11 +80,16 @@ fn main() -> ExitCode {
                 Some(v) => syscall_files.push(v),
                 None => return ExitCode::from(2),
             },
+            "--lockset" => match take("--lockset") {
+                Some(v) => lockset.push(v),
+                None => return ExitCode::from(2),
+            },
+            "--inventory" => match take("--inventory") {
+                Some(v) => inventory = Some(PathBuf::from(v)),
+                None => return ExitCode::from(2),
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: pimdl-lint [--json] [--root DIR] [--file F]... \
-                     [--hot SUFFIX]... [--syscall-file SUFFIX]..."
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -69,6 +105,9 @@ fn main() -> ExitCode {
     }
     if !syscall_files.is_empty() {
         cfg.syscall_files = syscall_files;
+    }
+    if !lockset.is_empty() {
+        cfg.lockset_paths = lockset;
     }
 
     let allow = AllowList::load(&root.join("lint-allow.toml"));
@@ -96,14 +135,43 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_human());
+    if let Some(path) = inventory {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report.render_inventory_json()) {
+            eprintln!("pimdl-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Github => print!("{}", report.render_github()),
     }
     if report.failed() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn explain_code(code: &str) -> ExitCode {
+    match explain::lookup(code) {
+        Some(e) => {
+            print!("{}", e.render());
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = explain::all().iter().map(|e| e.code).collect();
+            eprintln!(
+                "pimdl-lint: unknown lint code `{code}` — known codes: {}",
+                known.join(", ")
+            );
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,100 +1,128 @@
-//! L3 — atomic-ordering audit: a `load(Ordering::Relaxed)` of an atomic
-//! that is *published* anywhere in the workspace (a non-`load` access with
-//! `Release`/`AcqRel` ordering outside test code) is a suspect publication
-//! read: the Relaxed load may observe the flag without the writes ordered
-//! before the store.
+//! L3v2 — atomic-ordering audit on resolved atomic identities, now
+//! fence-aware: an atomic is *published* by a non-`load` access with
+//! `Release`/`AcqRel` ordering, **or** by a `Relaxed` store preceded in
+//! the same function by `fence(Ordering::Release)` (the standalone-fence
+//! publication idiom). A `load(Ordering::Relaxed)` of a published atomic
+//! is a finding — unless the same function issues
+//! `fence(Ordering::Acquire)` after the load, which completes the
+//! fence-to-fence synchronization and silences the old false positive.
 //!
-//! Known approximation (DESIGN.md): atomics are identified by field/
-//! binding *name*, not by type resolution, so identically named atomics in
-//! different types alias. Names used only with Relaxed everywhere (pure
-//! counters) are never flagged.
+//! Identities come from the resolution layer: struct fields resolve to
+//! `Type::field` (same-named fields in different types no longer alias);
+//! atomics only visible as `&Atomic*` parameters fall back to a
+//! crate-scoped name.
+//!
+//! Known approximation (DESIGN.md): the fence pairing is per-function —
+//! a fence in a helper called before the load is invisible.
 
 use std::collections::HashMap;
 
 use crate::diag::{Diagnostic, Report};
-use crate::model::SourceFile;
-use crate::passes::{enclosing_call_open, receiver_name};
+use crate::resolve::{Event, Workspace};
 
 pub const LINT: &str = "L3-ATOMIC";
 
-/// One `Ordering::X` use, resolved to its method call and receiver.
-#[derive(Debug)]
-pub struct AtomicAccess {
-    pub name: String,
-    pub method: String,
-    pub ordering: String,
-    pub file: String,
-    pub line: u32,
-    pub in_test: bool,
+/// One publication site, for the diagnostic message.
+struct Publisher {
+    how: String,
+    method: String,
+    file: String,
+    line: u32,
 }
 
-/// Collects every `.method(..., Ordering::X, ...)` access in `file`.
-pub fn collect(file: &SourceFile) -> Vec<AtomicAccess> {
-    let toks = &file.tokens;
-    let mut out = Vec::new();
-    for idx in 0..toks.len() {
-        if toks[idx].ident() != Some("Ordering") {
-            continue;
+pub fn run(ws: &Workspace, report: &mut Report) {
+    // Publication writes, keyed by canonical atomic identity. (SeqCst
+    // writes also publish but every SeqCst load already synchronizes, and
+    // mixed-SeqCst protocols are out of scope for a token-level pass.)
+    let mut publishers: HashMap<u32, Publisher> = HashMap::new();
+    for f in &ws.fns {
+        for (ei, e) in f.events.iter().enumerate() {
+            let Event::Atomic {
+                id,
+                method,
+                ordering,
+                line,
+                tok,
+                in_test,
+            } = e
+            else {
+                continue;
+            };
+            if *in_test || method == "load" {
+                continue;
+            }
+            let how = if ordering == "Release" || ordering == "AcqRel" {
+                Some(ordering.clone())
+            } else if ordering == "Relaxed" && fence_before(f, ei, *tok) {
+                Some("fence(Release)+Relaxed".to_string())
+            } else {
+                None
+            };
+            if let Some(how) = how {
+                publishers.entry(ws.ids.canon(*id)).or_insert(Publisher {
+                    how,
+                    method: method.clone(),
+                    file: f.file.clone(),
+                    line: *line,
+                });
+            }
         }
-        // Expect `Ordering :: <ord>`.
-        let Some(ord) = toks.get(idx + 3).and_then(|t| t.ident()) else {
-            continue;
-        };
-        if !(toks[idx + 1].is_punct(':') && toks[idx + 2].is_punct(':')) {
-            continue;
-        }
-        let Some(open) = enclosing_call_open(toks, idx) else {
-            continue;
-        };
-        let Some(method_idx) = open.checked_sub(1) else {
-            continue;
-        };
-        let Some(method) = toks[method_idx].ident() else {
-            continue;
-        };
-        let Some(name) = receiver_name(toks, method_idx) else {
-            continue;
-        };
-        out.push(AtomicAccess {
-            name,
-            method: method.to_string(),
-            ordering: ord.to_string(),
-            file: file.path.display().to_string(),
-            line: toks[idx].line,
-            in_test: file.in_test(idx),
-        });
     }
-    out
-}
 
-/// Cross-file analysis over every collected access.
-pub fn run(accesses: &[AtomicAccess], report: &mut Report) {
-    // Publication writes: non-load accesses with Release/AcqRel ordering
-    // in production code. (SeqCst writes also publish but every SeqCst
-    // load already synchronizes, and mixed-SeqCst protocols are out of
-    // scope for a token-level pass.)
-    let mut publishers: HashMap<&str, &AtomicAccess> = HashMap::new();
-    for a in accesses {
-        if !a.in_test && a.method != "load" && (a.ordering == "Release" || a.ordering == "AcqRel") {
-            publishers.entry(a.name.as_str()).or_insert(a);
-        }
-    }
-    for a in accesses {
-        if a.in_test || a.method != "load" || a.ordering != "Relaxed" {
-            continue;
-        }
-        if let Some(publisher) = publishers.get(a.name.as_str()) {
+    for f in &ws.fns {
+        for (ei, e) in f.events.iter().enumerate() {
+            let Event::Atomic {
+                id,
+                method,
+                ordering,
+                line,
+                tok,
+                in_test,
+            } = e
+            else {
+                continue;
+            };
+            if *in_test || method != "load" || ordering != "Relaxed" {
+                continue;
+            }
+            let Some(publisher) = publishers.get(&ws.ids.canon(*id)) else {
+                continue;
+            };
+            // `fence(Acquire)` after the load completes the pairing.
+            if fence_after(f, ei, *tok) {
+                continue;
+            }
             report.diagnostics.push(Diagnostic::new(
                 LINT,
-                std::path::Path::new(&a.file),
-                a.line,
+                std::path::Path::new(&f.file),
+                *line,
                 format!(
                     "Relaxed load of `{}`, which is published with {} by `{}` at {}:{} — \
-                     an Acquire load is required to observe the writes ordered before \
-                     that store",
-                    a.name, publisher.ordering, publisher.method, publisher.file, publisher.line
+                     an Acquire load (or a fence(Acquire) after this load) is required \
+                     to observe the writes ordered before that store",
+                    ws.ids.display(*id),
+                    publisher.how,
+                    publisher.method,
+                    publisher.file,
+                    publisher.line
                 ),
             ));
         }
     }
+}
+
+/// Whether a production `fence(Release|SeqCst)` precedes event `ei` in `f`.
+fn fence_before(f: &crate::resolve::FnEvents, ei: usize, at: usize) -> bool {
+    f.events[..ei].iter().any(|e| {
+        matches!(e, Event::Fence { ordering, tok, in_test }
+            if !in_test && *tok < at && matches!(ordering.as_str(), "Release" | "SeqCst"))
+    })
+}
+
+/// Whether a production `fence(Acquire|AcqRel|SeqCst)` follows event `ei`.
+fn fence_after(f: &crate::resolve::FnEvents, ei: usize, at: usize) -> bool {
+    f.events[ei..].iter().any(|e| {
+        matches!(e, Event::Fence { ordering, tok, in_test }
+            if !in_test && *tok > at && matches!(ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst"))
+    })
 }

@@ -1,214 +1,28 @@
-//! L4 — lock-order analysis: extracts each function's sequence of
-//! `Mutex`/`RwLock` acquisitions (`.lock()` / `.read()` / `.write()` with
-//! no arguments) together with how long each guard is held, propagates
-//! acquisitions through the workspace call graph, and fails on cycles in
-//! the resulting lock graph — the deadlock-prone "A then B here, B then A
-//! there" nested orderings.
+//! L4v2 — lock-order analysis on *resolved lock identities*: each
+//! function's sequence of `Mutex`/`RwLock` acquisitions (from the
+//! resolution layer, so `self.inner`, an `Arc::clone` of it, and a
+//! constructor-initialized twin field are one lock, while two locals both
+//! named `guard` are two) is propagated through the method-resolved call
+//! graph, and cycles in the resulting lock graph fail the gate — the
+//! deadlock-prone "A then B here, B then A there" nested orderings.
 //!
-//! Guard scope heuristic: an acquisition bound by `let`, assigned to an
-//! existing binding, or made in an `if`/`while`/`for`/`match` head is held
-//! to the end of the enclosing block (matching Rust 2021 temporary-scope
-//! rules for condition expressions); a bare-statement acquisition is a
-//! temporary dropped at the statement's `;`.
+//! Guard scope heuristic (unchanged from v1): an acquisition bound by
+//! `let`, assigned to an existing binding, or made in an
+//! `if`/`while`/`for`/`match` head is held to the end of the enclosing
+//! block; a bare-statement acquisition is a temporary dropped at the
+//! statement's `;`. `drop(guard)` ends the scope early.
 //!
-//! Call edges are created only for free-function calls (`f(..)`),
-//! `self.f(..)` method calls, and `Path::f(..)` calls that resolve to a
-//! function defined in the scanned set — arbitrary-receiver method calls
-//! (`x.collect()`) are ignored because they overwhelmingly resolve to
-//! std, not workspace code.
-//!
-//! Known approximations (DESIGN.md): locks are identified by receiver
-//! name (same-named locks in different types alias); explicit `drop(g)`
-//! is invisible, as are locks acquired through non-self method calls;
-//! same-name self-edges are dropped (sequential re-acquisition is the
-//! dominant pattern and single-mutex self-deadlock needs type resolution
-//! a token scanner lacks).
+//! Known approximations (DESIGN.md): same-identity self-edges are dropped
+//! (sequential re-acquisition dominates; single-mutex re-entry on one
+//! path is invisible), and locks reached through unresolvable calls are
+//! missed.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::diag::{Diagnostic, Report};
-use crate::lexer::{Tok, TokKind};
-use crate::model::SourceFile;
-use crate::passes::{is_method_call, receiver_name};
+use crate::resolve::{Event, Workspace};
 
 pub const LINT: &str = "L4-LOCK-ORDER";
-
-/// One event inside a function body, in source order.
-#[derive(Debug, Clone)]
-pub enum Event {
-    /// `.lock()` / `.read()` / `.write()` on receiver `name`, with the
-    /// token index one past which the guard is no longer held.
-    Acquire {
-        name: String,
-        file: String,
-        line: u32,
-        tok: usize,
-        held_until: usize,
-    },
-    /// Resolvable call to a workspace function.
-    Call {
-        callee: String,
-        file: String,
-        line: u32,
-        tok: usize,
-    },
-}
-
-/// Per-function event sequences for one file, keyed `file::fn` so
-/// same-named functions in different files never merge.
-pub fn collect(file: &SourceFile, known_fns: &HashSet<String>) -> BTreeMap<String, Vec<Event>> {
-    let toks = &file.tokens;
-    let path = file.path.display().to_string();
-    let close_of = match_braces(toks);
-    let encl_block = enclosing_blocks(toks);
-    let mut per_fn: BTreeMap<String, Vec<Event>> = BTreeMap::new();
-
-    for (idx, tok) in toks.iter().enumerate() {
-        let Some(name) = tok.ident() else { continue };
-        if file.in_attr(idx) {
-            continue;
-        }
-        let Some(func) = file.enclosing_fn(idx) else {
-            continue;
-        };
-        let key = format!("{path}::{func}");
-        let is_lock_acq = matches!(name, "lock" | "read" | "write")
-            && is_method_call(toks, idx)
-            && toks.get(idx + 2).is_some_and(|t| t.is_punct(')'));
-        if is_lock_acq {
-            if let Some(recv) = receiver_name(toks, idx) {
-                let held_until = guard_scope_end(toks, idx, &close_of, &encl_block);
-                per_fn.entry(key).or_default().push(Event::Acquire {
-                    name: recv,
-                    file: path.clone(),
-                    line: tok.line,
-                    tok: idx,
-                    held_until,
-                });
-            }
-            continue;
-        }
-        if !known_fns.contains(name) || !toks.get(idx + 1).is_some_and(|t| t.is_punct('(')) {
-            continue;
-        }
-        if toks
-            .get(idx.wrapping_sub(1))
-            .is_some_and(|t| t.ident() == Some("fn"))
-        {
-            continue; // the definition itself
-        }
-        let prev = idx.checked_sub(1).map(|j| &toks[j].kind);
-        let resolvable = match prev {
-            // `self.f(..)`
-            Some(TokKind::Punct('.')) => idx >= 2 && toks[idx - 2].ident() == Some("self"),
-            // `Path::f(..)`
-            Some(TokKind::Punct(':')) => true,
-            // free call `f(..)` — but not a declaration-adjacent ident
-            _ => true,
-        };
-        if resolvable {
-            per_fn.entry(key).or_default().push(Event::Call {
-                callee: name.to_string(),
-                file: path.clone(),
-                line: tok.line,
-                tok: idx,
-            });
-        }
-    }
-    per_fn
-}
-
-/// For each `{` token index, its matching `}` index.
-fn match_braces(tokens: &[Tok]) -> HashMap<usize, usize> {
-    let mut map = HashMap::new();
-    let mut stack = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if t.is_punct('{') {
-            stack.push(i);
-        } else if t.is_punct('}') {
-            if let Some(open) = stack.pop() {
-                map.insert(open, i);
-            }
-        }
-    }
-    map
-}
-
-/// For each token index, the index of the innermost open `{` containing it.
-fn enclosing_blocks(tokens: &[Tok]) -> Vec<Option<usize>> {
-    let mut out = vec![None; tokens.len()];
-    let mut stack: Vec<usize> = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        out[i] = stack.last().copied();
-        if t.is_punct('{') {
-            stack.push(i);
-        } else if t.is_punct('}') {
-            stack.pop();
-        }
-    }
-    out
-}
-
-/// Token index one past which the guard acquired at `idx` is dead.
-fn guard_scope_end(
-    tokens: &[Tok],
-    idx: usize,
-    close_of: &HashMap<usize, usize>,
-    encl_block: &[Option<usize>],
-) -> usize {
-    // Find the statement head: walk back to the nearest `;`/`{`/`}` at
-    // paren depth 0 inside the current block.
-    let mut head = 0usize;
-    let mut depth = 0i32;
-    for j in (0..idx).rev() {
-        match &tokens[j].kind {
-            TokKind::Punct(')') | TokKind::Punct(']') => depth += 1,
-            TokKind::Punct('(') | TokKind::Punct('[') => depth -= 1,
-            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') if depth == 0 => {
-                head = j + 1;
-                break;
-            }
-            _ => {}
-        }
-    }
-    let block_scoped = match tokens.get(head).map(|t| &t.kind) {
-        Some(TokKind::Ident(s))
-            if matches!(s.as_str(), "let" | "if" | "while" | "for" | "match") =>
-        {
-            true
-        }
-        // Assignment to an existing binding: `g = front.lock()...;`
-        Some(TokKind::Ident(_))
-            if tokens.get(head + 1).is_some_and(|t| t.is_punct('='))
-                && !tokens.get(head + 2).is_some_and(|t| t.is_punct('=')) =>
-        {
-            true
-        }
-        _ => false,
-    };
-    if block_scoped {
-        return encl_block[idx]
-            .and_then(|open| close_of.get(&open).copied())
-            .unwrap_or(tokens.len());
-    }
-    // Temporary: dead at the statement's `;` (or the block's `}`).
-    let mut depth = 0i32;
-    for (j, t) in tokens.iter().enumerate().skip(idx) {
-        match &t.kind {
-            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
-            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
-            TokKind::Punct('}') => {
-                depth -= 1;
-                if depth < 0 {
-                    return j;
-                }
-            }
-            TokKind::Punct(';') if depth == 0 => return j,
-            _ => {}
-        }
-    }
-    tokens.len()
-}
 
 /// Directed lock-graph edge `a -> b` with provenance at `b`'s acquisition
 /// (or the call site that reaches it).
@@ -219,45 +33,36 @@ struct Edge {
     via: String,
 }
 
-/// Cross-file analysis: build the lock graph and fail on cycles.
-pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
-    // Resolve a callee name to every same-named function key.
-    let mut by_name: HashMap<&str, Vec<&str>> = HashMap::new();
-    for key in per_fn.keys() {
-        let name = key.rsplit("::").next().unwrap_or(key);
-        by_name.entry(name).or_default().push(key);
-    }
-
-    // Fixpoint: every lock a function may acquire, directly or through
-    // resolvable calls.
-    let mut reach: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
-    for (f, events) in per_fn {
-        let direct: BTreeSet<String> = events
-            .iter()
-            .filter_map(|e| match e {
-                Event::Acquire { name, .. } => Some(name.clone()),
-                Event::Call { .. } => None,
-            })
-            .collect();
-        reach.insert(f, direct);
+pub fn run(ws: &Workspace, report: &mut Report) {
+    // Fixpoint: every canonical lock a function may acquire, directly or
+    // through resolved calls.
+    let n = ws.fns.len();
+    let mut reach: Vec<BTreeSet<u32>> = Vec::with_capacity(n);
+    for f in &ws.fns {
+        reach.push(
+            f.events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Acquire { lock, .. } => Some(ws.ids.canon(*lock)),
+                    _ => None,
+                })
+                .collect(),
+        );
     }
     loop {
         let mut changed = false;
-        for (f, events) in per_fn {
+        for (fi, f) in ws.fns.iter().enumerate() {
             let mut add = BTreeSet::new();
-            for e in events {
-                if let Event::Call { callee, .. } = e {
-                    for g in by_name.get(callee.as_str()).into_iter().flatten() {
-                        if let Some(locks) = reach.get(*g) {
-                            add.extend(locks.iter().cloned());
-                        }
+            for e in &f.events {
+                if let Event::Call { targets, .. } = e {
+                    for &t in targets {
+                        add.extend(reach[t].iter().copied());
                     }
                 }
             }
-            let mine = reach.get_mut(f.as_str()).expect("inserted above");
-            let before = mine.len();
-            mine.extend(add);
-            changed |= mine.len() != before;
+            let before = reach[fi].len();
+            reach[fi].extend(add);
+            changed |= reach[fi].len() != before;
         }
         if !changed {
             break;
@@ -266,83 +71,70 @@ pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
 
     // Edges: a lock whose guard is still live at a later acquisition (or
     // at a call that reaches more locks) orders before it.
-    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
-    for (f, events) in per_fn {
-        let fname = f.rsplit("::").next().unwrap_or(f);
-        let mut held: Vec<(&str, usize)> = Vec::new(); // (name, held_until)
-        for e in events {
-            let at = match e {
-                Event::Acquire { tok, .. } | Event::Call { tok, .. } => *tok,
-            };
-            held.retain(|(_, until)| *until > at);
+    let mut edges: BTreeMap<(u32, u32), Edge> = BTreeMap::new();
+    for f in &ws.fns {
+        for (ei, e) in f.events.iter().enumerate() {
             match e {
-                Event::Acquire {
-                    name,
-                    file,
-                    line,
-                    held_until,
-                    ..
-                } => {
-                    for (h, _) in &held {
-                        if h != name {
-                            edges
-                                .entry((h.to_string(), name.clone()))
-                                .or_insert_with(|| Edge {
-                                    file: file.clone(),
-                                    line: *line,
-                                    via: format!("fn {fname}"),
-                                });
+                Event::Acquire { lock, line, .. } => {
+                    let b = ws.ids.canon(*lock);
+                    for h in f.held_at(ei) {
+                        let a = ws.ids.canon(h);
+                        if a != b {
+                            edges.entry((a, b)).or_insert_with(|| Edge {
+                                file: f.file.clone(),
+                                line: *line,
+                                via: format!("fn {}", f.name),
+                            });
                         }
                     }
-                    held.push((name, *held_until));
                 }
-                Event::Call {
-                    callee, file, line, ..
-                } => {
+                Event::Call { targets, line, .. } => {
+                    let held = f.held_at(ei);
                     if held.is_empty() {
                         continue;
                     }
-                    let mut reached: BTreeSet<&str> = BTreeSet::new();
-                    for g in by_name.get(callee.as_str()).into_iter().flatten() {
-                        if let Some(locks) = reach.get(*g) {
-                            reached.extend(locks.iter().map(String::as_str));
-                        }
+                    let mut reached: BTreeSet<u32> = BTreeSet::new();
+                    for &t in targets {
+                        reached.extend(reach[t].iter().copied());
                     }
-                    for (h, _) in &held {
-                        for b in &reached {
-                            if h != b {
-                                edges
-                                    .entry((h.to_string(), b.to_string()))
-                                    .or_insert_with(|| Edge {
-                                        file: file.clone(),
-                                        line: *line,
-                                        via: format!("fn {fname} -> fn {callee}"),
-                                    });
+                    for h in &held {
+                        let a = ws.ids.canon(*h);
+                        for &b in &reached {
+                            if a != b {
+                                let callee = targets
+                                    .first()
+                                    .map(|&t| ws.fns[t].name.clone())
+                                    .unwrap_or_default();
+                                edges.entry((a, b)).or_insert_with(|| Edge {
+                                    file: f.file.clone(),
+                                    line: *line,
+                                    via: format!("fn {} -> fn {}", f.name, callee),
+                                });
                             }
                         }
                     }
                 }
+                _ => {}
             }
         }
     }
 
     // Cycle detection over the lock graph (iterative DFS with colors).
-    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-    for (a, b) in edges.keys() {
-        adj.entry(a.as_str()).or_default().push(b.as_str());
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
     }
-    let mut color: HashMap<&str, u8> = HashMap::new(); // 0 white 1 grey 2 black
-    let mut cycles: Vec<Vec<String>> = Vec::new();
-    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut color: HashMap<u32, u8> = HashMap::new(); // 0 white 1 grey 2 black
+    let mut cycles: Vec<Vec<u32>> = Vec::new();
+    let nodes: Vec<u32> = adj.keys().copied().collect();
     for start in nodes {
-        if color.get(start).copied().unwrap_or(0) != 0 {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
             continue;
         }
-        // Stack of (node, next-child-index); path mirrors the grey chain.
-        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut stack: Vec<(u32, usize)> = vec![(start, 0)];
         color.insert(start, 1);
         while let Some(&mut (node, ref mut next)) = stack.last_mut() {
-            let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+            let children = adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
             if *next >= children.len() {
                 color.insert(node, 2);
                 stack.pop();
@@ -350,16 +142,15 @@ pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
             }
             let child = children[*next];
             *next += 1;
-            match color.get(child).copied().unwrap_or(0) {
+            match color.get(&child).copied().unwrap_or(0) {
                 0 => {
                     color.insert(child, 1);
                     stack.push((child, 0));
                 }
                 1 => {
                     let pos = stack.iter().position(|(n, _)| *n == child).unwrap_or(0);
-                    let mut cyc: Vec<String> =
-                        stack[pos..].iter().map(|(n, _)| n.to_string()).collect();
-                    cyc.push(child.to_string());
+                    let mut cyc: Vec<u32> = stack[pos..].iter().map(|(n, _)| *n).collect();
+                    cyc.push(child);
                     cycles.push(cyc);
                 }
                 _ => {}
@@ -372,7 +163,7 @@ pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
         let mut line = 0u32;
         let mut via = Vec::new();
         for w in cyc.windows(2) {
-            if let Some(e) = edges.get(&(w[0].clone(), w[1].clone())) {
+            if let Some(e) = edges.get(&(w[0], w[1])) {
                 via.push(e.via.clone());
                 if line == 0 && e.line != 0 {
                     file = e.file.clone();
@@ -380,6 +171,7 @@ pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
                 }
             }
         }
+        let names: Vec<String> = cyc.iter().map(|&l| ws.ids.display(l).to_string()).collect();
         report.diagnostics.push(Diagnostic::new(
             LINT,
             std::path::Path::new(&file),
@@ -387,7 +179,7 @@ pub fn run(per_fn: &BTreeMap<String, Vec<Event>>, report: &mut Report) {
             format!(
                 "lock-order cycle {}: nested acquisitions in opposite orders can \
                  deadlock (paths: {})",
-                cyc.join(" -> "),
+                names.join(" -> "),
                 via.join("; "),
             ),
         ));

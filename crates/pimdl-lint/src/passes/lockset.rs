@@ -1,0 +1,196 @@
+//! L6 — lockset race heuristic (RacerD/Eraser-style) over the resolved
+//! workspace model: for every plain-data field of a thread-shared struct
+//! defined in the configured concurrent modules, compute the set of locks
+//! held at each access site — locks held locally plus the *entry lockset*
+//! of the enclosing function (the intersection, over every resolved call
+//! site, of what callers hold). A field that is written somewhere under a
+//! lock but read (or written) elsewhere under **no** lock is a finding:
+//! either the lock is load-bearing and the bare access races, or it
+//! isn't and should go.
+//!
+//! Exemptions, in order:
+//! * atomic / lock / sync-primitive fields (they synchronize themselves);
+//! * test-code accesses;
+//! * accesses through `&mut self` / owned `self` receivers and inside
+//!   constructors (`fn .. -> Self`) — exclusive access by construction,
+//!   the immutable-after-spawn idiom;
+//! * a justified `lint-allow.toml` entry (`callee = "Type::field"`, with
+//!   a `lines` window) for intentional racy counters.
+//!
+//! Known approximations (DESIGN.md): closure parameters are untyped, so
+//! accesses through them are invisible (false negatives); entry locksets
+//! intersect over *name-resolved* call sites, so a caller the resolver
+//! cannot see weakens nothing (false negatives) while an unrelated
+//! same-named free fn can spuriously empty an entry lockset (false
+//! positives).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::allow::{suffix_match, AllowList};
+use crate::diag::{Diagnostic, Report};
+use crate::hir::SelfKind;
+use crate::resolve::{Event, Workspace};
+
+pub const LINT: &str = "L6-LOCKSET";
+
+/// Whether `path` is inside the configured lockset scope: `.rs` entries
+/// are component-guarded suffixes, directory entries are substring
+/// prefixes (`crates/pimdl-serve/src`).
+fn in_scope(path: &str, scope: &[String]) -> bool {
+    scope.iter().any(|p| {
+        if p.ends_with(".rs") {
+            suffix_match(path, p)
+        } else {
+            path.contains(p.as_str())
+        }
+    })
+}
+
+struct Site {
+    fn_idx: usize,
+    file: String,
+    line: u32,
+    write: bool,
+    locked: bool,
+}
+
+pub fn run(ws: &Workspace, allow: &AllowList, scope: &[String], report: &mut Report) {
+    // Entry locksets: entry[f] = ∩ over call sites of (locks held at the
+    // site ∪ entry[caller]); functions nobody calls start (and stay) ∅.
+    // Initialized to the universe and shrunk monotonically to fixpoint.
+    let universe: BTreeSet<u32> = ws
+        .fns
+        .iter()
+        .flat_map(|f| f.events.iter())
+        .filter_map(|e| match e {
+            Event::Acquire { lock, .. } => Some(ws.ids.canon(*lock)),
+            _ => None,
+        })
+        .collect();
+    // Call sites per callee: (caller idx, event idx).
+    let mut callsites: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ws.fns.len()];
+    for (ci, f) in ws.fns.iter().enumerate() {
+        for (ei, e) in f.events.iter().enumerate() {
+            if let Event::Call { targets, .. } = e {
+                for &t in targets {
+                    callsites[t].push((ci, ei));
+                }
+            }
+        }
+    }
+    let mut entry: Vec<BTreeSet<u32>> = callsites
+        .iter()
+        .map(|cs| {
+            if cs.is_empty() {
+                BTreeSet::new()
+            } else {
+                universe.clone()
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (fi, cs) in callsites.iter().enumerate() {
+            if cs.is_empty() {
+                continue;
+            }
+            let mut acc: Option<BTreeSet<u32>> = None;
+            for &(ci, ei) in cs {
+                let mut held: BTreeSet<u32> = ws.fns[ci]
+                    .held_at(ei)
+                    .into_iter()
+                    .map(|l| ws.ids.canon(l))
+                    .collect();
+                held.extend(entry[ci].iter().copied());
+                acc = Some(match acc {
+                    None => held,
+                    Some(a) => a.intersection(&held).copied().collect(),
+                });
+            }
+            let new = acc.unwrap_or_default();
+            if new != entry[fi] {
+                entry[fi] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Gather access sites per candidate (struct, field).
+    let mut sites: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for (fi, f) in ws.fns.iter().enumerate() {
+        for (ei, e) in f.events.iter().enumerate() {
+            let Event::Access {
+                st,
+                field,
+                line,
+                write,
+                via_self,
+                in_test,
+                ..
+            } = e
+            else {
+                continue;
+            };
+            if *in_test {
+                continue;
+            }
+            let Some(info) = ws.structs.get(st) else {
+                continue;
+            };
+            if !in_scope(&info.file, scope) || !ws.shared.contains(st) {
+                continue;
+            }
+            // Exclusive access: &mut self / owned self receivers, ctors.
+            if *via_self && matches!(f.self_kind, SelfKind::RefMut | SelfKind::Owned) {
+                continue;
+            }
+            if f.ret_self {
+                continue;
+            }
+            let locked = !f.held_at(ei).is_empty() || !entry[fi].is_empty();
+            sites
+                .entry((st.clone(), field.clone()))
+                .or_default()
+                .push(Site {
+                    fn_idx: fi,
+                    file: f.file.clone(),
+                    line: *line,
+                    write: *write,
+                    locked,
+                });
+        }
+    }
+
+    for ((st, field), sites) in &sites {
+        let Some(w) = sites.iter().find(|s| s.write && s.locked) else {
+            continue;
+        };
+        let ty_name = st.rsplit("::").next().unwrap_or(st);
+        let callee = format!("{ty_name}::{field}");
+        let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+        for s in sites.iter().filter(|s| !s.locked) {
+            if !seen.insert((s.file.clone(), s.line)) {
+                continue;
+            }
+            let fname = &ws.fns[s.fn_idx].name;
+            if allow.permits(LINT, &s.file, Some(fname), &callee, s.line) {
+                continue;
+            }
+            let what = if s.write { "written" } else { "read" };
+            report.diagnostics.push(Diagnostic::new(
+                LINT,
+                std::path::Path::new(&s.file),
+                s.line,
+                format!(
+                    "field `{callee}` is written under a lock at {}:{} but {what} here \
+                     with no lock held — guard it, make it atomic, or add a justified \
+                     lint-allow.toml entry (callee = \"{callee}\")",
+                    w.file, w.line
+                ),
+            ));
+        }
+    }
+}

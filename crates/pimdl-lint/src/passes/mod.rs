@@ -1,39 +1,13 @@
-//! The five analysis passes and the token-walking helpers they share.
+//! The analysis passes and the token-walking helpers they share.
 
 pub mod atomic_order;
 pub mod lock_order;
+pub mod lockset;
 pub mod panic_path;
 pub mod syscall_confine;
 pub mod unsafe_audit;
 
-use crate::lexer::{Tok, TokKind};
-
-/// Walking backward from `idx` (exclusive), finds the index of the `(`
-/// that opens the innermost call still unclosed at `idx`: `)`/`]` push
-/// depth, `(`/`[` pop it, and an unmatched `(` is the answer.
-pub(crate) fn enclosing_call_open(tokens: &[Tok], idx: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for j in (0..idx).rev() {
-        match &tokens[j].kind {
-            TokKind::Punct(')') | TokKind::Punct(']') => depth += 1,
-            TokKind::Punct('(') | TokKind::Punct('[') => {
-                if depth == 0 {
-                    return if tokens[j].is_punct('(') {
-                        Some(j)
-                    } else {
-                        None
-                    };
-                }
-                depth -= 1;
-            }
-            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') if depth == 0 => {
-                return None;
-            }
-            _ => {}
-        }
-    }
-    None
-}
+use crate::lexer::Tok;
 
 /// Base identifier of the receiver of a method call whose method-name
 /// token sits at `method_idx`: walks back over the `.`, then over one
@@ -100,17 +74,5 @@ mod tests {
         let toks = lex("self.sink.pending.lock()").tokens;
         let lock = toks.iter().position(|t| t.ident() == Some("lock")).unwrap();
         assert_eq!(receiver_name(&toks, lock), Some("pending".to_string()));
-    }
-
-    #[test]
-    fn enclosing_call_finds_the_right_paren() {
-        let toks = lex("x.fetch_add(v[i], Ordering::Relaxed)").tokens;
-        let ord = toks
-            .iter()
-            .position(|t| t.ident() == Some("Ordering"))
-            .unwrap();
-        let open = enclosing_call_open(&toks, ord).unwrap();
-        let method = toks[open - 1].ident();
-        assert_eq!(method, Some("fetch_add"));
     }
 }

@@ -32,7 +32,7 @@ pub fn run(file: &SourceFile, allow: &AllowList, report: &mut Report) {
             continue;
         }
         let func = file.enclosing_fn(idx);
-        if allow.permits(LINT, &path, func, name) {
+        if allow.permits(LINT, &path, func, name, tok.line) {
             continue;
         }
         let in_fn = func.map_or(String::new(), |f| format!(" in fn {f}"));

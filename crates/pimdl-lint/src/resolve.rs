@@ -1,0 +1,1954 @@
+//! Resolution layer: turns the per-file token streams + HIR into a
+//! workspace-level model the concurrency passes (L3v2/L4v2/L6) consume.
+//!
+//! * **Symbol table** — structs keyed `crate::Name`, their fields with
+//!   parsed guard types, and a method table `crate::Ty::m -> fn`.
+//! * **Lock/atomic identities** — a union-find over identity keys:
+//!   `field:crate::Ty::f` for struct fields, `local:file#i::name` for
+//!   per-function locals (so two locals named `guard` never merge), and
+//!   `aname:crate::name` for atomics that only ever appear as `&Atomic*`
+//!   parameters. `Arc::clone(&x)` / `.clone()` aliases and struct-literal
+//!   field inits (`SimHandle { state: self.state.clone() }`) union their
+//!   operands, so a lock created in `new()` and cloned into a twin struct
+//!   keeps one identity.
+//! * **Per-function events** — in source order: lock acquisitions with
+//!   guard scopes, resolved calls, struct-field accesses (read/write),
+//!   atomic operations with their `Ordering`, and `fence(..)` calls.
+//!
+//! Known approximations are documented in DESIGN.md §10: closure
+//! parameters are untyped (accesses through them are invisible),
+//! destructuring `let` patterns do not bind, and free-call fallback
+//! resolution is by name over free functions only.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::hir::{self, FieldDef, FileHir, SelfKind, Type};
+use crate::lexer::{Tok, TokKind};
+use crate::model::SourceFile;
+
+/// What a resolved lock/atomic identity is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdKind {
+    Mutex,
+    RwLock,
+    Atomic,
+    Unknown,
+}
+
+/// Union-find over identity keys with display names and provenance.
+#[derive(Debug, Default)]
+pub struct Identities {
+    by_key: HashMap<String, u32>,
+    keys: Vec<String>,
+    parent: Vec<u32>,
+    display: Vec<String>,
+    kind: Vec<IdKind>,
+    site: Vec<(String, u32)>,
+    /// Filled by `finalize`: fully-resolved root per id.
+    canon_of: Vec<u32>,
+}
+
+impl Identities {
+    pub fn intern(&mut self, key: &str, display: &str, kind: IdKind, file: &str, line: u32) -> u32 {
+        if let Some(&id) = self.by_key.get(key) {
+            if self.kind[id as usize] == IdKind::Unknown && kind != IdKind::Unknown {
+                self.kind[id as usize] = kind;
+            }
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.by_key.insert(key.to_string(), id);
+        self.keys.push(key.to_string());
+        self.parent.push(id);
+        self.display.push(display.to_string());
+        self.kind.push(kind);
+        self.site.push((file.to_string(), line));
+        id
+    }
+
+    fn root(&mut self, mut a: u32) -> u32 {
+        while self.parent[a as usize] != a {
+            let gp = self.parent[self.parent[a as usize] as usize];
+            self.parent[a as usize] = gp;
+            a = gp;
+        }
+        a
+    }
+
+    pub fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.root(a), self.root(b));
+        if ra == rb {
+            return;
+        }
+        // Lower-priority root attaches to higher so finalize is stable.
+        if id_priority(&self.keys[ra as usize]) <= id_priority(&self.keys[rb as usize]) {
+            self.parent[rb as usize] = ra;
+        } else {
+            self.parent[ra as usize] = rb;
+        }
+    }
+
+    /// Resolves every id to its representative and picks canonical
+    /// displays (field-keyed ids win over locals).
+    pub fn finalize(&mut self) {
+        let n = self.keys.len();
+        self.canon_of = (0..n as u32).map(|i| self.root(i)).collect();
+        let mut best: HashMap<u32, u32> = HashMap::new();
+        for i in 0..n as u32 {
+            let r = self.canon_of[i as usize];
+            let e = best.entry(r).or_insert(i);
+            let (pe, pi) = (
+                id_priority(&self.keys[*e as usize]),
+                id_priority(&self.keys[i as usize]),
+            );
+            if (pi, &self.display[i as usize]) < (pe, &self.display[*e as usize]) {
+                *e = i;
+            }
+        }
+        for i in 0..n as u32 {
+            let r = self.canon_of[i as usize];
+            let b = best[&r];
+            self.canon_of[i as usize] = b;
+            if self.kind[b as usize] == IdKind::Unknown {
+                self.kind[b as usize] = self.kind[i as usize];
+            }
+        }
+    }
+
+    /// Canonical representative of `id` (call after `finalize`).
+    pub fn canon(&self, id: u32) -> u32 {
+        self.canon_of.get(id as usize).copied().unwrap_or(id)
+    }
+
+    pub fn display(&self, id: u32) -> &str {
+        &self.display[self.canon(id) as usize]
+    }
+
+    pub fn kind(&self, id: u32) -> IdKind {
+        self.kind[self.canon(id) as usize]
+    }
+
+    /// Lock identities grouped by canonical representative:
+    /// `(display, kind, members as key@file:line)`, deterministic order.
+    pub fn lock_groups(&self) -> Vec<(String, IdKind, Vec<String>)> {
+        let mut groups: BTreeMap<String, (IdKind, Vec<String>)> = BTreeMap::new();
+        for i in 0..self.keys.len() as u32 {
+            let c = self.canon(i);
+            let kind = self.kind[c as usize];
+            if !matches!(kind, IdKind::Mutex | IdKind::RwLock) {
+                continue;
+            }
+            let (file, line) = &self.site[i as usize];
+            groups
+                .entry(self.display[c as usize].clone())
+                .or_insert_with(|| (kind, Vec::new()))
+                .1
+                .push(format!("{}@{}:{}", self.keys[i as usize], file, line));
+        }
+        groups
+            .into_iter()
+            .map(|(d, (k, mut m))| {
+                m.sort();
+                (d, k, m)
+            })
+            .collect()
+    }
+}
+
+/// Display/merge priority of an identity key (lower wins).
+fn id_priority(key: &str) -> u8 {
+    if key.starts_with("field:") {
+        0
+    } else if key.starts_with("aname:") {
+        1
+    } else if key.starts_with("fresh:") {
+        2
+    } else {
+        3
+    }
+}
+
+/// One event inside a function body, in source order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// `.lock()` / `.read()` / `.write()` producing a guard held until
+    /// token `held_until` (exclusive).
+    Acquire {
+        lock: u32,
+        line: u32,
+        tok: usize,
+        held_until: usize,
+    },
+    /// Call that resolves to workspace functions (indices into
+    /// `Workspace::fns`).
+    Call {
+        targets: Vec<usize>,
+        line: u32,
+        tok: usize,
+    },
+    /// Read or write of a struct field (`st` is the struct key).
+    Access {
+        st: String,
+        field: String,
+        line: u32,
+        tok: usize,
+        write: bool,
+        via_self: bool,
+        in_test: bool,
+    },
+    /// Atomic operation with an explicit `Ordering::X` argument.
+    Atomic {
+        id: u32,
+        method: String,
+        ordering: String,
+        line: u32,
+        tok: usize,
+        in_test: bool,
+    },
+    /// `fence(Ordering::X)`.
+    Fence {
+        ordering: String,
+        tok: usize,
+        in_test: bool,
+    },
+}
+
+impl Event {
+    pub fn tok(&self) -> usize {
+        match self {
+            Event::Acquire { tok, .. }
+            | Event::Call { tok, .. }
+            | Event::Access { tok, .. }
+            | Event::Atomic { tok, .. }
+            | Event::Fence { tok, .. } => *tok,
+        }
+    }
+}
+
+/// All events of one function plus the signature facts passes filter on.
+#[derive(Debug)]
+pub struct FnEvents {
+    /// Unique key `file#index`.
+    pub key: String,
+    /// Human name `file::fn`.
+    pub display: String,
+    pub file: String,
+    pub name: String,
+    pub krate: String,
+    pub self_kind: SelfKind,
+    /// Constructor heuristic: returns `Self`/the impl type.
+    pub ret_self: bool,
+    pub events: Vec<Event>,
+}
+
+impl FnEvents {
+    /// Raw (non-canonical) lock ids held when event `idx` happens.
+    pub fn held_at(&self, idx: usize) -> Vec<u32> {
+        let at = self.events[idx].tok();
+        self.events[..idx]
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire {
+                    lock, held_until, ..
+                } if *held_until > at => Some(*lock),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One struct definition with its defining site.
+#[derive(Debug)]
+pub struct StructInfo {
+    pub file: String,
+    pub line: u32,
+    pub fields: Vec<FieldDef>,
+}
+
+/// The resolved workspace model.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<FnEvents>,
+    pub ids: Identities,
+    /// Structs keyed `crate::Name`.
+    pub structs: BTreeMap<String, StructInfo>,
+    /// Struct keys reachable from more than one thread (under
+    /// `Arc`/`Mutex`/`RwLock` somewhere, transitively through fields).
+    pub shared: BTreeSet<String>,
+}
+
+/// Crate a path belongs to: the component after `crates/`, else the root
+/// crate `pimdl`.
+pub fn crate_of(path: &str) -> String {
+    let comps: Vec<&str> = path.split('/').collect();
+    for (i, c) in comps.iter().enumerate() {
+        if *c == "crates" && i + 1 < comps.len() {
+            return comps[i + 1].to_string();
+        }
+    }
+    "pimdl".to_string()
+}
+
+/// Symbol tables shared by every function walker.
+struct Symbols {
+    /// `crate::Name -> struct`.
+    structs: BTreeMap<String, StructInfo>,
+    /// Bare name -> defining crates (for cross-crate fallback).
+    crates_of: HashMap<String, Vec<String>>,
+    /// `crate::Ty::m -> fn indices`.
+    methods: HashMap<String, Vec<usize>>,
+    /// Free functions by bare name.
+    free: HashMap<String, Vec<usize>>,
+}
+
+impl Symbols {
+    /// Resolves a bare struct name seen from `krate` to its key.
+    fn resolve_struct(&self, name: &str, krate: &str) -> Option<String> {
+        let local = format!("{krate}::{name}");
+        if self.structs.contains_key(&local) {
+            return Some(local);
+        }
+        match self.crates_of.get(name) {
+            Some(cs) if cs.len() == 1 => Some(format!("{}::{}", cs[0], name)),
+            _ => None,
+        }
+    }
+
+    fn field<'a>(&'a self, st: &str, field: &str) -> Option<&'a FieldDef> {
+        self.structs
+            .get(st)?
+            .fields
+            .iter()
+            .find(|f| f.name == field)
+    }
+}
+
+pub fn build(files: &[SourceFile]) -> Workspace {
+    let hirs: Vec<FileHir> = files.iter().map(hir::build).collect();
+    let mut sym = Symbols {
+        structs: BTreeMap::new(),
+        crates_of: HashMap::new(),
+        methods: HashMap::new(),
+        free: HashMap::new(),
+    };
+
+    // Pass 1: symbol tables + the global fn list (indices are stable).
+    let mut fn_meta: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
+    for (fi, (file, h)) in files.iter().zip(&hirs).enumerate() {
+        let path = file.path.display().to_string().replace('\\', "/");
+        let krate = crate_of(&path);
+        for s in &h.structs {
+            let key = format!("{krate}::{}", s.name);
+            sym.crates_of
+                .entry(s.name.clone())
+                .or_default()
+                .push(krate.clone());
+            sym.structs.entry(key).or_insert_with(|| StructInfo {
+                file: path.clone(),
+                line: s.line,
+                fields: s.fields.clone(),
+            });
+        }
+        for (si, (span, sig)) in file.fns().iter().zip(&h.sigs).enumerate() {
+            let gidx = fn_meta.len();
+            fn_meta.push((fi, si));
+            match &sig.impl_ty {
+                Some(ty) => {
+                    sym.methods
+                        .entry(format!("{krate}::{ty}::{}", span.name))
+                        .or_default()
+                        .push(gidx);
+                }
+                None => {
+                    sym.free.entry(span.name.clone()).or_default().push(gidx);
+                }
+            }
+        }
+    }
+    // Dedup crates_of so "defined once" checks work.
+    for v in sym.crates_of.values_mut() {
+        v.sort();
+        v.dedup();
+    }
+
+    // Pass 2: sharedness — any known struct under Arc/Mutex/RwLock in a
+    // field or parameter type, or constructed inside `Arc::new`/
+    // `Mutex::new`, then closed transitively through field types.
+    let mut shared: BTreeSet<String> = BTreeSet::new();
+    for (file, h) in files.iter().zip(&hirs) {
+        let path = file.path.display().to_string().replace('\\', "/");
+        let krate = crate_of(&path);
+        for s in &h.structs {
+            for f in &s.fields {
+                mark_shared_in(&f.ty, false, &krate, &sym, &mut shared);
+            }
+        }
+        for sig in &h.sigs {
+            for (_, ty) in &sig.params {
+                mark_shared_in(ty, false, &krate, &sym, &mut shared);
+            }
+        }
+        // `Arc::new(Ty ...)` / `Mutex::new(Ty ...)` in bodies.
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !matches!(toks[i].ident(), Some("Arc" | "Rc" | "Mutex" | "RwLock")) {
+                continue;
+            }
+            if !(path_sep(toks, i + 1)
+                && toks.get(i + 3).is_some_and(|t| t.ident() == Some("new"))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct('(')))
+            {
+                continue;
+            }
+            let mut j = i + 5;
+            while toks
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.ident() == Some("mut"))
+            {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                if let Some(key) = sym.resolve_struct(name, &krate) {
+                    shared.insert(key);
+                }
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for key in shared.clone() {
+            let Some(info) = sym.structs.get(&key) else {
+                continue;
+            };
+            let krate = crate_of(&info.file);
+            let mut add = BTreeSet::new();
+            for f in &info.fields {
+                mark_shared_in(&f.ty, true, &krate, &sym, &mut add);
+            }
+            for k in add {
+                grew |= shared.insert(k);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Pass 3: walk every function body, emitting events.
+    let mut ids = Identities::default();
+    let mut fns: Vec<FnEvents> = Vec::new();
+    for &(fi, si) in &fn_meta {
+        let file = &files[fi];
+        let h = &hirs[fi];
+        let path = file.path.display().to_string().replace('\\', "/");
+        let span = &file.fns()[si];
+        let sig = &h.sigs[si];
+        let krate = crate_of(&path);
+        let key = format!("{path}#{si}");
+        let impl_key = sig.impl_ty.as_ref().map(|ty| format!("{krate}::{ty}"));
+        let mut w = Walker {
+            file,
+            toks: &file.tokens,
+            sym: &sym,
+            ids: &mut ids,
+            fnkey: key.clone(),
+            krate: krate.clone(),
+            impl_key,
+            locals: HashMap::new(),
+            pending: Vec::new(),
+            guard_acq: HashMap::new(),
+            events: Vec::new(),
+            close_of: match_braces(&file.tokens),
+            encl_block: enclosing_blocks(&file.tokens),
+            owner: owner_map(file),
+            my_fn: si,
+        };
+        for (pname, pty) in &sig.params {
+            w.seed_param(pname, pty);
+        }
+        if span.body_start < span.end {
+            w.walk(span.body_start + 1, span.end.saturating_sub(1));
+        }
+        fns.push(FnEvents {
+            key,
+            display: format!("{path}::{}", span.name),
+            file: path,
+            name: span.name.clone(),
+            krate,
+            self_kind: sig.self_kind,
+            ret_self: sig.ret_self,
+            events: w.events,
+        });
+    }
+
+    // Pass 4: resolve call targets (walker stored callee descriptors).
+    // Calls were resolved inline against `sym`, so nothing to do here.
+    ids.finalize();
+    Workspace {
+        fns,
+        ids,
+        structs: sym.structs,
+        shared,
+    }
+}
+
+/// Marks known structs in `ty` shared. With `always`, every known struct
+/// in the tree counts (transitive closure from an already-shared owner);
+/// otherwise only subtrees under an `Arc`/`Mutex`/`RwLock` node.
+fn mark_shared_in(ty: &Type, always: bool, krate: &str, sym: &Symbols, out: &mut BTreeSet<String>) {
+    let here = always || matches!(ty.name.as_str(), "Arc" | "Rc" | "Mutex" | "RwLock");
+    if here {
+        collect_known(ty, krate, sym, out);
+        return;
+    }
+    for a in &ty.args {
+        mark_shared_in(a, always, krate, sym, out);
+    }
+}
+
+fn collect_known(ty: &Type, krate: &str, sym: &Symbols, out: &mut BTreeSet<String>) {
+    if let Some(key) = sym.resolve_struct(&ty.name, krate) {
+        out.insert(key);
+    }
+    for a in &ty.args {
+        collect_known(a, krate, sym, out);
+    }
+}
+
+/// Whether tokens `i`,`i+1` are the two `:` puncts of a `::`.
+fn path_sep(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(':')) && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// What a local name is bound to.
+#[derive(Debug, Clone)]
+enum Binding {
+    Lock { id: u32, inner: Option<String> },
+    Guard { lock: u32, inner: Option<String> },
+    Atomic(u32),
+    Struct(String),
+    Opaque,
+}
+
+/// Intermediate result while folding a `.`-chain left to right.
+#[derive(Debug, Clone)]
+enum Res {
+    Struct(String),
+    Lock { id: u32, inner: Option<String> },
+    Guard { lock: u32, inner: Option<String> },
+    Atomic(u32),
+    Unknown,
+}
+
+const MUT_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "extend",
+    "append",
+    "drain",
+    "truncate",
+    "take",
+    "replace",
+    "set",
+    "push_str",
+    "get_mut",
+    "iter_mut",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "retain",
+    "fill",
+    "resize",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+    "entry",
+    "get_or_insert_with",
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+];
+
+const KEYWORDS: &[&str] = &[
+    "let", "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn",
+    "struct", "enum", "impl", "trait", "mod", "use", "pub", "unsafe", "move", "ref", "mut", "as",
+    "in", "where", "type", "const", "static", "dyn", "async", "await", "crate", "super", "box",
+    "yield", "true", "false",
+];
+
+struct Walker<'a> {
+    file: &'a SourceFile,
+    toks: &'a [Tok],
+    sym: &'a Symbols,
+    ids: &'a mut Identities,
+    fnkey: String,
+    krate: String,
+    /// Resolved `crate::Ty` of the enclosing impl, if any.
+    impl_key: Option<String>,
+    locals: HashMap<String, Binding>,
+    /// Bindings applied once the cursor passes `apply_at`:
+    /// `(apply_at, name, binding, init_start, init_end)`.
+    pending: Vec<(usize, String, Binding, usize, usize)>,
+    /// Guard-binding name -> index of its Acquire event (for `drop(g)`).
+    guard_acq: HashMap<String, usize>,
+    events: Vec<Event>,
+    close_of: HashMap<usize, usize>,
+    encl_block: Vec<Option<usize>>,
+    owner: Vec<Option<usize>>,
+    my_fn: usize,
+}
+
+impl<'a> Walker<'a> {
+    fn seed_param(&mut self, name: &str, ty: &Type) {
+        let b = if ty.is_atomic() {
+            let id = self.intern_aname(name);
+            Binding::Atomic(id)
+        } else if let Some(kind) = ty.guard_kind() {
+            let id = self.intern_local(name, lock_kind(kind));
+            Binding::Lock {
+                id,
+                inner: self.inner_struct_of(ty),
+            }
+        } else if let Some(st) = self.sym.resolve_struct(&ty.innermost().name, &self.krate) {
+            Binding::Struct(st)
+        } else {
+            return;
+        };
+        self.locals.insert(name.to_string(), b);
+    }
+
+    /// The struct key guarded by a lock type, if resolvable.
+    fn inner_struct_of(&self, ty: &Type) -> Option<String> {
+        let inner = ty.guarded_inner()?;
+        self.sym
+            .resolve_struct(&inner.innermost().name, &self.krate)
+    }
+
+    fn intern_local(&mut self, name: &str, kind: IdKind) -> u32 {
+        let key = format!("local:{}::{name}", self.fnkey);
+        let display = format!("{name} (local)");
+        let (f, l) = self.site_here();
+        self.ids.intern(&key, &display, kind, &f, l)
+    }
+
+    fn intern_aname(&mut self, name: &str) -> u32 {
+        let key = format!("aname:{}::{name}", self.krate);
+        let (f, l) = self.site_here();
+        self.ids.intern(&key, name, IdKind::Atomic, &f, l)
+    }
+
+    fn intern_field(&mut self, st: &str, field: &FieldDef) -> u32 {
+        let key = format!("field:{st}::{}", field.name);
+        let ty_name = st.rsplit("::").next().unwrap_or(st);
+        let display = format!("{ty_name}::{}", field.name);
+        let kind = match field.ty.guard_kind() {
+            Some(k) => lock_kind(k),
+            None if field.ty.is_atomic() => IdKind::Atomic,
+            None => IdKind::Unknown,
+        };
+        let info = self.sym.structs.get(st);
+        let (f, l) = info
+            .map(|i| (i.file.clone(), field.line))
+            .unwrap_or_else(|| self.site_here());
+        self.ids.intern(&key, &display, kind, &f, l)
+    }
+
+    fn site_here(&self) -> (String, u32) {
+        (self.file.path.display().to_string().replace('\\', "/"), 0)
+    }
+
+    /// Main token loop over `[start, end)`.
+    fn walk(&mut self, start: usize, end: usize) {
+        let mut i = start;
+        while i < end {
+            self.apply_pending(i);
+            if self.owner[i] != Some(self.my_fn) || self.file.in_attr(i) {
+                i += 1;
+                continue;
+            }
+            let Some(name) = self.toks[i].ident() else {
+                i += 1;
+                continue;
+            };
+            if name == "let" {
+                self.handle_let(i, end);
+                i += 1;
+                continue;
+            }
+            if KEYWORDS.contains(&name) {
+                i += 1;
+                continue;
+            }
+            // Skip path continuations, method/field segments, macro names,
+            // and the name in a nested `fn` signature.
+            let prev = i.checked_sub(1).map(|j| &self.toks[j].kind);
+            let prev_is_seg = matches!(prev, Some(TokKind::Punct('.')) | Some(TokKind::Punct(':')));
+            let prev_is_fn = self
+                .toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.ident() == Some("fn"));
+            if prev_is_seg || prev_is_fn || is_macro_name(self.toks, i) {
+                i += 1;
+                continue;
+            }
+            // `drop(g)` ends a guard's scope early.
+            if name == "drop"
+                && self.toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && self.toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(g) = self.toks.get(i + 2).and_then(|t| t.ident()) {
+                    if matches!(self.locals.get(g), Some(Binding::Guard { .. })) {
+                        if let Some(&ev) = self.guard_acq.get(g) {
+                            if let Event::Acquire { held_until, .. } = &mut self.events[ev] {
+                                *held_until = i;
+                            }
+                        }
+                        self.locals.remove(g);
+                        i += 4;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            // Assignment rebinding at a statement head: `g = CHAIN;`.
+            let at_stmt_head = matches!(
+                prev,
+                None | Some(TokKind::Punct(';'))
+                    | Some(TokKind::Punct('{'))
+                    | Some(TokKind::Punct('}'))
+            );
+            if at_stmt_head
+                && self.toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && !self.toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            {
+                let init_start = i + 2;
+                let init_end = stmt_end(self.toks, init_start, end, false);
+                let b = self.classify_init(name, init_start, init_end, None);
+                self.pending
+                    .push((init_end, name.to_string(), b, init_start, init_end));
+                i += 2;
+                continue;
+            }
+            self.resolve_chain(i, true);
+            i += 1;
+        }
+        self.apply_pending(usize::MAX);
+    }
+
+    fn apply_pending(&mut self, now: usize) {
+        while let Some(pos) = self.pending.iter().position(|(at, ..)| *at <= now) {
+            let (_, name, b, init_start, init_end) = self.pending.remove(pos);
+            if let Binding::Guard { .. } = &b {
+                // Associate the binding with the Acquire its init emitted.
+                let acq = self
+                    .events
+                    .iter()
+                    .rposition(|e| matches!(e, Event::Acquire { tok, .. } if *tok >= init_start && *tok < init_end));
+                if let Some(idx) = acq {
+                    self.guard_acq.insert(name.clone(), idx);
+                }
+            }
+            if matches!(b, Binding::Opaque) {
+                self.locals.remove(&name);
+            } else {
+                self.locals.insert(name, b);
+            }
+        }
+    }
+
+    /// Parses `let [mut] NAME [: TY] = INIT ;` (plus the flat-tuple form)
+    /// and queues the binding. Pattern lets (`let Some(x) = ..`) bind
+    /// nothing.
+    fn handle_let(&mut self, let_idx: usize, end: usize) {
+        let toks = self.toks;
+        let in_cond = toks
+            .get(let_idx.wrapping_sub(1))
+            .is_some_and(|t| matches!(t.ident(), Some("if" | "while")));
+        let mut j = let_idx + 1;
+        if toks.get(j).is_some_and(|t| t.ident() == Some("mut")) {
+            j += 1;
+        }
+        // Flat tuple pattern `(a, b, ..)`.
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let close = skip_balanced(toks, j, '(', ')') - 1;
+            let mut names = Vec::new();
+            let mut k = j + 1;
+            while k < close {
+                if toks[k].ident() == Some("mut") {
+                    k += 1;
+                    continue;
+                }
+                match toks[k].ident() {
+                    Some(n)
+                        if toks.get(k + 1).is_some_and(|t| t.is_punct(',')) || k + 1 == close =>
+                    {
+                        names.push(n.to_string());
+                        k += 2;
+                    }
+                    _ => return, // not a flat tuple of idents
+                }
+            }
+            if !toks.get(close + 1).is_some_and(|t| t.is_punct('='))
+                || !toks.get(close + 2).is_some_and(|t| t.is_punct('('))
+            {
+                return;
+            }
+            let iclose = skip_balanced(toks, close + 2, '(', ')') - 1;
+            let mut k = close + 3;
+            let mut exprs = Vec::new();
+            while k < iclose && exprs.len() < names.len() {
+                let e = element_end(toks, k, iclose);
+                exprs.push((k, e));
+                k = e + 1;
+            }
+            if exprs.len() == names.len() {
+                for (n, (s, e)) in names.into_iter().zip(exprs) {
+                    let b = self.classify_init(&n, s, e, None);
+                    self.pending.push((iclose + 1, n, b, s, e));
+                }
+            }
+            return;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.ident()) else {
+            return;
+        };
+        // Enum/struct patterns (`Some(x)`, `State { .. }`) bind nothing here.
+        if toks
+            .get(j + 1)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+            || path_sep(toks, j + 1)
+        {
+            return;
+        }
+        let mut annot = None;
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.is_punct(':')) {
+            // Annotation up to the `=` at depth 0.
+            let mut d = 0i32;
+            let ty_start = k + 1;
+            let mut m = ty_start;
+            while m < end {
+                match &toks[m].kind {
+                    TokKind::Punct('<') if !prev_is_dash(toks, m) => d += 1,
+                    TokKind::Punct('>') if d > 0 && !prev_is_dash(toks, m) => d -= 1,
+                    TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                    TokKind::Punct('=') | TokKind::Punct(';') if d == 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            if m < end && toks[m].is_punct('=') {
+                annot = Some(hir::parse_type(toks, ty_start, m).0);
+                k = m;
+            } else {
+                return;
+            }
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct('='))
+            || toks.get(k + 1).is_some_and(|t| t.is_punct('='))
+        {
+            return;
+        }
+        let init_start = k + 1;
+        let init_end = stmt_end(toks, init_start, end, in_cond);
+        let b = self.classify_init(name, init_start, init_end, annot.as_ref());
+        self.pending
+            .push((init_end, name.to_string(), b, init_start, init_end));
+    }
+
+    /// Classifies what `[start, end)` evaluates to for binding purposes.
+    fn classify_init(
+        &mut self,
+        name: &str,
+        start: usize,
+        end: usize,
+        annot: Option<&Type>,
+    ) -> Binding {
+        let toks = self.toks;
+        // 1. A zero-arg `.lock()/.read()/.write()` anywhere in the init
+        //    makes this a guard binding (covers `lock_recover(x.lock(), s)`).
+        for m in start..end {
+            if matches!(toks[m].ident(), Some("lock" | "read" | "write"))
+                && m > start
+                && toks[m - 1].is_punct('.')
+                && toks.get(m + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(m + 2).is_some_and(|t| t.is_punct(')'))
+            {
+                if let Some(base) = chain_base(toks, m) {
+                    if let Res::Guard { lock, inner } = self.resolve_chain(base, false).0 {
+                        return Binding::Guard { lock, inner };
+                    }
+                }
+                // Unresolvable receiver: per-function fallback identity.
+                let recv = crate::passes::receiver_name(toks, m);
+                let id = self.intern_local(recv.as_deref().unwrap_or(name), IdKind::Unknown);
+                return Binding::Guard {
+                    lock: id,
+                    inner: None,
+                };
+            }
+        }
+        let mut s = start;
+        while s < end
+            && (toks[s].is_punct('&') || toks[s].is_punct('*') || toks[s].ident() == Some("mut"))
+        {
+            s += 1;
+        }
+        if s >= end {
+            return Binding::Opaque;
+        }
+        // 2. `Arc::clone(&x)` / `Rc::clone(&x)` aliases x.
+        if matches!(toks[s].ident(), Some("Arc" | "Rc"))
+            && path_sep(toks, s + 1)
+            && toks.get(s + 3).is_some_and(|t| t.ident() == Some("clone"))
+            && toks.get(s + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let close = skip_balanced(toks, s + 4, '(', ')') - 1;
+            return self.classify_init(name, s + 5, close, None);
+        }
+        // 3. Trailing `.clone()` aliases the prefix.
+        if end >= 4
+            && toks[end - 1].is_punct(')')
+            && toks[end - 2].is_punct('(')
+            && toks[end - 3].ident() == Some("clone")
+            && toks[end - 4].is_punct('.')
+        {
+            return self.classify_init(name, s, end - 4, None);
+        }
+        // 4. Fresh lock / atomic constructors.
+        for m in s..end.saturating_sub(3) {
+            let Some(id) = toks[m].ident() else { continue };
+            if !(path_sep(toks, m + 1)
+                && toks.get(m + 3).is_some_and(|t| t.ident() == Some("new"))
+                && toks.get(m + 4).is_some_and(|t| t.is_punct('(')))
+            {
+                continue;
+            }
+            match id {
+                "Mutex" | "RwLock" => {
+                    let kind = lock_kind(id);
+                    let key = format!("fresh:{}:{m}", self.fnkey);
+                    let (f, _) = self.site_here();
+                    let fid = self.ids.intern(
+                        &key,
+                        &format!("{name} (local {})", id.to_lowercase()),
+                        kind,
+                        &f,
+                        toks[m].line,
+                    );
+                    return Binding::Lock {
+                        id: fid,
+                        inner: None,
+                    };
+                }
+                a if a.starts_with("Atomic") => {
+                    return Binding::Atomic(self.intern_aname(name));
+                }
+                _ => {}
+            }
+        }
+        // 5. Known-struct construction: `Ty { .. }` / `Ty::m(..)` / `Self ..`.
+        if let Some(base) = toks[s].ident() {
+            let st = if base == "Self" {
+                self.impl_key.clone()
+            } else {
+                self.sym.resolve_struct(base, &self.krate)
+            };
+            if let Some(st) = st {
+                if toks.get(s + 1).is_some_and(|t| t.is_punct('{')) || path_sep(toks, s + 1) {
+                    return Binding::Struct(st);
+                }
+            }
+        }
+        // 6. Plain chain: whatever it resolves to.
+        if toks[s].ident().is_some() {
+            let (res, chain_end, _) = self.resolve_chain(s, false);
+            if chain_end >= end || toks.get(chain_end).is_some_and(|t| t.is_punct('?')) {
+                match res {
+                    Res::Lock { id, inner } => return Binding::Lock { id, inner },
+                    Res::Guard { lock, inner } => return Binding::Guard { lock, inner },
+                    Res::Atomic(id) => return Binding::Atomic(id),
+                    Res::Struct(st) => return Binding::Struct(st),
+                    Res::Unknown => {}
+                }
+            }
+        }
+        // 7. Fall back to the annotation.
+        if let Some(ty) = annot {
+            if ty.is_atomic() {
+                return Binding::Atomic(self.intern_aname(name));
+            }
+            if let Some(kind) = ty.guard_kind() {
+                let id = self.intern_local(name, lock_kind(kind));
+                return Binding::Lock {
+                    id,
+                    inner: self.inner_struct_of(ty),
+                };
+            }
+            if let Some(st) = self.sym.resolve_struct(&ty.innermost().name, &self.krate) {
+                return Binding::Struct(st);
+            }
+        }
+        Binding::Opaque
+    }
+
+    /// Resolves and (with `emit`) records the events of the chain whose
+    /// base ident sits at `base`. Returns the final result, the index one
+    /// past the chain, and the last Access event index (for write patching).
+    fn resolve_chain(&mut self, base: usize, emit: bool) -> (Res, usize, Option<usize>) {
+        let toks = self.toks;
+        let name = toks[base].ident().unwrap_or("");
+        let mut last_name = name.to_string();
+        let mut via_self = name == "self";
+        let mut last_access: Option<usize> = None;
+
+        // Base resolution.
+        let mut res: Res;
+        let mut cur = base + 1;
+        if name == "self" {
+            res = match &self.impl_key {
+                Some(k) => Res::Struct(k.clone()),
+                None => Res::Unknown,
+            };
+        } else if let Some(b) = self.locals.get(name) {
+            res = match b {
+                Binding::Lock { id, inner } => Res::Lock {
+                    id: *id,
+                    inner: inner.clone(),
+                },
+                Binding::Guard { lock, inner } => Res::Guard {
+                    lock: *lock,
+                    inner: inner.clone(),
+                },
+                Binding::Atomic(id) => Res::Atomic(*id),
+                Binding::Struct(st) => Res::Struct(st.clone()),
+                Binding::Opaque => Res::Unknown,
+            };
+        } else if name == "fence" && toks.get(cur).is_some_and(|t| t.is_punct('(')) {
+            let close = skip_balanced(toks, cur, '(', ')');
+            if emit {
+                self.emit_fence(base, cur, close - 1);
+            }
+            return (Res::Unknown, close, None);
+        } else if path_sep(toks, cur) {
+            // Path base: `Ty::m(..)`, `Self::m(..)`, or `module::f(..)`.
+            return self.resolve_path(base, emit);
+        } else if toks.get(cur).is_some_and(|t| t.is_punct('(')) {
+            // Free call `f(..)`.
+            let close = skip_balanced(toks, cur, '(', ')');
+            if emit && name != "drop" {
+                let targets = self.sym.free.get(name).cloned().unwrap_or_default();
+                if !targets.is_empty() {
+                    self.events.push(Event::Call {
+                        targets,
+                        line: toks[base].line,
+                        tok: base,
+                    });
+                }
+            }
+            res = Res::Unknown;
+            cur = close;
+        } else if let Some(st) = self.sym.resolve_struct(name, &self.krate) {
+            if toks.get(cur).is_some_and(|t| t.is_punct('{')) && !self.in_pattern_position(base) {
+                if emit {
+                    self.scan_struct_literal(&st, cur);
+                }
+                return (Res::Struct(st), cur, None);
+            }
+            res = Res::Struct(st);
+        } else {
+            res = Res::Unknown;
+        }
+
+        // Fold `.seg` / `[..]` segments.
+        while let Some(t) = toks.get(cur) {
+            if t.is_punct('[') {
+                cur = skip_balanced(toks, cur, '[', ']');
+                continue;
+            }
+            if t.is_punct('?') {
+                cur += 1;
+                continue;
+            }
+            if !t.is_punct('.') {
+                break;
+            }
+            let seg_idx = cur + 1;
+            let Some(seg) = toks.get(seg_idx).and_then(|t| t.ident()) else {
+                // Tuple-field access `x.0` or similar.
+                res = Res::Unknown;
+                cur = seg_idx + 1;
+                continue;
+            };
+            if toks.get(seg_idx + 1).is_some_and(|t| t.is_punct('(')) {
+                // Method segment.
+                let open = seg_idx + 1;
+                let close = skip_balanced(toks, open, '(', ')');
+                let zero_arg = toks.get(open + 1).is_some_and(|t| t.is_punct(')'));
+                match seg {
+                    "lock" | "read" | "write" if zero_arg => {
+                        let (lock, inner) = match &res {
+                            Res::Lock { id, inner } => (*id, inner.clone()),
+                            _ => (self.intern_local(&last_name, IdKind::Unknown), None),
+                        };
+                        if emit {
+                            let held_until =
+                                guard_scope_end(toks, seg_idx, &self.close_of, &self.encl_block);
+                            self.events.push(Event::Acquire {
+                                lock,
+                                line: toks[seg_idx].line,
+                                tok: seg_idx,
+                                held_until,
+                            });
+                        }
+                        res = Res::Guard { lock, inner };
+                    }
+                    "unwrap" | "expect" | "unwrap_or_else" => {
+                        if !matches!(res, Res::Guard { .. }) {
+                            res = Res::Unknown;
+                        }
+                    }
+                    "clone" => {}
+                    m if ATOMIC_METHODS.contains(&m) => {
+                        let id = match &res {
+                            Res::Atomic(id) => Some(*id),
+                            Res::Unknown | Res::Struct(_) => {
+                                let has_ord =
+                                    (open..close).any(|x| toks[x].ident() == Some("Ordering"));
+                                has_ord.then(|| self.intern_aname(&last_name))
+                            }
+                            _ => None,
+                        };
+                        if let (Some(id), true) = (id, emit) {
+                            self.emit_atomic(id, seg, seg_idx, open, close - 1);
+                        }
+                        last_access = None;
+                        res = Res::Unknown;
+                    }
+                    m => {
+                        if emit {
+                            if MUT_METHODS.contains(&m) {
+                                if let Some(idx) = last_access {
+                                    if let Event::Access { write, .. } = &mut self.events[idx] {
+                                        *write = true;
+                                    }
+                                }
+                            }
+                            if let Res::Struct(st) = &res {
+                                let mk = format!("{st}::{m}");
+                                if let Some(targets) = self.sym.methods.get(&mk) {
+                                    self.events.push(Event::Call {
+                                        targets: targets.clone(),
+                                        line: toks[seg_idx].line,
+                                        tok: seg_idx,
+                                    });
+                                }
+                            }
+                        }
+                        last_access = None;
+                        res = Res::Unknown;
+                    }
+                }
+                cur = close;
+                continue;
+            }
+            // Field segment.
+            let st_key = match &res {
+                Res::Struct(st) => Some(st.clone()),
+                Res::Guard {
+                    inner: Some(st), ..
+                } => Some(st.clone()),
+                _ => None,
+            };
+            res = match st_key {
+                Some(st) => match self.sym.field(&st, seg).cloned() {
+                    Some(fd) => {
+                        if let Some(kind) = fd.ty.guard_kind() {
+                            let id = self.intern_field(&st, &fd);
+                            let _ = kind;
+                            Res::Lock {
+                                id,
+                                inner: self.inner_struct_of(&fd.ty),
+                            }
+                        } else if fd.ty.is_atomic() {
+                            Res::Atomic(self.intern_field(&st, &fd))
+                        } else if fd.ty.is_sync_primitive() {
+                            Res::Unknown
+                        } else {
+                            if emit && !self.file.in_attr(seg_idx) {
+                                self.events.push(Event::Access {
+                                    st: st.clone(),
+                                    field: seg.to_string(),
+                                    line: toks[seg_idx].line,
+                                    tok: seg_idx,
+                                    write: false,
+                                    via_self,
+                                    in_test: self.file.in_test(seg_idx),
+                                });
+                                last_access = Some(self.events.len() - 1);
+                            }
+                            match self
+                                .sym
+                                .resolve_struct(&fd.ty.innermost().name, &self.krate)
+                            {
+                                Some(inner_st) => Res::Struct(inner_st),
+                                None => Res::Unknown,
+                            }
+                        }
+                    }
+                    None => Res::Unknown,
+                },
+                None => Res::Unknown,
+            };
+            via_self = false;
+            last_name = seg.to_string();
+            cur = seg_idx + 1;
+        }
+
+        // Terminal write detection: `CHAIN = ..` / `CHAIN += ..` /
+        // `&mut CHAIN`.
+        if emit {
+            if let Some(idx) = last_access {
+                let assigned = toks.get(cur).is_some_and(|t| t.is_punct('='))
+                    && !toks.get(cur + 1).is_some_and(|t| t.is_punct('='))
+                    && !toks.get(cur.wrapping_sub(1)).is_some_and(|t| {
+                        matches!(
+                            t.kind,
+                            TokKind::Punct('=')
+                                | TokKind::Punct('<')
+                                | TokKind::Punct('>')
+                                | TokKind::Punct('!')
+                        )
+                    });
+                let compound = matches!(
+                    toks.get(cur).map(|t| &t.kind),
+                    Some(
+                        TokKind::Punct('+')
+                            | TokKind::Punct('-')
+                            | TokKind::Punct('*')
+                            | TokKind::Punct('/')
+                            | TokKind::Punct('%')
+                            | TokKind::Punct('&')
+                            | TokKind::Punct('|')
+                            | TokKind::Punct('^')
+                    )
+                ) && toks.get(cur + 1).is_some_and(|t| t.is_punct('='));
+                let mut_borrow = base >= 2
+                    && toks[base - 1].ident() == Some("mut")
+                    && toks[base - 2].is_punct('&');
+                let deref_write = base >= 1
+                    && toks[base - 1].is_punct('*')
+                    && toks.get(cur).is_some_and(|t| t.is_punct('='))
+                    && !toks.get(cur + 1).is_some_and(|t| t.is_punct('='));
+                if assigned || compound || mut_borrow || deref_write {
+                    if let Event::Access { write, .. } = &mut self.events[idx] {
+                        *write = true;
+                    }
+                }
+            }
+        }
+        (res, cur, last_access)
+    }
+
+    /// `Ty::m(..)` / `Self::m(..)` / `module::f(..)` bases.
+    fn resolve_path(&mut self, base: usize, emit: bool) -> (Res, usize, Option<usize>) {
+        let toks = self.toks;
+        let head = toks[base].ident().unwrap_or("");
+        // Walk the path: base :: seg :: seg ...
+        let mut cur = base;
+        let mut last = head.to_string();
+        let mut segs = vec![head.to_string()];
+        while path_sep(toks, cur + 1) {
+            match toks.get(cur + 3).and_then(|t| t.ident()) {
+                Some(s) => {
+                    last = s.to_string();
+                    segs.push(last.clone());
+                    cur += 3;
+                }
+                None => break,
+            }
+        }
+        let after = cur + 1;
+        let is_call = toks.get(after).is_some_and(|t| t.is_punct('('));
+        if !is_call {
+            return (Res::Unknown, after, None);
+        }
+        let close = skip_balanced(toks, after, '(', ')');
+        if last == "fence" {
+            if emit {
+                self.emit_fence(cur, after, close - 1);
+            }
+            return (Res::Unknown, close, None);
+        }
+        let head_struct = if head == "Self" {
+            self.impl_key.clone()
+        } else {
+            self.sym.resolve_struct(head, &self.krate)
+        };
+        let mut ret = Res::Unknown;
+        let targets: Vec<usize> = match &head_struct {
+            Some(st) if segs.len() == 2 => {
+                let t = self
+                    .sym
+                    .methods
+                    .get(&format!("{st}::{last}"))
+                    .cloned()
+                    .unwrap_or_default();
+                if !t.is_empty() {
+                    ret = Res::Struct(st.clone());
+                }
+                t
+            }
+            Some(_) => Vec::new(),
+            // Type-like heads we don't know stay unresolved (std types);
+            // lowercase module paths fall back to free functions by name.
+            None if head.chars().next().is_some_and(char::is_lowercase) => {
+                self.sym.free.get(&last).cloned().unwrap_or_default()
+            }
+            None => Vec::new(),
+        };
+        if emit && !targets.is_empty() {
+            self.events.push(Event::Call {
+                targets,
+                line: toks[base].line,
+                tok: base,
+            });
+        }
+        // Constructor returns the type only if some target is a ctor; the
+        // common `Ty::new(..)` case. Keep the Struct result regardless —
+        // mis-typing a non-Self return only makes later lookups miss.
+        (ret, close, None)
+    }
+
+    fn emit_fence(&mut self, at: usize, open: usize, close: usize) {
+        let in_test = self.file.in_test(at);
+        for ord in orderings_in(self.toks, open, close) {
+            self.events.push(Event::Fence {
+                ordering: ord,
+                tok: at,
+                in_test,
+            });
+        }
+    }
+
+    fn emit_atomic(&mut self, id: u32, method: &str, at: usize, open: usize, close: usize) {
+        let in_test = self.file.in_test(at);
+        for ord in orderings_in(self.toks, open, close) {
+            self.events.push(Event::Atomic {
+                id,
+                method: method.to_string(),
+                ordering: ord,
+                line: self.toks[at].line,
+                tok: at,
+                in_test,
+            });
+        }
+    }
+
+    /// Whether the known-struct ident at `base` sits in pattern position
+    /// (`match` arm / `if let` pattern), where `Ty { .. }` destructures
+    /// instead of constructing.
+    fn in_pattern_position(&self, base: usize) -> bool {
+        let mut j = base;
+        while j > 0 {
+            j -= 1;
+            match &self.toks[j].kind {
+                TokKind::Punct('|') => continue,
+                TokKind::Ident(s) if s == "let" => return true,
+                TokKind::Punct('>') if j > 0 && self.toks[j - 1].is_punct('=') => return true,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Unions lock/atomic-typed field inits of a struct literal with the
+    /// field identity: `SimHandle { state: self.state.clone() }` makes
+    /// `SimHandle::state` and `SimPoller::state` one lock.
+    fn scan_struct_literal(&mut self, st: &str, open: usize) {
+        let toks = self.toks;
+        let close = self.close_of.get(&open).copied().unwrap_or(toks.len());
+        let mut i = open + 1;
+        while i < close {
+            let Some(name) = toks[i].ident() else {
+                i += 1;
+                continue;
+            };
+            // Only depth-1 field positions: previous token is `{` or `,`.
+            let prev_ok = toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct('{') || t.is_punct(','));
+            if !prev_ok {
+                i += 1;
+                continue;
+            }
+            let Some(fd) = self.sym.field(st, name).cloned() else {
+                i += 1;
+                continue;
+            };
+            let interesting = fd.ty.guard_kind().is_some() || fd.ty.is_atomic();
+            if toks.get(i + 1).is_some_and(|t| t.is_punct(':')) && !path_sep(toks, i + 1) {
+                let expr_start = i + 2;
+                let expr_end = element_end(toks, expr_start, close);
+                if interesting {
+                    let fid = self.intern_field(st, &fd);
+                    if let Some(id) = self.value_id(expr_start, expr_end) {
+                        self.ids.union(fid, id);
+                    }
+                }
+                i = expr_end + 1;
+            } else if interesting
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct(',') || t.is_punct('}'))
+            {
+                // Shorthand `field,` — union with the same-named local.
+                let fid = self.intern_field(st, &fd);
+                let id = match self.locals.get(name) {
+                    Some(Binding::Lock { id, .. }) | Some(Binding::Atomic(id)) => Some(*id),
+                    _ => None,
+                };
+                if let Some(id) = id {
+                    self.ids.union(fid, id);
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The lock/atomic identity of a value expression, if it has one.
+    fn value_id(&mut self, start: usize, end: usize) -> Option<u32> {
+        match self.classify_init("<expr>", start, end, None) {
+            Binding::Lock { id, .. } | Binding::Atomic(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+fn lock_kind(k: &str) -> IdKind {
+    if k == "RwLock" {
+        IdKind::RwLock
+    } else {
+        IdKind::Mutex
+    }
+}
+
+/// Every `Ordering::X` argument between `open` and `close` (inclusive).
+fn orderings_in(toks: &[Tok], open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = open;
+    while i + 3 <= close {
+        if toks[i].ident() == Some("Ordering") && path_sep(toks, i + 1) {
+            if let Some(o) = toks.get(i + 3).and_then(|t| t.ident()) {
+                out.push(o.to_string());
+            }
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_macro_name(toks: &[Tok], idx: usize) -> bool {
+    toks.get(idx + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+fn prev_is_dash(toks: &[Tok], k: usize) -> bool {
+    k > 0 && toks[k - 1].is_punct('-')
+}
+
+/// Base ident of the chain containing the method ident at `seg_idx`:
+/// walks back over `.`-separated segments and one trailing group each.
+fn chain_base(toks: &[Tok], seg_idx: usize) -> Option<usize> {
+    let mut j = seg_idx;
+    loop {
+        if j == 0 || !toks[j - 1].is_punct('.') {
+            return toks[j].ident().map(|_| j);
+        }
+        let mut k = j - 2;
+        // Skip a trailing `)`/`]` group of the previous segment.
+        while toks
+            .get(k)
+            .is_some_and(|t| t.is_punct(')') || t.is_punct(']'))
+        {
+            let (open, close) = if toks[k].is_punct(']') {
+                ('[', ']')
+            } else {
+                ('(', ')')
+            };
+            let mut depth = 0i32;
+            loop {
+                if toks[k].is_punct(close) {
+                    depth += 1;
+                } else if toks[k].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            k = k.checked_sub(1)?;
+        }
+        toks.get(k).and_then(|t| t.ident())?;
+        j = k;
+    }
+}
+
+/// One past the balanced group opened at `open_idx`.
+fn skip_balanced(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// End of an init expression starting at `from`: the `;` at depth 0
+/// (braces counted), or for `if let`/`while let` conditions the body `{`
+/// at paren depth 0.
+fn stmt_end(toks: &[Tok], from: usize, cap: usize, in_cond: bool) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < cap {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('{') if in_cond && depth == 0 => return j,
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    cap
+}
+
+/// End (exclusive) of a comma-separated element starting at `from`.
+fn element_end(toks: &[Tok], from: usize, cap: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = from;
+    while j < cap {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct('<') if !prev_is_dash(toks, j) => depth += 1,
+            TokKind::Punct('>') if depth > 0 && !prev_is_dash(toks, j) => depth -= 1,
+            TokKind::Punct(',') if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    cap
+}
+
+/// For each `{` token index, its matching `}` index.
+pub(crate) fn match_braces(tokens: &[Tok]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                map.insert(open, i);
+            }
+        }
+    }
+    map
+}
+
+/// For each token index, the innermost open `{` containing it.
+pub(crate) fn enclosing_blocks(tokens: &[Tok]) -> Vec<Option<usize>> {
+    let mut out = vec![None; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        out[i] = stack.last().copied();
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// For each token, the index (into `file.fns()`) of the innermost fn
+/// whose body contains it.
+fn owner_map(file: &SourceFile) -> Vec<Option<usize>> {
+    let n = file.tokens.len();
+    let mut out: Vec<Option<usize>> = vec![None; n];
+    let mut best: Vec<usize> = vec![usize::MAX; n];
+    for (fi, f) in file.fns().iter().enumerate() {
+        let size = f.end - f.body_start;
+        for i in (f.body_start + 1)..f.end.saturating_sub(1).min(n) {
+            if size < best[i] {
+                best[i] = size;
+                out[i] = Some(fi);
+            }
+        }
+    }
+    out
+}
+
+/// Token index one past which the guard acquired at `idx` is dead:
+/// `let`-bound, assigned, or condition-head acquisitions live to the end
+/// of the enclosing block; bare statements die at their `;`.
+pub(crate) fn guard_scope_end(
+    tokens: &[Tok],
+    idx: usize,
+    close_of: &HashMap<usize, usize>,
+    encl_block: &[Option<usize>],
+) -> usize {
+    let mut head = 0usize;
+    let mut depth = 0i32;
+    for j in (0..idx).rev() {
+        match &tokens[j].kind {
+            TokKind::Punct(')') | TokKind::Punct(']') => depth += 1,
+            // An unmatched opener means the acquisition sits inside an
+            // enclosing call's argument list (`helper(x.lock(), ..)`);
+            // the statement head is further back at that context's depth.
+            TokKind::Punct('(') | TokKind::Punct('[') => depth = (depth - 1).max(0),
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') if depth == 0 => {
+                head = j + 1;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let block_scoped = match tokens.get(head).map(|t| &t.kind) {
+        Some(TokKind::Ident(s))
+            if matches!(s.as_str(), "let" | "if" | "while" | "for" | "match") =>
+        {
+            true
+        }
+        Some(TokKind::Ident(_))
+            if tokens.get(head + 1).is_some_and(|t| t.is_punct('='))
+                && !tokens.get(head + 2).is_some_and(|t| t.is_punct('=')) =>
+        {
+            true
+        }
+        _ => false,
+    };
+    if block_scoped {
+        return encl_block[idx]
+            .and_then(|open| close_of.get(&open).copied())
+            .unwrap_or(tokens.len());
+    }
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(idx) {
+        match &t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            // Leaving an enclosing argument list: back to statement depth.
+            TokKind::Punct(')') | TokKind::Punct(']') => depth = (depth - 1).max(0),
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        build(&[f])
+    }
+
+    fn fn_by_name<'a>(ws: &'a Workspace, name: &str) -> &'a FnEvents {
+        ws.fns.iter().find(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn field_locks_resolve_through_self_and_params() {
+        let src = r#"
+struct State { queue: Mutex<Vec<u32>>, stats: Mutex<u64> }
+impl State {
+    fn via_self(&self) { let g = self.queue.lock().unwrap(); }
+}
+fn via_param(s: &State) { let g = s.queue.lock().unwrap(); }
+"#;
+        let ws = ws_of(src);
+        let a = fn_by_name(&ws, "via_self");
+        let b = fn_by_name(&ws, "via_param");
+        let la = match a.events[0] {
+            Event::Acquire { lock, .. } => lock,
+            _ => panic!("expected acquire"),
+        };
+        let lb = match b.events[0] {
+            Event::Acquire { lock, .. } => lock,
+            _ => panic!("expected acquire"),
+        };
+        assert_eq!(ws.ids.canon(la), ws.ids.canon(lb));
+        assert_eq!(ws.ids.display(la), "State::queue");
+        assert_eq!(ws.ids.kind(la), IdKind::Mutex);
+    }
+
+    #[test]
+    fn arc_clones_and_ctor_literals_merge_same_named_locals_stay_apart() {
+        let src = r#"
+struct Hub { m: Arc<Mutex<u32>> }
+struct Twin { m: Arc<Mutex<u32>> }
+impl Hub {
+    fn twin(&self) -> Twin { Twin { m: Arc::clone(&self.m) } }
+}
+fn use_clone(h: &Hub) {
+    let mm = Arc::clone(&h.m);
+    let g = mm.lock().unwrap();
+}
+fn one() { let pair = Mutex::new(0u32); let g = pair.lock().unwrap(); }
+fn two() { let pair = Mutex::new(0u32); let g = pair.lock().unwrap(); }
+"#;
+        let ws = ws_of(src);
+        // Twin::m and Hub::m merged through the ctor literal.
+        let groups = ws.ids.lock_groups();
+        let merged = groups
+            .iter()
+            .find(|(_, _, members)| members.iter().any(|m| m.contains("Hub::m")))
+            .expect("Hub::m group");
+        assert!(
+            merged.2.iter().any(|m| m.contains("Twin::m")),
+            "ctor literal must union Twin::m with Hub::m: {groups:?}"
+        );
+        // use_clone's acquisition is the same lock as the field.
+        let uc = fn_by_name(&ws, "use_clone");
+        let l = match uc.events[0] {
+            Event::Acquire { lock, .. } => lock,
+            _ => panic!("expected acquire"),
+        };
+        assert_eq!(ws.ids.display(l), "Hub::m");
+        // Same-named fresh locals in different fns stay distinct.
+        let l1 = match fn_by_name(&ws, "one").events[0] {
+            Event::Acquire { lock, .. } => lock,
+            _ => panic!(),
+        };
+        let l2 = match fn_by_name(&ws, "two").events[0] {
+            Event::Acquire { lock, .. } => lock,
+            _ => panic!(),
+        };
+        assert_ne!(ws.ids.canon(l1), ws.ids.canon(l2));
+    }
+
+    #[test]
+    fn guard_acquired_inside_wrapper_call_lives_to_block_end() {
+        // The `lock_recover(x.lock(), ..)` idiom: the acquisition sits
+        // inside an enclosing call's argument list, but the guard binds
+        // to the `let` and must be held for the rest of the block.
+        let src = r#"
+struct S { m: Mutex<u64>, plain: u64 }
+impl S {
+    fn locked(&self) {
+        let mut g = recover(self.m.lock(), &self.plain);
+        if *g > 0 {
+            let x = self.plain;
+        }
+        self.plain += 1;
+    }
+}
+"#;
+        let ws = ws_of(src);
+        let f = fn_by_name(&ws, "locked");
+        let accesses: Vec<usize> = f
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                matches!(e, Event::Access { field, .. } if field == "plain").then_some(i)
+            })
+            .collect();
+        assert_eq!(accesses.len(), 3, "{:?}", f.events);
+        for &i in &accesses {
+            assert!(
+                !f.held_at(i).is_empty(),
+                "guard must span the whole block, lost at event {i}: {:?}",
+                f.events
+            );
+        }
+    }
+
+    #[test]
+    fn accesses_and_guard_scope_and_drop() {
+        let src = r#"
+struct Inner { count: u64 }
+struct S { m: Mutex<Inner>, plain: u64 }
+impl S {
+    fn locked(&self) {
+        let mut g = self.m.lock().unwrap();
+        g.count += 1;
+        drop(g);
+        let x = self.plain;
+    }
+}
+"#;
+        let ws = ws_of(src);
+        let f = fn_by_name(&ws, "locked");
+        let acq = f
+            .events
+            .iter()
+            .position(|e| matches!(e, Event::Acquire { .. }))
+            .unwrap();
+        let count_access = f
+            .events
+            .iter()
+            .position(|e| matches!(e, Event::Access { field, .. } if field == "count"))
+            .unwrap();
+        let plain_access = f
+            .events
+            .iter()
+            .position(|e| matches!(e, Event::Access { field, .. } if field == "plain"))
+            .unwrap();
+        // count written under the guard, plain read after drop() unlocked.
+        assert!(matches!(
+            &f.events[count_access],
+            Event::Access { write: true, .. }
+        ));
+        assert!(!f.held_at(count_access).is_empty(), "guard held at count");
+        assert!(
+            f.held_at(plain_access).is_empty(),
+            "drop(g) must end the guard before the plain read: acq={:?}",
+            f.events[acq]
+        );
+    }
+
+    #[test]
+    fn atomics_and_fences_emit_events() {
+        let src = r#"
+struct C { flag: AtomicBool }
+impl C {
+    fn publish(&self) {
+        fence(Ordering::Release);
+        self.flag.store(true, Ordering::Relaxed);
+    }
+}
+fn read_param(ready: &AtomicBool) -> bool { ready.load(Ordering::Relaxed) }
+"#;
+        let ws = ws_of(src);
+        let p = fn_by_name(&ws, "publish");
+        assert!(matches!(
+            &p.events[0],
+            Event::Fence { ordering, .. } if ordering == "Release"
+        ));
+        assert!(matches!(
+            &p.events[1],
+            Event::Atomic { method, ordering, .. } if method == "store" && ordering == "Relaxed"
+        ));
+        let r = fn_by_name(&ws, "read_param");
+        assert!(matches!(
+            &r.events[0],
+            Event::Atomic { method, .. } if method == "load"
+        ));
+    }
+
+    #[test]
+    fn calls_resolve_methods_and_free_fns() {
+        let src = r#"
+struct S { m: Mutex<u32> }
+impl S {
+    fn outer(&self) { self.inner(); helper(); }
+    fn inner(&self) { let g = self.m.lock().unwrap(); }
+}
+fn helper() {}
+"#;
+        let ws = ws_of(src);
+        let outer = fn_by_name(&ws, "outer");
+        let calls: Vec<&Event> = outer
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Call { .. }))
+            .collect();
+        assert_eq!(calls.len(), 2);
+        if let Event::Call { targets, .. } = calls[0] {
+            assert_eq!(ws.fns[targets[0]].name, "inner");
+        }
+        if let Event::Call { targets, .. } = calls[1] {
+            assert_eq!(ws.fns[targets[0]].name, "helper");
+        }
+    }
+
+    #[test]
+    fn sharedness_marks_arc_wrapped_and_guarded_structs() {
+        let src = r#"
+struct FrontEnd { open: u64 }
+struct SimState { now: u64 }
+struct Local { x: u64 }
+struct Owner { state: Arc<Mutex<SimState>> }
+fn start() { let front = Mutex::new(FrontEnd { open: 0 }); }
+fn plain() { let l = Local { x: 0 }; }
+"#;
+        let ws = ws_of(src);
+        assert!(ws.shared.contains("demo::SimState"));
+        assert!(ws.shared.contains("demo::FrontEnd"));
+        assert!(!ws.shared.contains("demo::Local"));
+    }
+
+    #[test]
+    fn tuple_let_pairs_clones_elementwise() {
+        let src = r#"
+struct E { done: Arc<Mutex<u32>>, busy: Arc<Mutex<u32>> }
+fn spawn(e: &E) {
+    let (d, b) = (Arc::clone(&e.done), Arc::clone(&e.busy));
+    let g = d.lock().unwrap();
+    let h = b.lock().unwrap();
+}
+"#;
+        let ws = ws_of(src);
+        let f = fn_by_name(&ws, "spawn");
+        let locks: Vec<u32> = f
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Acquire { lock, .. } => Some(*lock),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locks.len(), 2);
+        assert_eq!(ws.ids.display(locks[0]), "E::done");
+        assert_eq!(ws.ids.display(locks[1]), "E::busy");
+    }
+}

@@ -15,13 +15,15 @@ fn fixture(name: &str) -> PathBuf {
 }
 
 /// Lints one fixture. The L2 fixtures are configured as hot paths (the
-/// l4 ones must not be: their `.lock().unwrap()` chains are L4 material,
-/// not L2 material) and `fixtures/reactor.rs` as the syscall shim, so
-/// L2/L5 apply to the corpus the way they apply to the real modules.
+/// l4/l6 ones must not be: their `.lock().unwrap()` chains are lock
+/// material, not L2 material), `fixtures/reactor.rs` as the syscall
+/// shim, and the l6 fixtures as the lockset scope, so L2/L5/L6 apply to
+/// the corpus the way they apply to the real modules.
 fn lint_fixture(name: &str, allow_toml: &str) -> pimdl_lint::diag::Report {
     let cfg = LintConfig {
         hot_paths: vec!["l2_bad.rs".to_string(), "l2_clean.rs".to_string()],
         syscall_files: vec!["fixtures/reactor.rs".to_string()],
+        lockset_paths: vec!["l6_bad.rs".to_string(), "l6_clean.rs".to_string()],
     };
     let allow = AllowList::parse(allow_toml);
     lint_paths(&[fixture(name)], &allow, &cfg).expect("fixture must be readable")
@@ -39,8 +41,11 @@ fn bad_fixtures_fail_with_exactly_their_lint() {
         ("l1_bad.rs", "L1-SAFETY"),
         ("l2_bad.rs", "L2-PANIC"),
         ("l3_bad.rs", "L3-ATOMIC"),
+        ("l3_fence_bad.rs", "L3-ATOMIC"),
         ("l4_bad.rs", "L4-LOCK-ORDER"),
+        ("l4_alias_bad.rs", "L4-LOCK-ORDER"),
         ("l5_bad.rs", "L5-SYSCALL"),
+        ("l6_bad.rs", "L6-LOCKSET"),
     ] {
         let report = lint_fixture(name, "");
         assert!(report.failed(), "{name} must fail");
@@ -54,7 +59,10 @@ fn clean_fixtures_pass() {
         "l1_clean.rs",
         "l2_clean.rs",
         "l3_clean.rs",
+        "l3_fence_clean.rs",
         "l4_clean.rs",
+        "l4_alias_clean.rs",
+        "l6_clean.rs",
         "reactor.rs",
     ] {
         let report = lint_fixture(name, "");
@@ -136,8 +144,11 @@ fn binary_exit_codes_match_fixture_corpus() {
         ("l1_bad.rs", "L1-SAFETY"),
         ("l2_bad.rs", "L2-PANIC"),
         ("l3_bad.rs", "L3-ATOMIC"),
+        ("l3_fence_bad.rs", "L3-ATOMIC"),
         ("l4_bad.rs", "L4-LOCK-ORDER"),
+        ("l4_alias_bad.rs", "L4-LOCK-ORDER"),
         ("l5_bad.rs", "L5-SYSCALL"),
+        ("l6_bad.rs", "L6-LOCKSET"),
     ] {
         let out = Command::new(bin)
             .args([
@@ -146,6 +157,8 @@ fn binary_exit_codes_match_fixture_corpus() {
                 "l2_bad.rs",
                 "--syscall-file",
                 "fixtures/reactor.rs",
+                "--lockset",
+                "l6_bad.rs",
                 "--file",
             ])
             .arg(fixture(name))
@@ -162,16 +175,109 @@ fn binary_exit_codes_match_fixture_corpus() {
         "l2_clean.rs",
         "--syscall-file",
         "fixtures/reactor.rs",
+        "--lockset",
+        "l6_clean.rs",
     ]);
     for name in [
         "l1_clean.rs",
         "l2_clean.rs",
         "l3_clean.rs",
+        "l3_fence_clean.rs",
         "l4_clean.rs",
+        "l4_alias_clean.rs",
+        "l6_clean.rs",
         "reactor.rs",
     ] {
         clean.arg("--file").arg(fixture(name));
     }
     let out = clean.output().expect("binary runs");
     assert_eq!(out.status.code(), Some(0), "clean corpus must exit 0");
+}
+
+/// A windowed L6 allow entry excuses exactly its site: with the window
+/// over the bare read the fixture passes; with the window elsewhere the
+/// race is still reported and the entry is flagged stale.
+#[test]
+fn l6_allow_entry_with_line_window_excuses_only_its_site() {
+    let allow = r#"
+[[allow]]
+lint = "L6-LOCKSET"
+file = "l6_bad.rs"
+func = "*"
+callee = "Racy::hits"
+lines = "26-28"
+justification = "fixture test: counter staleness is benign here"
+"#;
+    let report = lint_fixture("l6_bad.rs", allow);
+    assert!(
+        !report.failed(),
+        "windowed entry excuses the read, got:\n{}",
+        report.render_human()
+    );
+
+    let moved = allow.replace("26-28", "40-50");
+    let report = lint_fixture("l6_bad.rs", &moved);
+    assert!(report.failed(), "a window that misses excuses nothing");
+    let lints = lints_hit(&report);
+    assert!(
+        lints.contains(&"L6-LOCKSET") && lints.contains(&"LINT-ALLOW"),
+        "race reported and entry stale: {lints:?}"
+    );
+}
+
+/// `--explain` prints the rationale for a known code and lists the known
+/// codes for an unknown one; `--format github` emits workflow commands.
+#[test]
+fn binary_explain_and_github_format() {
+    let bin = env!("CARGO_BIN_EXE_pimdl-lint");
+
+    let out = Command::new(bin)
+        .args(["--explain", "L6-LOCKSET"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("lockset") && text.contains("Allowlist policy"));
+
+    let out = Command::new(bin)
+        .args(["--explain", "L9-NOPE"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown code is a usage error");
+    let err = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(err.contains("L6-LOCKSET"), "lists known codes: {err}");
+
+    let out = Command::new(bin)
+        .args(["--format", "github", "--hot", "l2_bad.rs", "--file"])
+        .arg(fixture("l2_bad.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(
+        text.contains("::error file=") && text.contains("title=L2-PANIC"),
+        "github annotations: {text}"
+    );
+}
+
+/// `--inventory` writes the unsafe-site and lock-identity inventories.
+#[test]
+fn binary_writes_inventory_json() {
+    let bin = env!("CARGO_BIN_EXE_pimdl-lint");
+    let path = std::env::temp_dir().join("pimdl_lint_inventory_test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = Command::new(bin)
+        .arg("--inventory")
+        .arg(&path)
+        .args(["--lockset", "l6_clean.rs", "--file"])
+        .arg(fixture("l6_clean.rs"))
+        .arg("--file")
+        .arg(fixture("l1_clean.rs"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&path).expect("inventory written");
+    let _ = std::fs::remove_file(&path);
+    assert!(json.contains("\"unsafe_sites\""), "{json}");
+    assert!(json.contains("Guarded::m"), "lock identity listed: {json}");
 }

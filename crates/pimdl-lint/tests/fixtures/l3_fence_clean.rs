@@ -1,0 +1,16 @@
+//! L3 fixture: fence-to-fence synchronization done right — the Relaxed
+//! store is published with `fence(Release)` and the Relaxed load is
+//! followed by `fence(Acquire)`, which completes the pairing.
+
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+
+pub fn publish(flag: &AtomicBool) {
+    fence(Ordering::Release);
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn consume(flag: &AtomicBool) -> bool {
+    let seen = flag.load(Ordering::Relaxed);
+    fence(Ordering::Acquire);
+    seen
+}

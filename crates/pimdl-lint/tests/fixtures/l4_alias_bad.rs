@@ -1,0 +1,23 @@
+//! L4 fixture: the reverse path locks `b` through an `Arc::clone` alias
+//! before locking `a` — the alias must resolve to the same lock identity
+//! as `hub.b` for the AB/BA cycle to be visible.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Hub {
+    pub a: Arc<Mutex<u32>>,
+    pub b: Arc<Mutex<u32>>,
+}
+
+pub fn forward(hub: &Hub) {
+    let ga = hub.a.lock().unwrap();
+    let gb = hub.b.lock().unwrap();
+    let _ = (*ga, *gb);
+}
+
+pub fn reverse(hub: &Hub) {
+    let bb = Arc::clone(&hub.b);
+    let gb = bb.lock().unwrap();
+    let ga = hub.a.lock().unwrap();
+    let _ = (*ga, *gb);
+}

@@ -1,0 +1,44 @@
+//! L4 fixture: opposite-order acquisitions that only *look* like a cycle
+//! under name-based lock identity — same-named fields of two different
+//! types, and same-named locals in two functions. Resolved identities
+//! keep all four locks apart; this file must pass.
+
+use std::sync::Mutex;
+
+pub struct Left {
+    pub m: Mutex<u32>,
+    pub n: Mutex<u32>,
+}
+
+pub struct Right {
+    pub m: Mutex<u32>,
+    pub n: Mutex<u32>,
+}
+
+pub fn left_path(l: &Left) {
+    let gm = l.m.lock().unwrap();
+    let gn = l.n.lock().unwrap();
+    let _ = (*gm, *gn);
+}
+
+pub fn right_path(r: &Right) {
+    let gn = r.n.lock().unwrap();
+    let gm = r.m.lock().unwrap();
+    let _ = (*gm, *gn);
+}
+
+pub fn first() {
+    let pair = Mutex::new(0u32);
+    let extra = Mutex::new(0u32);
+    let g = pair.lock().unwrap();
+    let h = extra.lock().unwrap();
+    let _ = (*g, *h);
+}
+
+pub fn second() {
+    let extra = Mutex::new(0u32);
+    let pair = Mutex::new(0u32);
+    let h = extra.lock().unwrap();
+    let g = pair.lock().unwrap();
+    let _ = (*g, *h);
+}

@@ -1,0 +1,29 @@
+//! L6 fixture: `hits` is written while `m` is held in `record` but read
+//! with no lock in `snapshot` — the lockset race shape. `Racy` is shared
+//! (handed out behind an `Arc`), so the bare read races.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Racy {
+    pub m: Mutex<u32>,
+    pub hits: u64,
+}
+
+pub fn share() -> Arc<Racy> {
+    Arc::new(Racy {
+        m: Mutex::new(0),
+        hits: 0,
+    })
+}
+
+impl Racy {
+    pub fn record(&self, v: u32) {
+        let mut total = self.m.lock().unwrap();
+        *total += v;
+        self.hits += 1;
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.hits
+    }
+}

@@ -1,0 +1,30 @@
+//! L6 fixture: the guarded twin of `l6_bad.rs` — every access to `hits`
+//! holds `m`, so the lockset at each site is non-empty and the pass stays
+//! quiet.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Guarded {
+    pub m: Mutex<u32>,
+    pub hits: u64,
+}
+
+pub fn share() -> Arc<Guarded> {
+    Arc::new(Guarded {
+        m: Mutex::new(0),
+        hits: 0,
+    })
+}
+
+impl Guarded {
+    pub fn record(&self, v: u32) {
+        let mut total = self.m.lock().unwrap();
+        *total += v;
+        self.hits += 1;
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        let _g = self.m.lock().unwrap();
+        self.hits
+    }
+}

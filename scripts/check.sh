@@ -16,10 +16,20 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 
 # Static analysis: unsafe audit, panic-path, atomic-ordering, lock-order,
-# and syscall-confinement over the whole workspace (hard gate; exemptions
-# live in lint-allow.toml and must carry justifications).
+# syscall-confinement, and the lockset race heuristic over the whole
+# workspace (hard gate; exemptions live in lint-allow.toml and must carry
+# justifications). The human report ends with a per-pass finding-count /
+# wall-time summary; the unsafe-site and lock-identity inventories land
+# in results/lint_inventory.json for drift review. Under GitHub Actions
+# the findings come out as ::error annotations instead.
 echo "==> pimdl-lint"
-cargo run --offline -q -p pimdl-lint
+LINT_FORMAT=human
+if [[ "${GITHUB_ACTIONS:-}" == "1" || "${GITHUB_ACTIONS:-}" == "true" ]]; then
+    LINT_FORMAT=github
+fi
+mkdir -p results
+cargo run --offline -q -p pimdl-lint -- \
+    --format "${LINT_FORMAT}" --inventory results/lint_inventory.json
 
 for crate in "${WORKSPACE_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} -- -D warnings"
