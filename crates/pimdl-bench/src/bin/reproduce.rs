@@ -1,7 +1,7 @@
 //! `reproduce` — regenerates every table and figure of the PIM-DL paper.
 //!
 //! ```text
-//! reproduce <experiment> [--json DIR] [--quick] [--smoke]
+//! reproduce <experiment> [--json DIR] [--quick] [--smoke] [--pool-threads N]
 //!
 //! experiments:
 //!   table1  fig3  fig4  table4  table5  fig10  fig11  fig12  fig13
@@ -17,6 +17,9 @@
 //! blocked → fused → fused+pool) and writes `BENCH_kernels.json` to the
 //! current directory. `--smoke` shrinks it to a CI-friendly shape and
 //! asserts the fused kernel is not slower than the scalar baseline.
+//! `--pool-threads N` pins the `fused+pool` variant's worker-pool width
+//! (default: the machine's available parallelism), so the recorded
+//! multi-threaded point states exactly how many cores produced it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +35,7 @@ struct Options {
     json_dir: Option<PathBuf>,
     quick: bool,
     smoke: bool,
+    pool_threads: usize,
 }
 
 fn main() -> ExitCode {
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         json_dir: None,
         quick: false,
         smoke: false,
+        pool_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,6 +61,13 @@ fn main() -> ExitCode {
             },
             "--quick" => options.quick = true,
             "--smoke" => options.smoke = true,
+            "--pool-threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => options.pool_threads = n,
+                _ => {
+                    eprintln!("--pool-threads requires a count >= 1");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown flag: {other}");
                 return ExitCode::FAILURE;
@@ -273,7 +285,7 @@ fn dispatch(which: &str, options: &Options) -> Result<String, Box<dyn std::error
             } else {
                 (bench_kernels::KernelShape::serving(), 15)
             };
-            let r = bench_kernels::run(&shape, reps)?;
+            let r = bench_kernels::run_with_pool(&shape, reps, options.pool_threads)?;
             if options.smoke {
                 // CI guard: fusion must never regress below the scalar
                 // two-pass. Best-of-reps timing keeps this non-flaky.

@@ -117,7 +117,8 @@ fn checksum(m: &Matrix) -> f64 {
 }
 
 /// Runs the four-variant trajectory at `shape`, `reps` timed repetitions
-/// each (best kept).
+/// each (best kept), with the `fused+pool` variant spanning the global
+/// worker pool (sized to the machine's available parallelism).
 ///
 /// # Errors
 ///
@@ -125,6 +126,27 @@ fn checksum(m: &Matrix) -> f64 {
 /// shapes) and panics if any variant's output diverges bit-wise from the
 /// scalar reference.
 pub fn run(shape: &KernelShape, reps: usize) -> Result<KernelBenchResult, LutError> {
+    run_with_pool(shape, reps, WorkerPool::global().threads())
+}
+
+/// [`run`] with an explicit worker-pool width for the `fused+pool`
+/// variant, so the multi-threaded point can be pinned to a known number
+/// of physical cores instead of whatever the global pool auto-sized to.
+///
+/// # Errors
+///
+/// Rejects `pool_threads == 0`; otherwise as [`run`].
+pub fn run_with_pool(
+    shape: &KernelShape,
+    reps: usize,
+    pool_threads: usize,
+) -> Result<KernelBenchResult, LutError> {
+    if pool_threads == 0 {
+        return Err(LutError::Config {
+            op: "bench_kernels::run_with_pool",
+            detail: "pool_threads must be >= 1".to_string(),
+        });
+    }
     let KernelShape { n, h, v, ct, f } = *shape;
     let cb = h / v;
     let mut rng = DataRng::new(42);
@@ -134,7 +156,6 @@ pub fn run(shape: &KernelShape, reps: usize) -> Result<KernelBenchResult, LutErr
     let pq = ProductQuantizer::from_centroids(centroids, v, ct)?;
     let lut = LutTable::build(&pq, &weight)?;
     let cbs = pq.interleaved();
-    let pool_threads = WorkerPool::global().threads();
 
     let (scalar_s, reference) = time_best(reps, || {
         lut.lookup(&pq.encode(&x).expect("shape checked"))
@@ -217,6 +238,13 @@ pub fn render(result: &KernelBenchResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explicit_pool_width_is_recorded_and_zero_is_rejected() {
+        let r = run_with_pool(&KernelShape::smoke(), 1, 2).unwrap();
+        assert_eq!(r.pool_threads, 2);
+        assert!(run_with_pool(&KernelShape::smoke(), 1, 0).is_err());
+    }
 
     #[test]
     fn smoke_shape_runs_and_reports_all_variants() {

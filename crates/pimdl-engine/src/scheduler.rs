@@ -91,6 +91,84 @@ impl BatchingPolicy {
     }
 }
 
+/// Scale of the stride scheduler's integer passes: a tenant of weight `w`
+/// advances by `TENANT_STRIDE_SCALE / w` per scheduled request, so higher
+/// weights accumulate pass more slowly and are picked more often.
+pub const TENANT_STRIDE_SCALE: u64 = 1 << 20;
+
+/// Per-tenant serving quota: a fair-share weight for the weighted-fair
+/// batcher and a cap on admitted-but-unfinished requests.
+///
+/// Validated here, next to [`BatchingPolicy`], because the two jointly
+/// define the front end's scheduling contract: the policy bounds *when* a
+/// batch flushes, the quota bounds *whose* requests it may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantQuota {
+    /// Fair-share weight (a weight-3 tenant receives 3x the service of a
+    /// weight-1 tenant under contention). Must be in
+    /// `1..=TENANT_STRIDE_SCALE`.
+    pub weight: u64,
+    /// Maximum admitted-but-unfinished requests (queued plus dispatched);
+    /// arrivals beyond it are refused with a quota error. Must be >= 1.
+    pub max_in_flight: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            weight: 1,
+            max_in_flight: 16,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// Creates a validated tenant quota.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] for the same degenerate values
+    /// [`TenantQuota::validate`] rejects.
+    pub fn new(weight: u64, max_in_flight: usize) -> Result<Self> {
+        let quota = TenantQuota {
+            weight,
+            max_in_flight,
+        };
+        quota.validate()?;
+        Ok(quota)
+    }
+
+    /// Checks the quota for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `weight` is zero or exceeds
+    /// [`TENANT_STRIDE_SCALE`] (the stride `TENANT_STRIDE_SCALE / weight`
+    /// would be zero, giving the tenant unbounded priority), or if
+    /// `max_in_flight` is zero (the tenant could never admit anything).
+    pub fn validate(&self) -> Result<()> {
+        if self.weight == 0 || self.weight > TENANT_STRIDE_SCALE {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "tenant quota weight must be in 1..={TENANT_STRIDE_SCALE}, got {}",
+                    self.weight
+                ),
+            });
+        }
+        if self.max_in_flight == 0 {
+            return Err(EngineError::Config {
+                detail: "tenant quota max_in_flight must be >= 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The stride scheduler's per-request pass increment for this weight.
+    pub fn stride(&self) -> u64 {
+        TENANT_STRIDE_SCALE / self.weight.clamp(1, TENANT_STRIDE_SCALE)
+    }
+}
+
 /// Offered load: Poisson arrivals at `rate_rps` for `duration_s` simulated
 /// seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -582,5 +660,17 @@ mod tests {
         let b = sched.batch_latency_s(4).unwrap();
         assert_eq!(a, b);
         assert_eq!(sched.latency_cache.len(), 1);
+    }
+
+    #[test]
+    fn tenant_quota_validates_and_derives_strides() {
+        assert!(TenantQuota::new(0, 4).is_err());
+        assert!(TenantQuota::new(TENANT_STRIDE_SCALE + 1, 4).is_err());
+        assert!(TenantQuota::new(1, 0).is_err());
+        let q1 = TenantQuota::new(1, 4).unwrap();
+        let q3 = TenantQuota::new(3, 4).unwrap();
+        assert!(q1.stride() > q3.stride(), "heavier tenants stride slower");
+        assert_eq!(q1.stride(), TENANT_STRIDE_SCALE);
+        assert!(TenantQuota::default().validate().is_ok());
     }
 }

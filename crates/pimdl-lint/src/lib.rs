@@ -60,6 +60,8 @@ impl Default for LintConfig {
                 "crates/pimdl-serve/src/shard.rs",
                 "crates/pimdl-serve/src/batcher.rs",
                 "crates/pimdl-serve/src/admission.rs",
+                "crates/pimdl-serve/src/http.rs",
+                "crates/pimdl-serve/src/registry.rs",
                 "crates/pimdl-tensor/src/pool.rs",
             ]
             .map(String::from)

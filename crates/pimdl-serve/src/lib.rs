@@ -51,8 +51,10 @@ pub mod admission;
 pub mod batcher;
 pub mod clock;
 pub mod codec;
+pub mod http;
 pub mod metrics;
 pub mod reactor;
+pub mod registry;
 pub mod request;
 pub mod runtime;
 pub mod server;
@@ -63,13 +65,18 @@ pub use batcher::ContinuousBatcher;
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use codec::{LineBuffer, LineClient, ServerMsg};
 pub use error::ServeError;
+pub use http::{HttpClient, HttpLimits, HttpParser, HttpRequest};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use reactor::{
     EpollPoller, EventSource, IoEvent, ReactorStats, ReactorStatsSnapshot, SimPoller, Token, Waker,
 };
+pub use registry::{AdmitRefusal, FairBatcher, ModelRegistry, TaggedJob};
 pub use request::{Outcome, Request, RequestRecord};
 pub use runtime::{OpenLoop, Runtime, ServeConfig, ServeReport};
-pub use server::{BatchExecutor, ServeHandle, ServerLoop, SimExecutor, ThreadedExecutor};
+pub use server::{
+    BatchExecutor, HttpConfig, HttpServerLoop, ServeHandle, ServerLoop, SimExecutor,
+    ThreadedExecutor,
+};
 pub use shard::{DispatchTicket, ReplicaModel, ServiceModel, ShardManager};
 
 /// Crate-wide result alias.

@@ -295,6 +295,144 @@ impl MetricsSnapshot {
             self.reactor.mean_wake_latency_s,
         )
     }
+
+    /// Prometheus text exposition (format version 0.0.4) of the snapshot,
+    /// served by the HTTP front end's `GET /metrics`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut emit = |name: &str, help: &str, kind: &str, value: String| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        };
+        let counters: [(&str, &str, u64); 6] = [
+            (
+                "pimdl_requests_submitted_total",
+                "Requests that entered the front end.",
+                self.submitted,
+            ),
+            (
+                "pimdl_requests_completed_total",
+                "Requests served to completion.",
+                self.completed,
+            ),
+            (
+                "pimdl_requests_rejected_total",
+                "Requests load-shed at admission.",
+                self.rejected,
+            ),
+            (
+                "pimdl_requests_deadline_exceeded_total",
+                "Requests shed on deadline before dispatch.",
+                self.deadline_exceeded,
+            ),
+            (
+                "pimdl_batches_total",
+                "Batches dispatched to shards.",
+                self.batches,
+            ),
+            (
+                "pimdl_shard_wakeups_total",
+                "Shard worker wakeups.",
+                self.shard_wakeups,
+            ),
+        ];
+        for (name, help, v) in counters {
+            emit(name, help, "counter", v.to_string());
+        }
+        let gauges: [(&str, &str, f64); 6] = [
+            (
+                "pimdl_queue_depth_peak",
+                "Peak admission-queue depth observed.",
+                self.queue_depth_peak as f64,
+            ),
+            (
+                "pimdl_latency_mean_seconds",
+                "Mean end-to-end latency.",
+                self.mean_latency_s,
+            ),
+            (
+                "pimdl_latency_p50_seconds",
+                "Median latency (bucket upper bound).",
+                self.p50_latency_s,
+            ),
+            (
+                "pimdl_latency_p95_seconds",
+                "95th-percentile latency (bucket upper bound).",
+                self.p95_latency_s,
+            ),
+            (
+                "pimdl_latency_p99_seconds",
+                "99th-percentile latency (bucket upper bound).",
+                self.p99_latency_s,
+            ),
+            (
+                "pimdl_batch_size_mean",
+                "Mean dispatched batch size.",
+                self.mean_batch,
+            ),
+        ];
+        for (name, help, v) in gauges {
+            emit(name, help, "gauge", format!("{v}"));
+        }
+        let reactor: [(&str, &str, u64); 9] = [
+            (
+                "pimdl_reactor_polls_total",
+                "Event-source wait calls.",
+                self.reactor.polls,
+            ),
+            (
+                "pimdl_reactor_timeouts_total",
+                "Waits that expired on timeout.",
+                self.reactor.timeouts,
+            ),
+            (
+                "pimdl_reactor_wakeups_total",
+                "Wake-token deliveries.",
+                self.reactor.wakeups,
+            ),
+            (
+                "pimdl_reactor_spurious_wakeups_total",
+                "Wakeups that produced no progress.",
+                self.reactor.spurious_wakeups,
+            ),
+            (
+                "pimdl_reactor_accepts_total",
+                "Connections accepted.",
+                self.reactor.accepts,
+            ),
+            (
+                "pimdl_reactor_accept_errors_total",
+                "Accept failures.",
+                self.reactor.accept_errors,
+            ),
+            (
+                "pimdl_reactor_reads_total",
+                "Readable events serviced.",
+                self.reactor.reads,
+            ),
+            (
+                "pimdl_reactor_writes_total",
+                "Write calls issued.",
+                self.reactor.writes,
+            ),
+            (
+                "pimdl_reactor_lock_recoveries_total",
+                "Poisoned-lock recoveries.",
+                self.reactor.lock_recoveries,
+            ),
+        ];
+        for (name, help, v) in reactor {
+            emit(name, help, "counter", v.to_string());
+        }
+        emit(
+            "pimdl_reactor_mean_wake_latency_seconds",
+            "Mean wake-token delivery latency.",
+            "gauge",
+            format!("{}", self.reactor.mean_wake_latency_s),
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -348,5 +486,37 @@ mod tests {
         assert!((s.mean_batch - 1.0).abs() < 1e-12);
         assert!(s.p50_latency_s >= 0.010);
         assert!(s.render().contains("completed"));
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = Metrics::new(4);
+        m.record_submitted();
+        m.record_completed(0.002);
+        let text = m.snapshot().render_prometheus();
+        let mut samples = 0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample line has a value");
+            assert!(
+                name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
+                "bad metric name: {name}"
+            );
+            let v: f64 = value.parse().expect("sample value parses as a number");
+            assert!(v.is_finite());
+            samples += 1;
+        }
+        assert!(
+            samples >= 20,
+            "expected a full metric family, got {samples}"
+        );
+        assert!(text.contains("pimdl_requests_submitted_total 1\n"));
+        assert!(text.contains("pimdl_requests_completed_total 1\n"));
     }
 }

@@ -20,7 +20,7 @@
 //! is `DeadlineExceeded`; once dispatched it runs to completion.
 
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pimdl_engine::pipeline::{PimDlEngine, ServingConfig};
 use pimdl_engine::scheduler::BatchingPolicy;
@@ -236,7 +236,7 @@ struct FrontEnd {
 pub struct Runtime {
     cfg: ServeConfig,
     service: ServiceModel,
-    replica: ReplicaModel,
+    replica: Arc<ReplicaModel>,
 }
 
 /// An in-flight batch: finish time, shard, dispatched batch size, and the
@@ -258,7 +258,7 @@ impl Runtime {
     ) -> Result<Self> {
         cfg.validate()?;
         let engine = PimDlEngine::new(platform);
-        let replica = ReplicaModel::build(&engine, cfg.lut, cfg.table_seed)?;
+        let replica = Arc::new(ReplicaModel::build(&engine, cfg.lut, cfg.table_seed)?);
         let service = ServiceModel::new(engine, shape, cfg.base)?;
         service.prewarm(cfg.policy.max_batch)?;
         Ok(Runtime {
@@ -283,6 +283,27 @@ impl Runtime {
     /// oracles computing reference checksums).
     pub fn replica(&self) -> &ReplicaModel {
         &self.replica
+    }
+
+    /// The replica behind its shared handle (what the executors and the
+    /// model registry hold).
+    pub fn replica_arc(&self) -> Arc<ReplicaModel> {
+        Arc::clone(&self.replica)
+    }
+
+    /// Builds an additional calibrated replica with the configured LUT
+    /// shape but a different table seed — a distinct model the HTTP front
+    /// end can register alongside the default one.
+    ///
+    /// # Errors
+    ///
+    /// Engine or simulator failures while building the table.
+    pub fn build_replica(&self, table_seed: u64) -> Result<Arc<ReplicaModel>> {
+        Ok(Arc::new(ReplicaModel::build(
+            self.service.engine(),
+            self.cfg.lut,
+            table_seed,
+        )?))
     }
 
     /// Poisson arrival times for `load` (exponential inter-arrivals, the

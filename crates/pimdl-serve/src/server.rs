@@ -28,14 +28,17 @@ use crate::batcher::ContinuousBatcher;
 use crate::clock::{Clock, RealClock, VirtualClock};
 use crate::codec::{self, ErrorKind};
 use crate::error::ServeError;
+use crate::http::{self, HttpLimits, HttpParser, HttpRequest, Route};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::reactor::{
     EpollPoller, EventSource, IoEvent, SimHandle, Token, Waker, WAKE_COMPLETION, WAKE_SHUTDOWN,
 };
+use crate::registry::{AdmitRefusal, FairBatcher, ModelRegistry, TaggedJob};
 use crate::request::Request;
 use crate::runtime::{Runtime, ServeConfig};
 use crate::shard::{ReplicaModel, ServiceModel, ShardManager};
 use crate::Result;
+use pimdl_engine::scheduler::TenantQuota;
 
 /// Deadline expiry is strict (`now > deadline`), so deadline-driven
 /// wakeups aim this far past the deadline (simulated seconds). Waking at
@@ -61,13 +64,22 @@ pub struct BatchDone {
 /// ([`ThreadedExecutor`]) or inline with a scheduled virtual completion
 /// ([`SimExecutor`]).
 pub trait BatchExecutor: std::fmt::Debug {
-    /// Hands a batch to `shard` with the cost model's `service_s`. The
-    /// shard must be free (see [`BatchExecutor::free_shards`]).
+    /// Hands a batch to `shard` with the cost model's `service_s`,
+    /// executing against `model`'s table (the registry's resident model
+    /// for the batch, or the runtime's single replica for the legacy line
+    /// protocol). The shard must be free (see
+    /// [`BatchExecutor::free_shards`]).
     ///
     /// # Errors
     ///
     /// Fails if the shard's worker is gone or execution fails fatally.
-    fn submit(&mut self, shard: usize, service_s: f64, batch: Vec<Request>) -> Result<()>;
+    fn submit(
+        &mut self,
+        shard: usize,
+        service_s: f64,
+        model: &Arc<ReplicaModel>,
+        batch: Vec<Request>,
+    ) -> Result<()>;
 
     /// Takes every batch that has completed, sorted by
     /// `(finish_s, shard)` so downstream bookkeeping is deterministic.
@@ -98,8 +110,7 @@ fn sort_done(done: &mut [BatchDone]) {
 /// [`BatchExecutor::drain`] releases results once the virtual clock
 /// reaches them.
 #[derive(Debug)]
-pub struct SimExecutor<'a> {
-    replica: &'a ReplicaModel,
+pub struct SimExecutor {
     clock: Arc<VirtualClock>,
     sim: SimHandle,
     metrics: Arc<Metrics>,
@@ -107,18 +118,16 @@ pub struct SimExecutor<'a> {
     busy: Vec<bool>,
 }
 
-impl<'a> SimExecutor<'a> {
+impl SimExecutor {
     /// An executor over `num_shards` simulated shards, scheduling
     /// completion wakes through `sim`.
     pub fn new(
-        replica: &'a ReplicaModel,
         clock: Arc<VirtualClock>,
         sim: SimHandle,
         metrics: Arc<Metrics>,
         num_shards: usize,
     ) -> Self {
         SimExecutor {
-            replica,
             clock,
             sim,
             metrics,
@@ -128,12 +137,18 @@ impl<'a> SimExecutor<'a> {
     }
 }
 
-impl BatchExecutor for SimExecutor<'_> {
-    fn submit(&mut self, shard: usize, service_s: f64, batch: Vec<Request>) -> Result<()> {
+impl BatchExecutor for SimExecutor {
+    fn submit(
+        &mut self,
+        shard: usize,
+        service_s: f64,
+        model: &Arc<ReplicaModel>,
+        batch: Vec<Request>,
+    ) -> Result<()> {
         debug_assert!(!self.busy[shard], "submit to a busy shard");
         self.busy[shard] = true;
         self.metrics.record_shard_wakeup();
-        let flags = self.replica.execute_batch(&batch)?;
+        let flags = model.execute_batch(&batch)?;
         let finish_s = self.clock.now() + service_s;
         self.pending.push(BatchDone {
             shard,
@@ -176,6 +191,7 @@ impl BatchExecutor for SimExecutor<'_> {
 
 struct WorkMsg {
     service_s: f64,
+    model: Arc<ReplicaModel>,
     batch: Vec<Request>,
 }
 
@@ -203,10 +219,11 @@ impl std::fmt::Debug for WorkMsg {
 }
 
 impl ThreadedExecutor {
-    /// Spawns one worker per shard of `rt`'s configuration. `completion`
-    /// is the serving loop's [`WAKE_COMPLETION`] waker.
+    /// Spawns one worker per shard. `completion` is the serving loop's
+    /// [`WAKE_COMPLETION`] waker. Each dispatched batch carries the model
+    /// it executes against, so one worker pool serves every registered
+    /// model.
     pub fn new(
-        rt: Arc<Runtime>,
         clock: Arc<RealClock>,
         metrics: Arc<Metrics>,
         completion: Waker,
@@ -222,12 +239,8 @@ impl ThreadedExecutor {
         for sid in 0..num_shards {
             let (tx, rx) = mpsc::sync_channel::<WorkMsg>(1);
             txs.push(tx);
-            let (rt, clock, metrics, completion) = (
-                Arc::clone(&rt),
-                Arc::clone(&clock),
-                Arc::clone(&metrics),
-                completion.clone(),
-            );
+            let (clock, metrics, completion) =
+                (Arc::clone(&clock), Arc::clone(&metrics), completion.clone());
             let (busy, inflight, done, error) = (
                 Arc::clone(&busy),
                 Arc::clone(&inflight),
@@ -238,7 +251,7 @@ impl ThreadedExecutor {
                 for msg in rx.iter() {
                     metrics.record_shard_wakeup();
                     let t_recv = clock.now();
-                    let flags = match rt.replica().execute_batch(&msg.batch) {
+                    let flags = match msg.model.execute_batch(&msg.batch) {
                         Ok(flags) => flags,
                         Err(e) => {
                             *error
@@ -299,13 +312,23 @@ impl ThreadedExecutor {
 }
 
 impl BatchExecutor for ThreadedExecutor {
-    fn submit(&mut self, shard: usize, service_s: f64, batch: Vec<Request>) -> Result<()> {
+    fn submit(
+        &mut self,
+        shard: usize,
+        service_s: f64,
+        model: &Arc<ReplicaModel>,
+        batch: Vec<Request>,
+    ) -> Result<()> {
         self.busy[shard].store(true, Ordering::Release);
         self.inflight.fetch_add(1, Ordering::AcqRel);
         // The shard was free, so its depth-1 channel is empty: the send
         // cannot block.
         self.txs[shard]
-            .send(WorkMsg { service_s, batch })
+            .send(WorkMsg {
+                service_s,
+                model: Arc::clone(model),
+                batch,
+            })
             .map_err(|_| ServeError::Io {
                 detail: format!("shard {shard} worker is gone"),
             })
@@ -355,7 +378,7 @@ struct ServerConn {
 pub struct ServerLoop<'a> {
     cfg: ServeConfig,
     service: &'a ServiceModel,
-    replica: &'a ReplicaModel,
+    replica: Arc<ReplicaModel>,
     clock: Arc<dyn Clock>,
     metrics: Arc<Metrics>,
     queue: AdmissionQueue,
@@ -380,7 +403,7 @@ impl<'a> ServerLoop<'a> {
         Ok(ServerLoop {
             cfg,
             service: rt.service_model(),
-            replica: rt.replica(),
+            replica: rt.replica_arc(),
             clock,
             metrics,
             queue: AdmissionQueue::new(cfg.queue_capacity)?,
@@ -649,7 +672,8 @@ impl<'a> ServerLoop<'a> {
                     self.shards.dispatch_to(sid, now, service_s);
                     self.shards.record_wakeup(sid);
                     self.metrics.record_batch(batch.len());
-                    executor.submit(sid, service_s, batch)?;
+                    let model = Arc::clone(&self.replica);
+                    executor.submit(sid, service_s, &model, batch)?;
                     progress = true;
                     continue; // another batch may fit another shard
                 }
@@ -777,7 +801,6 @@ impl Runtime {
                 let clock = Arc::new(RealClock::accelerated(speedup)?);
                 let metrics = Arc::new(Metrics::new(rt.config().policy.max_batch));
                 let mut executor = ThreadedExecutor::new(
-                    Arc::clone(&rt),
                     Arc::clone(&clock),
                     Arc::clone(&metrics),
                     completion,
@@ -797,5 +820,643 @@ impl Runtime {
             shutdown,
             join,
         })
+    }
+
+    /// Serves HTTP/1.1 on `listener` from a dedicated reactor thread:
+    /// the same [`EpollPoller`] + [`ThreadedExecutor`] wiring as
+    /// [`Runtime::serve`], but speaking HTTP through an
+    /// [`HttpServerLoop`] over `registry`'s models with `http`'s tenant
+    /// quotas.
+    ///
+    /// # Errors
+    ///
+    /// Poller construction, listener registration, configuration
+    /// validation, or clock validation.
+    pub fn serve_http(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        speedup: f64,
+        http: HttpConfig,
+        registry: ModelRegistry,
+    ) -> Result<ServeHandle> {
+        let addr = listener
+            .local_addr()
+            .map_err(ServeError::from_io("local_addr"))?;
+        let mut poller = EpollPoller::new(speedup)?;
+        poller.listen(listener)?;
+        let shutdown = poller.waker(WAKE_SHUTDOWN);
+        let completion = poller.waker(WAKE_COMPLETION);
+        let rt = Arc::clone(self);
+        let join = std::thread::Builder::new()
+            .name("pimdl-serve-http".to_string())
+            .spawn(move || -> Result<MetricsSnapshot> {
+                let clock = Arc::new(RealClock::accelerated(speedup)?);
+                let metrics = Arc::new(Metrics::new(rt.config().policy.max_batch));
+                let mut executor = ThreadedExecutor::new(
+                    Arc::clone(&clock),
+                    Arc::clone(&metrics),
+                    completion,
+                    rt.config().num_shards,
+                );
+                let clock_dyn: Arc<dyn Clock> = clock;
+                let mut server =
+                    HttpServerLoop::new(&rt, http, registry, clock_dyn, Arc::clone(&metrics))?;
+                let run = server.run(&mut poller, &mut executor);
+                let stop = executor.shutdown();
+                run?;
+                stop?;
+                Ok(metrics.snapshot_with_reactor(poller.stats().snapshot()))
+            })
+            .map_err(ServeError::from_io("spawn reactor thread"))?;
+        Ok(ServeHandle {
+            addr,
+            shutdown,
+            join,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HttpServerLoop — the HTTP/1.1 front end over the model registry
+// ---------------------------------------------------------------------------
+
+/// Configuration of the HTTP front end: parser limits and the tenant
+/// quota table the weighted-fair batcher enforces.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Request parser limits (header/body byte caps → 431/413).
+    pub limits: HttpLimits,
+    /// Configured tenants and their quotas.
+    pub tenants: Vec<(String, TenantQuota)>,
+    /// Quota lazily granted to tenants not in `tenants`; `None` refuses
+    /// them with 403.
+    pub default_quota: Option<TenantQuota>,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            limits: HttpLimits::default(),
+            tenants: Vec::new(),
+            default_quota: Some(TenantQuota::default()),
+        }
+    }
+}
+
+/// Per-connection HTTP state.
+///
+/// Pipelined requests are answered strictly in arrival order: each parsed
+/// request takes a sequence number, finished responses park in `ready`
+/// until every earlier response has been emitted, and `next_flush` walks
+/// the sequence forward.
+#[derive(Debug)]
+struct HttpConn {
+    parser: HttpParser,
+    /// Bytes ready for the transport (in-order responses only).
+    out: Vec<u8>,
+    /// Out-of-order finished responses: seq → (bytes, close-after).
+    ready: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Sequence number the next parsed request takes.
+    next_seq: u64,
+    /// Sequence number the next emitted response must carry.
+    next_flush: u64,
+    /// Admitted infer requests whose responses this connection still owes.
+    pending: usize,
+    peer_closed: bool,
+    want_write: bool,
+    /// A `Connection: close` (or fatal-error) response has been emitted:
+    /// stop parsing, close once `out` drains.
+    closing: bool,
+}
+
+impl HttpConn {
+    fn new(limits: HttpLimits) -> Self {
+        HttpConn {
+            parser: HttpParser::new(limits),
+            out: Vec::new(),
+            ready: BTreeMap::new(),
+            next_seq: 0,
+            next_flush: 0,
+            pending: 0,
+            peer_closed: false,
+            want_write: false,
+            closing: false,
+        }
+    }
+}
+
+/// Where an admitted infer request's response goes, and who to charge.
+#[derive(Debug)]
+struct HttpRouteEntry {
+    conn: u64,
+    seq: u64,
+    tenant: String,
+    keep_alive: bool,
+}
+
+/// The HTTP serving event loop: incremental parsing, routing, per-tenant
+/// admission, weighted-fair batching across the model registry, and
+/// in-order pipelined responses — driven entirely by an [`EventSource`],
+/// so the identical state machine runs under the real poller and the
+/// deterministic simulated one.
+#[derive(Debug)]
+pub struct HttpServerLoop<'a> {
+    cfg: ServeConfig,
+    http: HttpConfig,
+    service: &'a ServiceModel,
+    registry: ModelRegistry,
+    clock: Arc<dyn Clock>,
+    metrics: Arc<Metrics>,
+    batcher: FairBatcher,
+    shards: ShardManager,
+    conns: BTreeMap<u64, HttpConn>,
+    /// request id → response routing of admitted infer requests.
+    route: HashMap<u64, HttpRouteEntry>,
+    next_id: u64,
+    draining: bool,
+}
+
+impl<'a> HttpServerLoop<'a> {
+    /// A loop serving `registry`'s models through `rt`'s pipeline
+    /// configuration, measuring time on `clock` and recording into
+    /// `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// An empty registry, or configuration validation of the fair batcher
+    /// and shard router.
+    pub fn new(
+        rt: &'a Runtime,
+        http: HttpConfig,
+        registry: ModelRegistry,
+        clock: Arc<dyn Clock>,
+        metrics: Arc<Metrics>,
+    ) -> Result<Self> {
+        if registry.is_empty() {
+            return Err(ServeError::Config {
+                detail: "HTTP front end needs at least one registered model".to_string(),
+            });
+        }
+        let cfg = *rt.config();
+        let batcher = FairBatcher::new(
+            cfg.policy,
+            cfg.queue_capacity,
+            &http.tenants,
+            http.default_quota,
+        )?;
+        Ok(HttpServerLoop {
+            cfg,
+            http,
+            service: rt.service_model(),
+            registry,
+            clock,
+            metrics,
+            batcher,
+            shards: ShardManager::new(cfg.num_shards)?,
+            conns: BTreeMap::new(),
+            route: HashMap::new(),
+            next_id: 0,
+            draining: false,
+        })
+    }
+
+    /// The shard router (exposed so tests can check per-shard dispatch and
+    /// wakeup accounting after a run).
+    pub fn shards(&self) -> &ShardManager {
+        &self.shards
+    }
+
+    /// Runs until shutdown (a [`WAKE_SHUTDOWN`] token followed by a full
+    /// drain) or — for the simulated transport — until the script is
+    /// exhausted and no work remains.
+    ///
+    /// # Errors
+    ///
+    /// Poller failures and fatal executor failures. Per-connection I/O
+    /// errors only drop that connection.
+    pub fn run(
+        &mut self,
+        source: &mut dyn EventSource,
+        executor: &mut dyn BatchExecutor,
+    ) -> Result<()> {
+        let stats = source.stats();
+        let can_quiesce = source.supports_quiescence();
+        let mut events: Vec<IoEvent> = Vec::new();
+        loop {
+            let timeout = self.next_timeout(executor);
+            source.wait(timeout, &mut events)?;
+            let quiescent = can_quiesce && events.is_empty() && timeout.is_none();
+            let mut had_wake = false;
+            let mut progress = false;
+            for &event in events.iter() {
+                match event {
+                    IoEvent::Accepted(t) => {
+                        self.conns.insert(t.0, HttpConn::new(self.http.limits));
+                        progress = true;
+                    }
+                    IoEvent::Readable(t) => {
+                        if self.handle_readable(source, t)? {
+                            progress = true;
+                        }
+                    }
+                    IoEvent::Writable(t) => {
+                        self.flush_conn(source, t);
+                        progress = true;
+                    }
+                    IoEvent::Wake(t) => {
+                        had_wake = true;
+                        if t == WAKE_SHUTDOWN && !self.draining {
+                            self.draining = true;
+                            source.stop_accepting();
+                            progress = true;
+                        }
+                    }
+                }
+            }
+
+            if self.drain_completions(source, executor) {
+                progress = true;
+            }
+            if self.pump(source, executor)? {
+                progress = true;
+            }
+            if had_wake && !progress {
+                stats.record_spurious_wakeup();
+            }
+            if (self.draining || quiescent)
+                && self.batcher.is_empty()
+                && executor.in_flight() == 0
+                // Same late-completion race as ServerLoop::run: a worker
+                // publishes its BatchDone before decrementing in-flight, so
+                // re-drain once more before exiting.
+                && !self.drain_completions(source, executor)
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Relative wait timeout: the flush window (only while a shard can
+    /// absorb the batch) or the earliest queued request deadline.
+    fn next_timeout(&self, executor: &dyn BatchExecutor) -> Option<f64> {
+        let now = self.clock.now();
+        let mut wake_s = f64::INFINITY;
+        if !self.batcher.is_empty() && executor.free_shards().iter().any(|&f| f) {
+            if let Some(d) = self.batcher.flush_deadline_s() {
+                wake_s = wake_s.min(d);
+            }
+        }
+        if let Some(d) = self.batcher.min_deadline_s() {
+            wake_s = wake_s.min(d + DEADLINE_SLOP_S);
+        }
+        wake_s.is_finite().then(|| (wake_s - now).max(0.0))
+    }
+
+    /// Delivers every finished batch: records completion latency, releases
+    /// the tenant's quota slot, and emits the JSON result in pipeline
+    /// order. Returns whether anything was drained.
+    fn drain_completions(
+        &mut self,
+        source: &mut dyn EventSource,
+        executor: &mut dyn BatchExecutor,
+    ) -> bool {
+        let mut progress = false;
+        for done in executor.drain() {
+            progress = true;
+            for (req, correct) in done.results {
+                self.metrics.record_completed(done.finish_s - req.arrival_s);
+                if let Some(entry) = self.route.remove(&req.id) {
+                    // Quota releases even when the connection is gone —
+                    // otherwise a dropped client would leak its slots.
+                    self.batcher.release(&entry.tenant);
+                    if let Some(c) = self.conns.get_mut(&entry.conn) {
+                        c.pending -= 1;
+                    }
+                    let body = http::infer_result_body(correct, req.expected_checksum.to_bits());
+                    let bytes =
+                        http::encode_response(200, "application/json", &body, entry.keep_alive);
+                    self.enqueue_response(
+                        source,
+                        Token(entry.conn),
+                        entry.seq,
+                        bytes,
+                        !entry.keep_alive,
+                    );
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drains a readable connection and processes every complete request.
+    /// Returns whether any byte moved.
+    fn handle_readable(&mut self, source: &mut dyn EventSource, t: Token) -> Result<bool> {
+        let mut scratch = Vec::new();
+        let rr = source.read(t, &mut scratch)?;
+        let Some(conn) = self.conns.get_mut(&t.0) else {
+            return Ok(false);
+        };
+        conn.parser.push(&scratch);
+        if rr.closed {
+            conn.peer_closed = true;
+        }
+        // Re-fetched each iteration: handling a request needs &mut self
+        // and may drop the connection (hard write error).
+        while let Some(c) = self.conns.get_mut(&t.0) {
+            if c.closing {
+                break; // a close-marked response is already on the wire
+            }
+            match c.parser.next_request() {
+                Ok(Some(req)) => self.handle_request(source, t, &req)?,
+                Ok(None) => break,
+                Err(e) => {
+                    // Fatal framing error: one error response, connection
+                    // marked for close after it flushes — never a silent
+                    // drop, never a parse-fail respin on the same bytes
+                    // (the parser is poisoned).
+                    let seq = c.next_seq;
+                    c.next_seq += 1;
+                    let body = format!("{}\n", e.detail).into_bytes();
+                    let bytes =
+                        http::encode_response(e.status, "text/plain; charset=utf-8", &body, false);
+                    self.enqueue_response(source, t, seq, bytes, true);
+                    break;
+                }
+            }
+        }
+        self.reap_if_done(source, t);
+        Ok(rr.bytes > 0 || rr.closed)
+    }
+
+    /// Routes and answers one parsed request.
+    fn handle_request(
+        &mut self,
+        source: &mut dyn EventSource,
+        t: Token,
+        req: &HttpRequest,
+    ) -> Result<()> {
+        let keep = req.keep_alive();
+        let seq = {
+            let Some(c) = self.conns.get_mut(&t.0) else {
+                return Ok(());
+            };
+            let seq = c.next_seq;
+            c.next_seq += 1;
+            seq
+        };
+        match http::route(&req.method, &req.target) {
+            Route::Healthz => {
+                let bytes = http::encode_response(200, "text/plain; charset=utf-8", b"ok\n", keep);
+                self.enqueue_response(source, t, seq, bytes, !keep);
+            }
+            Route::Metrics => {
+                // Live snapshot, streamed chunked: the body length isn't
+                // known before rendering, and chunked framing exercises the
+                // streaming half of the response writer.
+                let snap = self
+                    .metrics
+                    .snapshot_with_reactor(source.stats().snapshot());
+                let text = snap.render_prometheus();
+                let mut bytes = http::encode_chunked_head(200, "text/plain; version=0.0.4", keep);
+                bytes.extend_from_slice(&http::encode_chunk(text.as_bytes()));
+                bytes.extend_from_slice(http::CHUNKED_END);
+                self.enqueue_response(source, t, seq, bytes, !keep);
+            }
+            Route::MethodNotAllowed => {
+                let bytes = http::encode_response(
+                    405,
+                    "text/plain; charset=utf-8",
+                    b"method not allowed\n",
+                    keep,
+                );
+                self.enqueue_response(source, t, seq, bytes, !keep);
+            }
+            Route::NotFound => {
+                let bytes =
+                    http::encode_response(404, "text/plain; charset=utf-8", b"not found\n", keep);
+                self.enqueue_response(source, t, seq, bytes, !keep);
+            }
+            Route::Infer { model } => self.handle_infer(source, t, seq, keep, req, &model),
+        }
+        Ok(())
+    }
+
+    /// Admits (or refuses) one infer request.
+    fn handle_infer(
+        &mut self,
+        source: &mut dyn EventSource,
+        t: Token,
+        seq: u64,
+        keep: bool,
+        req: &HttpRequest,
+        model: &str,
+    ) {
+        let refuse = |this: &mut Self, source: &mut dyn EventSource, status: u16, msg: &str| {
+            let body = format!("{msg}\n").into_bytes();
+            let bytes = http::encode_response(status, "text/plain; charset=utf-8", &body, keep);
+            this.enqueue_response(source, t, seq, bytes, !keep);
+        };
+        let Some(replica) = self.registry.get(model).map(Arc::clone) else {
+            refuse(self, source, 404, &format!("unknown model {model:?}"));
+            return;
+        };
+        if self.draining {
+            refuse(self, source, 503, "draining");
+            return;
+        }
+        let indices = match http::parse_infer_body(&req.body) {
+            Ok(indices) => indices,
+            Err(detail) => {
+                refuse(self, source, 400, &detail);
+                return;
+            }
+        };
+        let now = self.clock.now();
+        let request = match replica.request_from_indices(
+            self.next_id,
+            now,
+            now + self.cfg.deadline_s,
+            indices,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                refuse(self, source, 400, &format!("invalid infer payload: {e}"));
+                return;
+            }
+        };
+        let tenant = req.header("x-tenant").unwrap_or("anonymous").to_string();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.metrics.record_submitted();
+        match self.batcher.admit(TaggedJob {
+            request,
+            tenant: tenant.clone(),
+            model: model.to_string(),
+        }) {
+            Ok(()) => {
+                self.metrics
+                    .observe_queue_depth(self.batcher.queued_total());
+                self.route.insert(
+                    id,
+                    HttpRouteEntry {
+                        conn: t.0,
+                        seq,
+                        tenant,
+                        keep_alive: keep,
+                    },
+                );
+                if let Some(c) = self.conns.get_mut(&t.0) {
+                    c.pending += 1;
+                }
+            }
+            Err((_, refusal)) => {
+                self.metrics.record_rejected();
+                let (status, msg) = match refusal {
+                    AdmitRefusal::UnknownTenant => (403, format!("unknown tenant {tenant:?}")),
+                    AdmitRefusal::QuotaExceeded => {
+                        (429, format!("tenant {tenant:?} quota exceeded"))
+                    }
+                    AdmitRefusal::QueueFull => (503, "queue full".to_string()),
+                };
+                refuse(self, source, status, &msg);
+            }
+        }
+    }
+
+    /// Shed → dispatch while a shard can absorb work. Returns whether
+    /// anything was shed or dispatched.
+    fn pump(
+        &mut self,
+        source: &mut dyn EventSource,
+        executor: &mut dyn BatchExecutor,
+    ) -> Result<bool> {
+        let now = self.clock.now();
+        let mut progress = false;
+        loop {
+            for job in self.batcher.shed_expired(now) {
+                progress = true;
+                self.metrics.record_deadline_exceeded();
+                if let Some(entry) = self.route.remove(&job.request.id) {
+                    if let Some(c) = self.conns.get_mut(&entry.conn) {
+                        c.pending -= 1;
+                    }
+                    let bytes = http::encode_response(
+                        504,
+                        "text/plain; charset=utf-8",
+                        b"deadline exceeded\n",
+                        entry.keep_alive,
+                    );
+                    self.enqueue_response(
+                        source,
+                        Token(entry.conn),
+                        entry.seq,
+                        bytes,
+                        !entry.keep_alive,
+                    );
+                }
+            }
+            self.metrics
+                .observe_queue_depth(self.batcher.queued_total());
+            let flush = self.batcher.ready(now) || (self.draining && !self.batcher.is_empty());
+            if flush {
+                if let Some(sid) = self.shards.least_loaded_among(&executor.free_shards()) {
+                    if let Some((model_name, jobs)) = self.batcher.take_batch() {
+                        let Some(model) = self.registry.get(&model_name) else {
+                            // Admission verified the model; a miss here is a
+                            // registry invariant violation, not a client error.
+                            return Err(ServeError::Config {
+                                detail: format!("batch for unregistered model {model_name:?}"),
+                            });
+                        };
+                        let model = Arc::clone(model);
+                        let batch: Vec<Request> = jobs.into_iter().map(|j| j.request).collect();
+                        let service_s = self.service.batch_service_s(batch.len())?;
+                        self.shards.dispatch_to(sid, now, service_s);
+                        self.shards.record_wakeup(sid);
+                        self.metrics.record_batch(batch.len());
+                        executor.submit(sid, service_s, &model, batch)?;
+                        progress = true;
+                        continue; // another batch may fit another shard
+                    }
+                }
+            }
+            return Ok(progress);
+        }
+    }
+
+    /// Parks `bytes` as the response for `seq` and emits every response
+    /// the in-order cursor has reached. `close_after` marks the connection
+    /// for close once this response (and everything before it) flushes.
+    fn enqueue_response(
+        &mut self,
+        source: &mut dyn EventSource,
+        t: Token,
+        seq: u64,
+        bytes: Vec<u8>,
+        close_after: bool,
+    ) {
+        if let Some(c) = self.conns.get_mut(&t.0) {
+            if !c.closing {
+                c.ready.insert(seq, (bytes, close_after));
+                while let Some((b, close)) = c.ready.remove(&c.next_flush) {
+                    c.out.extend_from_slice(&b);
+                    c.next_flush += 1;
+                    if close {
+                        // The client asked to close (or the stream is
+                        // unframed): later pipelined responses are moot.
+                        c.closing = true;
+                        c.ready.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        self.flush_conn(source, t);
+    }
+
+    /// Writes the connection's output buffer; arms writable interest on a
+    /// partial write; reaps the connection when nothing more can happen on
+    /// it. A hard write error drops the connection.
+    fn flush_conn(&mut self, source: &mut dyn EventSource, t: Token) {
+        let Some(c) = self.conns.get_mut(&t.0) else {
+            return;
+        };
+        if !c.out.is_empty() {
+            match source.write(t, &c.out) {
+                Ok(n) => {
+                    c.out.drain(..n);
+                }
+                Err(_) => {
+                    self.drop_conn(source, t);
+                    return;
+                }
+            }
+        }
+        let want = !c.out.is_empty();
+        if want != c.want_write && source.set_writable_interest(t, want).is_ok() {
+            c.want_write = want;
+        }
+        self.reap_if_done(source, t);
+    }
+
+    /// Closes the connection when its story is over: a close-marked
+    /// response has fully flushed, or the peer is gone and nothing is owed.
+    fn reap_if_done(&mut self, source: &mut dyn EventSource, t: Token) {
+        let Some(c) = self.conns.get(&t.0) else {
+            return;
+        };
+        let closing_done = c.closing && c.out.is_empty();
+        let peer_done = c.peer_closed && c.pending == 0 && c.out.is_empty() && c.ready.is_empty();
+        if closing_done || peer_done {
+            self.drop_conn(source, t);
+        }
+    }
+
+    /// Closes and forgets a connection. In-flight requests it submitted
+    /// still execute (and release their tenant's quota on completion);
+    /// their responses are dropped.
+    fn drop_conn(&mut self, source: &mut dyn EventSource, t: Token) {
+        source.close(t);
+        self.conns.remove(&t.0);
     }
 }

@@ -6,31 +6,50 @@
 //!
 //! ```text
 //! cargo run --release --example serve_demo [num_clients] [per_client]
+//! cargo run --release --example serve_demo -- --http [num_clients] [per_client]
 //! ```
 //!
-//! Each client opens its own connection and issues `per_client` in-order
-//! queries through the line protocol (`LineClient`). The metrics report
-//! printed at shutdown includes the reactor counters: polls, wakeups,
-//! accepts, and the measured shard wake latency that calibrates the
-//! discrete-event simulator's dispatch overhead.
+//! In the default mode each client opens its own connection and issues
+//! `per_client` in-order queries through the line protocol
+//! (`LineClient`). With `--http` the same reactor instead speaks
+//! HTTP/1.1: two calibrated LUT models are registered under distinct
+//! names, each client is a named tenant issuing keep-alive
+//! `POST /v1/models/{name}/infer` requests through `HttpClient`, and the
+//! demo finishes by scraping `GET /metrics` (Prometheus text) over the
+//! same connection. The metrics report printed at shutdown includes the
+//! reactor counters: polls, wakeups, accepts, and the measured shard wake
+//! latency that calibrates the discrete-event simulator's dispatch
+//! overhead.
 
 use std::net::TcpListener;
 use std::sync::Arc;
 
+use pimdl::engine::scheduler::TenantQuota;
 use pimdl::engine::shapes::TransformerShape;
 use pimdl::serve::codec::{ErrorKind, ServerMsg};
-use pimdl::serve::{LineClient, Runtime, ServeConfig};
+use pimdl::serve::http;
+use pimdl::serve::server::HttpConfig;
+use pimdl::serve::{HttpClient, LineClient, ModelRegistry, Runtime, ServeConfig};
 use pimdl::sim::PlatformConfig;
 use pimdl::tensor::rng::DataRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let num_clients: usize = std::env::args()
-        .nth(1)
+    let mut positional: Vec<String> = Vec::new();
+    let mut http_mode = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--http" {
+            http_mode = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let num_clients: usize = positional
+        .first()
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(4);
-    let per_client: usize = std::env::args()
-        .nth(2)
+    let per_client: usize = positional
+        .get(1)
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(50);
@@ -45,6 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // single-request service time ≈ 1 ms of wall time.
     let single_s = rt.service_model().batch_service_s(1)?;
     let speedup = (single_s / 1e-3).max(1.0);
+
+    if http_mode {
+        return run_http(&rt, &cfg, single_s, speedup, num_clients, per_client);
+    }
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let handle = rt.serve(listener, speedup)?;
@@ -119,6 +142,135 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "conservation: {} | every result matched its client-side oracle",
+        snap.completed + snap.rejected + snap.deadline_exceeded
+            == (num_clients * per_client) as u64,
+    );
+    Ok(())
+}
+
+/// The `--http` mode: multi-tenant keep-alive inference over HTTP/1.1.
+fn run_http(
+    rt: &Arc<Runtime>,
+    cfg: &ServeConfig,
+    single_s: f64,
+    speedup: f64,
+    num_clients: usize,
+    per_client: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    // Two calibrated LUT models from distinct table seeds; clients keep
+    // oracle handles so every response is checked end to end.
+    let models = [
+        ("demo-a", rt.build_replica(0xA)?),
+        ("demo-b", rt.build_replica(0xB)?),
+    ];
+    let mut registry = ModelRegistry::new();
+    for (name, replica) in &models {
+        registry.register(name, Arc::clone(replica))?;
+    }
+
+    // Even-numbered clients are the weight-3 "gold" tenant, odd-numbered
+    // the weight-1 "bronze" tenant; both hold real in-flight quotas.
+    let http_cfg = HttpConfig {
+        tenants: vec![
+            ("gold".to_string(), TenantQuota::new(3, 32)?),
+            ("bronze".to_string(), TenantQuota::new(1, 32)?),
+        ],
+        default_quota: None,
+        ..HttpConfig::default()
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let handle = rt.serve_http(listener, speedup, http_cfg, registry)?;
+    let addr = handle.addr();
+    println!(
+        "HTTP/1.1 serving on {addr}: {} shards, max_batch {}, window {:.1} ms, queue {} deep",
+        cfg.num_shards,
+        cfg.policy.max_batch,
+        cfg.policy.max_wait_s * 1e3,
+        cfg.queue_capacity,
+    );
+    println!("models: demo-a, demo-b | tenants: gold (weight 3), bronze (weight 1)");
+    println!(
+        "load: {num_clients} keep-alive clients x {per_client} infers \
+         (single-request service {single_s:.4} s, clock speedup {speedup:.0}x)\n"
+    );
+
+    let workload = rt.replica().workload();
+    let clients: Vec<_> = (0..num_clients)
+        .map(|c| {
+            let (model_name, replica) = &models[c % models.len()];
+            let model_name = model_name.to_string();
+            let replica = Arc::clone(replica);
+            let tenant = if c % 2 == 0 { "gold" } else { "bronze" };
+            std::thread::spawn(move || -> Result<(usize, usize), String> {
+                let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+                let target = format!("/v1/models/{model_name}/infer");
+                let mut rng = DataRng::new(0x177E + c as u64);
+                let (mut ok, mut refused) = (0usize, 0usize);
+                for k in 0..per_client {
+                    let indices: Vec<u16> = (0..workload.n * workload.cb)
+                        .map(|_| rng.index(workload.ct) as u16)
+                        .collect();
+                    let oracle = replica
+                        .checksum_of(&indices)
+                        .map_err(|e| e.to_string())?
+                        .to_bits();
+                    let body = indices
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let resp = client
+                        .request("POST", &target, &[("X-Tenant", tenant)], body.as_bytes())
+                        .map_err(|e| e.to_string())?;
+                    match resp.status {
+                        200 => {
+                            let (correct, bits) =
+                                http::parse_infer_result(&resp.body).map_err(|e| e.to_string())?;
+                            if !correct || bits != oracle {
+                                return Err(format!(
+                                    "{tenant} req {k}: response mismatched the oracle"
+                                ));
+                            }
+                            ok += 1;
+                        }
+                        429 | 503 => refused += 1,
+                        s => return Err(format!("{tenant} req {k}: unexpected status {s}")),
+                    }
+                }
+                Ok((ok, refused))
+            })
+        })
+        .collect();
+
+    let (mut ok, mut refused) = (0usize, 0usize);
+    for c in clients {
+        let (o, r) = c.join().expect("client thread panicked")?;
+        ok += o;
+        refused += r;
+    }
+
+    // Scrape the live Prometheus endpoint before shutting down.
+    let mut probe = HttpClient::connect(addr)?;
+    let metrics = probe.request("GET", "/metrics", &[], &[])?;
+    let text = String::from_utf8(metrics.body)?;
+    println!("GET /metrics ({} bytes, selected series):", text.len());
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("pimdl_requests_") || l.starts_with("pimdl_batches_"))
+    {
+        println!("  {line}");
+    }
+
+    let snap = handle.shutdown()?;
+    println!("\n{}", snap.render());
+    println!(
+        "\nclients saw {ok} correct results and {refused} quota/queue refusals \
+         ({} infers total)",
+        num_clients * per_client,
+    );
+    println!(
+        "conservation: {} | every 200 matched its client-side oracle",
         snap.completed + snap.rejected + snap.deadline_exceeded
             == (num_clients * per_client) as u64,
     );

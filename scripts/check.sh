@@ -48,6 +48,14 @@ cargo test --offline -p pimdl --test reactor_pipeline
 echo "==> cargo test -p pimdl-serve --test loopback"
 cargo test --offline -p pimdl-serve --test loopback
 
+# HTTP front end: the scripted conformance corpus (status codes, pipelined
+# keep-alive, quota 429s, weighted-fair sharing — any 4xx/5xx mismatch
+# fails the suite) and the real-socket HTTP loopback smoke.
+echo "==> cargo test -p pimdl --test http_pipeline"
+cargo test --offline -p pimdl --test http_pipeline
+echo "==> cargo test -p pimdl-serve --test http_loopback"
+cargo test --offline -p pimdl-serve --test http_loopback
+
 # Kernel-performance smoke: small shape, best-of-reps timing; the binary
 # exits non-zero if the fused kernel regresses below the scalar two-pass.
 echo "==> reproduce bench_kernels --smoke"

@@ -76,7 +76,6 @@ fn run_pipeline() -> (
     }
 
     let mut executor = SimExecutor::new(
-        rt.replica(),
         Arc::clone(&clock),
         poller.handle(),
         Arc::clone(&metrics),
