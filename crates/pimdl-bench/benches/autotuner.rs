@@ -7,22 +7,30 @@ use std::hint::black_box;
 
 use pimdl_engine::shapes::TransformerShape;
 use pimdl_sim::{LutWorkload, PlatformConfig};
-use pimdl_tuner::{tune_with_options, TuneOptions};
+use pimdl_tuner::{tune_with_options, SearchStrategy, TuneOptions};
 
 fn bench_autotuner(c: &mut Criterion) {
     let mut group = c.benchmark_group("autotuner");
     group.sample_size(10);
 
     let platform = PlatformConfig::upmem();
-    let options = TuneOptions {
+    let options = TuneOptions::default();
+    let exhaustive = TuneOptions {
         parallel: true,
         max_kernels_per_pair: 20_000,
+        strategy: SearchStrategy::Exhaustive,
     };
 
-    // One full-scale workload: BERT-large FFN1 (the Fig. 13 case study).
+    // One full-scale workload: BERT-large FFN1 (the Fig. 13 case study),
+    // searched both ways — the branch-and-bound speedup headline.
     let ffn1 = LutWorkload::new(32768, 256, 16, 4096).expect("shape");
-    group.bench_function("bert_large_ffn1", |b| {
+    group.bench_function("bert_large_ffn1_bnb", |b| {
         b.iter(|| tune_with_options(black_box(&platform), black_box(&ffn1), options).expect("tune"))
+    });
+    group.bench_function("bert_large_ffn1_exhaustive", |b| {
+        b.iter(|| {
+            tune_with_options(black_box(&platform), black_box(&ffn1), exhaustive).expect("tune")
+        })
     });
 
     // A whole model's four operators (the "~1 s/model" claim).

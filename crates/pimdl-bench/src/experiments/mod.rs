@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod scaling;
 pub mod serving;
 pub mod table1;
+pub mod tuner;
 pub mod tuner_error;
 
 /// Geometric mean of a non-empty slice of positive values.

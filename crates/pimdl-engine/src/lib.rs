@@ -32,12 +32,14 @@
 mod error;
 
 pub mod baseline;
+pub mod perlayer;
 pub mod pipeline;
 pub mod residency;
 pub mod scheduler;
 pub mod shapes;
 
 pub use error::EngineError;
+pub use perlayer::{OpLutConfig, PerLayerServingConfig};
 pub use pipeline::{InferenceReport, PimDlEngine, ServingConfig};
 pub use shapes::TransformerShape;
 

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use pimdl_tensor::rng::DataRng;
 
 use crate::error::EngineError;
+use crate::perlayer::PerLayerServingConfig;
 use crate::pipeline::{PimDlEngine, ServingConfig};
 use crate::shapes::TransformerShape;
 use crate::Result;
@@ -237,6 +238,16 @@ pub struct ServingStats {
     pub batches: usize,
 }
 
+/// Per-request serving parameters of a scheduler; the batch dimension
+/// comes from the scheduler itself.
+#[derive(Debug, Clone)]
+enum SchedulerBase {
+    /// One global `(V, CT)` for every linear operator.
+    Uniform(ServingConfig),
+    /// Heterogeneous per-operator `(V, CT)` (DESIGN.md §12.3).
+    PerLayer(PerLayerServingConfig),
+}
+
 /// A dynamic-batching serving simulator over a PIM-DL engine.
 #[derive(Debug)]
 pub struct BatchScheduler<'a> {
@@ -244,7 +255,7 @@ pub struct BatchScheduler<'a> {
     shape: &'a TransformerShape,
     /// Per-request serving parameters (seq_len, V, CT); the batch dimension
     /// comes from the scheduler.
-    base: ServingConfig,
+    base: SchedulerBase,
     policy: BatchingPolicy,
     /// Fixed host-side cost added to every batch dispatch (seconds):
     /// waking the shard worker and handing over the batch. Zero by
@@ -267,7 +278,28 @@ impl<'a> BatchScheduler<'a> {
         BatchScheduler {
             engine,
             shape,
-            base,
+            base: SchedulerBase::Uniform(base),
+            policy,
+            dispatch_overhead_s: 0.0,
+            latency_cache: HashMap::new(),
+        }
+    }
+
+    /// Creates a scheduler serving a heterogeneous per-layer configuration
+    /// (typically produced by the capacity allocator): each batch executes
+    /// through [`PimDlEngine::serve_per_layer`] instead of
+    /// [`PimDlEngine::serve`], so the DES prices tuned-per-layer serving
+    /// end to end.
+    pub fn new_per_layer(
+        engine: &'a PimDlEngine,
+        shape: &'a TransformerShape,
+        base: PerLayerServingConfig,
+        policy: BatchingPolicy,
+    ) -> Self {
+        BatchScheduler {
+            engine,
+            shape,
+            base: SchedulerBase::PerLayer(base),
             policy,
             dispatch_overhead_s: 0.0,
             latency_cache: HashMap::new(),
@@ -307,8 +339,17 @@ impl<'a> BatchScheduler<'a> {
         if let Some(&t) = self.latency_cache.get(&batch) {
             return Ok(t);
         }
-        let cfg = ServingConfig { batch, ..self.base };
-        let t = self.engine.serve(self.shape, &cfg)?.total_s;
+        let t = match &self.base {
+            SchedulerBase::Uniform(base) => {
+                let cfg = ServingConfig { batch, ..*base };
+                self.engine.serve(self.shape, &cfg)?.total_s
+            }
+            SchedulerBase::PerLayer(base) => {
+                let mut cfg = base.clone();
+                cfg.batch = batch;
+                self.engine.serve_per_layer(self.shape, &cfg)?.total_s
+            }
+        };
         self.latency_cache.insert(batch, t);
         Ok(t)
     }
@@ -660,6 +701,38 @@ mod tests {
         let b = sched.batch_latency_s(4).unwrap();
         assert_eq!(a, b);
         assert_eq!(sched.latency_cache.len(), 1);
+    }
+
+    #[test]
+    fn per_layer_base_drives_the_des() {
+        let (engine, shape) = setup();
+        let policy = BatchingPolicy {
+            max_batch: 8,
+            max_wait_s: 0.001,
+        };
+        // A uniform config lifted to per-layer form must price batches
+        // identically to the uniform scheduler.
+        let uniform = PerLayerServingConfig::uniform(&base_cfg(), &shape);
+        let mut u_sched = BatchScheduler::new(&engine, &shape, base_cfg(), policy);
+        let mut p_sched = BatchScheduler::new_per_layer(&engine, &shape, uniform.clone(), policy);
+        for batch in [1usize, 4, 8] {
+            let u = u_sched.batch_latency_s(batch).unwrap();
+            let p = p_sched.batch_latency_s(batch).unwrap();
+            assert!((u - p).abs() < 1e-15, "batch {batch}: {u} vs {p}");
+        }
+        // A genuinely heterogeneous base simulates end to end.
+        let mut hetero = uniform;
+        hetero.ops[3].v = 8;
+        let mut h_sched = BatchScheduler::new_per_layer(&engine, &shape, hetero, policy);
+        let single = h_sched.batch_latency_s(1).unwrap();
+        let stats = h_sched
+            .simulate(&Workload {
+                rate_rps: 2.0 / single,
+                duration_s: single * 50.0,
+                seed: 11,
+            })
+            .unwrap();
+        assert!(stats.completed > 10 && stats.throughput_rps > 0.0);
     }
 
     #[test]

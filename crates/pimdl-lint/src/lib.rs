@@ -63,6 +63,14 @@ impl Default for LintConfig {
                 "crates/pimdl-serve/src/http.rs",
                 "crates/pimdl-serve/src/registry.rs",
                 "crates/pimdl-tensor/src/pool.rs",
+                "crates/pimdl-tuner/src/lib.rs",
+                "crates/pimdl-tuner/src/model.rs",
+                "crates/pimdl-tuner/src/space.rs",
+                "crates/pimdl-tuner/src/tuner.rs",
+                "crates/pimdl-tuner/src/bnb.rs",
+                "crates/pimdl-tuner/src/alloc.rs",
+                "crates/pimdl-tuner/src/ktile.rs",
+                "crates/pimdl-tuner/src/error.rs",
             ]
             .map(String::from)
             .to_vec(),

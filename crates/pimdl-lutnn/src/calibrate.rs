@@ -272,24 +272,68 @@ pub fn init_quantizers(
     max_rows: usize,
     rng: &mut DataRng,
 ) -> Result<Vec<ProductQuantizer>> {
+    init_quantizers_per_op(
+        model,
+        inputs,
+        &[(v, ct); 4],
+        init,
+        kmeans_iters,
+        max_rows,
+        rng,
+    )
+}
+
+/// Like [`init_quantizers`], but with a distinct `(V, CT)` setting per
+/// operator slot — `settings[0..4]` applies to QKV / O / FFN1 / FFN2 of
+/// every block (the per-layer capacity allocation of `pimdl-tuner`
+/// produces exactly such a quadruple).
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] when `settings` is not one quadruple or a
+/// `V` does not divide its operator's input width; propagates collection
+/// and clustering errors.
+#[allow(clippy::too_many_arguments)]
+pub fn init_quantizers_per_op(
+    model: &TransformerClassifier,
+    inputs: &[SequenceInput],
+    settings: &[(usize, usize)],
+    init: CentroidInit,
+    kmeans_iters: usize,
+    max_rows: usize,
+    rng: &mut DataRng,
+) -> Result<Vec<ProductQuantizer>> {
+    if settings.len() != 4 {
+        return Err(LutError::Config {
+            op: "init_quantizers_per_op",
+            detail: format!(
+                "expected 4 (V, CT) settings (QKV/O/FFN1/FFN2), got {}",
+                settings.len()
+            ),
+        });
+    }
     let activations = collect_activations(model, inputs, max_rows)?;
     activations
         .iter()
-        .map(|acts| match init {
-            CentroidInit::KMeans => ProductQuantizer::fit(acts, v, ct, kmeans_iters, rng),
-            CentroidInit::Random => {
-                let mean = acts.mean();
-                let var = acts.map(|x| (x - mean) * (x - mean)).mean().max(1e-8);
-                let std = var.sqrt();
-                if acts.cols() % v != 0 || v == 0 {
-                    return Err(LutError::Config {
-                        op: "init_quantizers",
-                        detail: format!("V = {v} does not divide H = {}", acts.cols()),
-                    });
+        .enumerate()
+        .map(|(l, acts)| {
+            let (v, ct) = settings[l % 4];
+            match init {
+                CentroidInit::KMeans => ProductQuantizer::fit(acts, v, ct, kmeans_iters, rng),
+                CentroidInit::Random => {
+                    let mean = acts.mean();
+                    let var = acts.map(|x| (x - mean) * (x - mean)).mean().max(1e-8);
+                    let std = var.sqrt();
+                    if acts.cols() % v != 0 || v == 0 {
+                        return Err(LutError::Config {
+                            op: "init_quantizers",
+                            detail: format!("V = {v} does not divide H = {}", acts.cols()),
+                        });
+                    }
+                    let cb = acts.cols() / v;
+                    let centroids = rng.normal_matrix(cb * ct, v, mean, std);
+                    ProductQuantizer::from_centroids(centroids, v, ct)
                 }
-                let cb = acts.cols() / v;
-                let centroids = rng.normal_matrix(cb * ct, v, mean, std);
-                ProductQuantizer::from_centroids(centroids, v, ct)
             }
         })
         .collect()
@@ -1079,6 +1123,54 @@ mod tests {
             assert!(pq.centroids().iter().all(|v| v.is_finite()));
             assert!(pq.centroids().max_abs() > 0.0);
         }
+    }
+
+    #[test]
+    fn per_op_quantizer_settings_build_a_heterogeneous_model() {
+        // The per-layer capacity allocator emits one (V, CT) per operator
+        // slot; conversion must accept the resulting mixed quantizers.
+        let (model, ds, test, mut rng) = trained_model_and_data(9);
+        let settings = [(4usize, 8usize), (2, 8), (8, 8), (4, 4)];
+        let qs = init_quantizers_per_op(
+            &model,
+            &ds.inputs[..10],
+            &settings,
+            CentroidInit::KMeans,
+            5,
+            512,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 8); // 2 blocks × 4 slots
+        for (l, pq) in qs.iter().enumerate() {
+            let (v, ct) = settings[l % 4];
+            assert_eq!(pq.v(), v, "slot {l}");
+            assert_eq!(pq.ct(), ct, "slot {l}");
+        }
+        // QKV/O/FFN1 read H=16, FFN2 reads ffn_dim=32.
+        assert_eq!(qs[0].cb(), 4);
+        assert_eq!(qs[1].cb(), 8);
+        assert_eq!(qs[2].cb(), 2);
+        assert_eq!(qs[3].cb(), 8);
+
+        let converted = LutClassifier::convert(&model, qs).unwrap();
+        let acc = lut_accuracy(&converted, &test, false).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn per_op_settings_must_be_a_quadruple() {
+        let (model, ds, _, mut rng) = trained_model_and_data(10);
+        let err = init_quantizers_per_op(
+            &model,
+            &ds.inputs[..4],
+            &[(4, 8), (2, 8)],
+            CentroidInit::KMeans,
+            5,
+            512,
+            &mut rng,
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -56,6 +56,51 @@ pub const FUSED_ROW_TILE: usize = 256;
 /// blocks to keep that bound.
 pub const FUSED_F_TILE: usize = 768;
 
+/// Tile sizes of the fused CCS+LUT kernels, selectable at runtime.
+///
+/// The defaults ([`FUSED_ROW_TILE`], [`FUSED_F_TILE`]) are sized for the
+/// serving shapes on a ~1 MiB L2; `pimdl_tuner::ktile` searches this space
+/// with a DRAM-traffic model for other cache geometries. Tiling is purely a
+/// blocking decision: by the module's bit-exactness contract, **every**
+/// tiling produces bit-identical output (asserted by a property test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedTiling {
+    /// Rows encoded per fused tile (see [`FUSED_ROW_TILE`]).
+    pub row_tile: usize,
+    /// Output features per fused tile (see [`FUSED_F_TILE`]).
+    pub f_tile: usize,
+}
+
+impl Default for FusedTiling {
+    fn default() -> Self {
+        FusedTiling {
+            row_tile: FUSED_ROW_TILE,
+            f_tile: FUSED_F_TILE,
+        }
+    }
+}
+
+impl FusedTiling {
+    /// Checks the tiling for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError::Config`] if either tile extent is zero — a zero
+    /// step would make the kernel's tile loops spin forever.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_tile == 0 || self.f_tile == 0 {
+            return Err(LutError::Config {
+                op: "FusedTiling::validate",
+                detail: format!(
+                    "tile extents must be positive, got {} x {}",
+                    self.row_tile, self.f_tile
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Codebook-major, centroid-interleaved centroid storage.
 ///
 /// For codebook `cb`, dimension `d`, centroid `k`, the value lives at
@@ -376,10 +421,26 @@ fn check_fused_dims(
 /// Returns [`LutError::Config`] if `x`'s width or the table's `CB`/`CT`
 /// disagree with `cbs`.
 pub fn lut_linear_fused(x: &Matrix, cbs: &InterleavedCodebooks, lut: &LutTable) -> Result<Matrix> {
-    check_fused_dims(x, cbs, (lut.cb(), lut.ct()), "lut_linear_fused")?;
+    lut_linear_fused_tiled(x, cbs, lut, FusedTiling::default())
+}
+
+/// [`lut_linear_fused`] with explicit tile sizes (bit-identical output for
+/// any tiling; see [`FusedTiling`]).
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] on shape mismatch or a zero tile extent.
+pub fn lut_linear_fused_tiled(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    lut: &LutTable,
+    tiling: FusedTiling,
+) -> Result<Matrix> {
+    check_fused_dims(x, cbs, (lut.cb(), lut.ct()), "lut_linear_fused_tiled")?;
+    tiling.validate()?;
     let mut out = Matrix::zeros(x.rows(), lut.f());
     if x.rows() > 0 && lut.f() > 0 {
-        fused_band_f32(x, cbs, lut, 0, out.as_mut_slice());
+        fused_band_f32(x, cbs, lut, 0, out.as_mut_slice(), tiling);
     }
     Ok(out)
 }
@@ -410,7 +471,7 @@ pub fn lut_linear_fused_parallel(
     }
     let rows_per = n.div_ceil(threads.min(n));
     WorkerPool::global().run_row_bands(out.as_mut_slice(), lut.f(), rows_per, |first_row, band| {
-        fused_band_f32(x, cbs, lut, first_row, band);
+        fused_band_f32(x, cbs, lut, first_row, band, FusedTiling::default());
     });
     Ok(out)
 }
@@ -429,10 +490,31 @@ pub fn lut_linear_fused_quant(
     cbs: &InterleavedCodebooks,
     qlut: &QuantLutTable,
 ) -> Result<Matrix> {
-    check_fused_dims(x, cbs, (qlut.cb(), qlut.ct()), "lut_linear_fused_quant")?;
+    lut_linear_fused_quant_tiled(x, cbs, qlut, FusedTiling::default())
+}
+
+/// [`lut_linear_fused_quant`] with explicit tile sizes (bit-identical
+/// output for any tiling; see [`FusedTiling`]).
+///
+/// # Errors
+///
+/// Returns [`LutError::Config`] on shape mismatch or a zero tile extent.
+pub fn lut_linear_fused_quant_tiled(
+    x: &Matrix,
+    cbs: &InterleavedCodebooks,
+    qlut: &QuantLutTable,
+    tiling: FusedTiling,
+) -> Result<Matrix> {
+    check_fused_dims(
+        x,
+        cbs,
+        (qlut.cb(), qlut.ct()),
+        "lut_linear_fused_quant_tiled",
+    )?;
+    tiling.validate()?;
     let mut out = Matrix::zeros(x.rows(), qlut.f());
     if x.rows() > 0 && qlut.f() > 0 {
-        fused_band_quant(x, cbs, qlut, 0, out.as_mut_slice());
+        fused_band_quant(x, cbs, qlut, 0, out.as_mut_slice(), tiling);
     }
     Ok(out)
 }
@@ -471,7 +553,7 @@ pub fn lut_linear_fused_quant_parallel(
         qlut.f(),
         rows_per,
         |first_row, band| {
-            fused_band_quant(x, cbs, qlut, first_row, band);
+            fused_band_quant(x, cbs, qlut, first_row, band, FusedTiling::default());
         },
     );
     Ok(out)
@@ -489,19 +571,20 @@ fn fused_band_f32(
     lut: &LutTable,
     first_row: usize,
     band: &mut [f32],
+    tiling: FusedTiling,
 ) {
     let f = lut.f();
     let (cb, ct) = (cbs.cb(), cbs.ct());
     let rows = band.len() / f;
     let table = lut.table().as_slice();
-    let mut idx = vec![0u16; FUSED_ROW_TILE * cb];
+    let mut idx = vec![0u16; tiling.row_tile * cb];
     let mut dists = vec![0.0f32; ct];
-    for t0 in (0..rows).step_by(FUSED_ROW_TILE) {
-        let t1 = (t0 + FUSED_ROW_TILE).min(rows);
+    for t0 in (0..rows).step_by(tiling.row_tile) {
+        let t1 = (t0 + tiling.row_tile).min(rows);
         let tile = &mut idx[..(t1 - t0) * cb];
         cbs.encode_rows_into(x, first_row + t0, tile, &mut dists);
-        for j0 in (0..f).step_by(FUSED_F_TILE) {
-            let j1 = (j0 + FUSED_F_TILE).min(f);
+        for j0 in (0..f).step_by(tiling.f_tile) {
+            let j1 = (j0 + tiling.f_tile).min(f);
             gather_block_f32(band, f, (t0, t1), (j0, j1), table, (cb, ct), tile);
         }
     }
@@ -617,21 +700,22 @@ fn fused_band_quant(
     qlut: &QuantLutTable,
     first_row: usize,
     band: &mut [f32],
+    tiling: FusedTiling,
 ) {
     let f = qlut.f();
     let (cb, ct) = (cbs.cb(), cbs.ct());
     let rows = band.len() / f;
     let codes = qlut.table().codes();
     let scale = qlut.table().scale();
-    let mut idx = vec![0u16; FUSED_ROW_TILE * cb];
+    let mut idx = vec![0u16; tiling.row_tile * cb];
     let mut dists = vec![0.0f32; ct];
-    let mut acc = vec![0i32; FUSED_ROW_TILE * FUSED_F_TILE.min(f.max(1))];
-    for t0 in (0..rows).step_by(FUSED_ROW_TILE) {
-        let t1 = (t0 + FUSED_ROW_TILE).min(rows);
+    let mut acc = vec![0i32; tiling.row_tile * tiling.f_tile.min(f.max(1))];
+    for t0 in (0..rows).step_by(tiling.row_tile) {
+        let t1 = (t0 + tiling.row_tile).min(rows);
         let tile = &mut idx[..(t1 - t0) * cb];
         cbs.encode_rows_into(x, first_row + t0, tile, &mut dists);
-        for j0 in (0..f).step_by(FUSED_F_TILE) {
-            let j1 = (j0 + FUSED_F_TILE).min(f);
+        for j0 in (0..f).step_by(tiling.f_tile) {
+            let j1 = (j0 + tiling.f_tile).min(f);
             let jb = j1 - j0;
             let acc_tile = &mut acc[..(t1 - t0) * jb];
             acc_tile.fill(0);
@@ -818,6 +902,42 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn any_tiling_is_bit_identical() {
+        let (pq, lut, x) = setup(8, 61, 16, 43, 4, 16);
+        let cbs = pq.interleaved();
+        let qlut = lut.quantize();
+        let reference = lut_linear_fused(&x, &cbs, &lut).unwrap();
+        let qreference = lut_linear_fused_quant(&x, &cbs, &qlut).unwrap();
+        for (row_tile, f_tile) in [(1, 1), (3, 5), (17, 8), (61, 43), (256, 768), (1024, 1024)] {
+            let tiling = FusedTiling { row_tile, f_tile };
+            assert_eq!(
+                lut_linear_fused_tiled(&x, &cbs, &lut, tiling).unwrap(),
+                reference,
+                "{tiling:?}"
+            );
+            assert_eq!(
+                lut_linear_fused_quant_tiled(&x, &cbs, &qlut, tiling).unwrap(),
+                qreference,
+                "{tiling:?}"
+            );
+        }
+        // Degenerate tilings are rejected, not looped on forever.
+        let zero = FusedTiling {
+            row_tile: 0,
+            f_tile: 16,
+        };
+        assert!(zero.validate().is_err());
+        assert!(lut_linear_fused_tiled(&x, &cbs, &lut, zero).is_err());
+        let zero_f = FusedTiling {
+            row_tile: 16,
+            f_tile: 0,
+        };
+        assert!(lut_linear_fused_quant_tiled(&x, &cbs, &qlut, zero_f).is_err());
+        assert_eq!(FusedTiling::default().row_tile, FUSED_ROW_TILE);
+        assert_eq!(FusedTiling::default().f_tile, FUSED_F_TILE);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use proptest::prelude::*;
 
 use pimdl_lutnn::kernels::{
     lut_linear_fused, lut_linear_fused_parallel, lut_linear_fused_quant,
-    lut_linear_fused_quant_parallel,
+    lut_linear_fused_quant_parallel, lut_linear_fused_quant_tiled, lut_linear_fused_tiled,
+    FusedTiling,
 };
 use pimdl_lutnn::kmeans::{kmeans, sq_dist};
 use pimdl_lutnn::lut::LutTable;
@@ -167,6 +168,39 @@ proptest! {
         let qreference = qlut.lookup(&idx).unwrap();
         let qfused = lut_linear_fused_quant(&x, &cbs, &qlut).unwrap();
         prop_assert_eq!(qreference.as_slice(), qfused.as_slice());
+    }
+
+    /// Tile sizes are a pure blocking decision: every `FusedTiling` yields
+    /// bit-identical output to the default tiling, f32 and INT8, including
+    /// tiles larger than the problem and 1 x 1 tiles.
+    #[test]
+    fn tiling_does_not_change_bits(
+        seed in any::<u64>(),
+        n in 0usize..9,
+        cb in 1usize..4,
+        f in 1usize..12,
+        row_tile in 1usize..12,
+        f_tile in 1usize..14,
+    ) {
+        let (v, ct) = (2usize, 4usize);
+        let h = cb * v;
+        let mut rng = DataRng::new(seed);
+        let centroids = rng.normal_matrix(cb * ct, v, 0.0, 1.0);
+        let pq = ProductQuantizer::from_centroids(centroids, v, ct).unwrap();
+        let weight = rng.normal_matrix(h, f, 0.0, 0.5);
+        let lut = LutTable::build(&pq, &weight).unwrap();
+        let qlut = lut.quantize();
+        let cbs = pq.interleaved();
+        let x = rng.normal_matrix(n, h, 0.0, 1.0);
+        let tiling = FusedTiling { row_tile, f_tile };
+
+        let reference = lut_linear_fused(&x, &cbs, &lut).unwrap();
+        let tiled = lut_linear_fused_tiled(&x, &cbs, &lut, tiling).unwrap();
+        prop_assert_eq!(reference.as_slice(), tiled.as_slice());
+
+        let qreference = lut_linear_fused_quant(&x, &cbs, &qlut).unwrap();
+        let qtiled = lut_linear_fused_quant_tiled(&x, &cbs, &qlut, tiling).unwrap();
+        prop_assert_eq!(qreference.as_slice(), qtiled.as_slice());
     }
 
     /// The interleaved-layout CCS picks identical indices to the row-major

@@ -1,0 +1,552 @@
+//! Branch-and-bound search over the P1–P4 mapping space.
+//!
+//! The exhaustive enumerator scores every candidate; this search walks the
+//! same space as a tree — **P1** pair → `N_m` → `F_m` → `CB_m` → traversal
+//! → load scheme — and prunes a subtree as soon as an *admissible lower
+//! bound* on every completion's [`hierarchical_cost`] already exceeds the
+//! incumbent. Because the bounds never overestimate, the search returns a
+//! mapping whose cost equals the exhaustive optimum exactly (the proptest
+//! oracle in `tests/properties.rs` asserts bit-identical totals).
+//!
+//! # Lower-bound derivation (DESIGN.md §12)
+//!
+//! With the P1 pair fixed, `t_sub-lut` is exact. Every remaining term of
+//! the hierarchical model is bounded from below by combining two
+//! monotonicities of the Eq. 8 bandwidth curve: total streamed bytes can
+//! only grow (revisits multiply, never divide), and effective bandwidth
+//! only improves with access granularity. Per term:
+//!
+//! * **reduce** — `RCount` is fixed by the pair; the short-loop stall
+//!   `1 + OV/F_m` is minimized by the largest legal `F_m = F_s` until
+//!   `F_m` is assigned, after which it is exact.
+//! * **index / output** — streamed bytes are at least the s-tile's own
+//!   footprint (the best traversal loads each tile exactly once), and the
+//!   access granularity is at most the largest still-assignable m-tile, so
+//!   `ideal_time(min_bytes, max_granularity)` is admissible. Once the
+//!   trips and traversal are fixed the term is exact.
+//! * **LUT** — the minimum over the still-legal load schemes of each
+//!   scheme's own bound (static: one full-table load, exact; coarse: at
+//!   least `CB·CT·F_s` bytes at a chunk no larger than WRAM or the m-tile;
+//!   fine: exactly `N_s·CB·F_s` bytes at granularity at most `F_m`).
+//! * **row activation** — total streamed bytes divided by the row size is
+//!   a volume floor on rows opened; crossing is bounded by zero.
+//!
+//! Pruning uses a `1 − 1e-12` relative guard so float rounding in the
+//! bound arithmetic can never discard a subtree whose true cost ties or
+//! beats the incumbent — exactness is preserved bit for bit.
+
+use pimdl_sim::config::PlatformConfig;
+use pimdl_sim::{LoadScheme, LutWorkload, Mapping, MicroKernel, TraversalOrder};
+
+use crate::model::{hierarchical_cost_with, sub_lut_time_s, HierBreakdown, MemHierarchy};
+use crate::space::{mapping_of, sub_lut_candidates, tile_candidates};
+use crate::{Result, TuneError};
+
+/// Relative slack applied before pruning: a subtree is cut only when its
+/// lower bound exceeds the incumbent by more than accumulated-rounding
+/// noise, so pruning can never change the returned optimum.
+const PRUNE_GUARD: f64 = 1.0 - 1e-12;
+
+/// UPMEM tasklet count used for fine-grain candidates (must match
+/// [`crate::space::kernel_candidates`] so both searches walk one space).
+const FINE_THREADS: usize = 16;
+
+/// Outcome of a branch-and-bound run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbOutcome {
+    /// The optimal mapping.
+    pub mapping: Mapping,
+    /// Hierarchical prediction for it.
+    pub predicted: HierBreakdown,
+    /// Leaf candidates actually scored (the pruning headline: compare
+    /// against the exhaustive enumerator's `evaluated`).
+    pub evaluated: usize,
+    /// Subtrees cut by the bound before reaching any leaf.
+    pub pruned_subtrees: usize,
+}
+
+/// Partial assignment of the micro-kernel levels, in branching order.
+#[derive(Debug, Clone, Copy, Default)]
+struct Partial {
+    n_m: Option<usize>,
+    f_m: Option<usize>,
+    cb_m: Option<usize>,
+    traversal: Option<TraversalOrder>,
+}
+
+/// Per-pair search context: everything the bound function needs.
+struct PairCtx<'a> {
+    platform: &'a PlatformConfig,
+    w: &'a LutWorkload,
+    hier: &'a MemHierarchy,
+    n_stile: usize,
+    f_stile: usize,
+    sub_lut_s: f64,
+    /// `CB·CT·F_s`: static scheme's buffer and the coarse volume floor.
+    lut_stile_bytes: usize,
+    static_feasible: bool,
+    coarse_feasible: bool,
+}
+
+impl PairCtx<'_> {
+    /// Admissible lower bound on the hierarchical total of every
+    /// completion of `p` (see the module docs for the derivation).
+    fn bound(&self, p: Partial) -> f64 {
+        let (non_lut, lut_lb) = self.bound_parts(p);
+        non_lut + lut_lb
+    }
+
+    /// [`Self::bound`] split as `(everything-but-LUT, LUT-term bound)`, so
+    /// the leaf level can swap in a scheme-class-specific LUT bound.
+    fn bound_parts(&self, p: Partial) -> (f64, f64) {
+        let w = self.w;
+        let lm = &self.platform.local_mem;
+        let elem = w.index_elem_bytes();
+        let n_m = p.n_m.unwrap_or(self.n_stile);
+        let f_m = p.f_m.unwrap_or(self.f_stile);
+        let cb_m = p.cb_m.unwrap_or(w.cb);
+
+        // Reduce: count exact, stall minimized by the largest legal F_m.
+        let reduce_ops = (self.n_stile * w.cb * self.f_stile) as f64;
+        let stall = 1.0 + pimdl_sim::cost::REDUCE_LOOP_OVERHEAD / f_m as f64;
+        let reduce_lb = reduce_ops * self.platform.single_reduce_s * stall;
+
+        let index_floor = (self.n_stile * w.cb * elem) as f64;
+        let output_floor = (self.n_stile * self.f_stile * 4) as f64;
+        let (index_lb, output_lb) = if p.cb_m.is_some() {
+            // Trips are fully determined; min loads over the (possibly
+            // still free) traversal choice are exact products.
+            let trips = (
+                (self.n_stile / n_m) as u64,
+                (self.f_stile / f_m) as u64,
+                (w.cb / cb_m) as u64,
+            );
+            let index_tile = (n_m * cb_m * elem) as f64;
+            let output_tile = (n_m * f_m * 4) as f64;
+            let (index_loads, output_loads) = match p.traversal {
+                Some(t) => (
+                    t.load_count(trips, (true, false, true)),
+                    t.load_count(trips, (true, true, false)),
+                ),
+                None => {
+                    let mut idx = u64::MAX;
+                    let mut out = u64::MAX;
+                    for t in TraversalOrder::all() {
+                        idx = idx.min(t.load_count(trips, (true, false, true)));
+                        out = out.min(t.load_count(trips, (true, true, false)));
+                    }
+                    (idx, out)
+                }
+            };
+            (
+                lm.ideal_time_s(index_loads as f64 * index_tile, index_tile),
+                lm.ideal_time_s(2.0 * output_loads as f64 * output_tile, output_tile),
+            )
+        } else {
+            // Volume floor at the best still-assignable granularity.
+            let index_gran = (n_m * cb_m * elem) as f64;
+            let output_gran = (n_m * f_m * 4) as f64;
+            (
+                lm.ideal_time_s(index_floor, index_gran),
+                lm.ideal_time_s(2.0 * output_floor, output_gran),
+            )
+        };
+
+        // LUT: minimum over the still-legal schemes.
+        let lut_floor = self.lut_stile_bytes as f64;
+        let fine_total = (self.n_stile * w.cb * self.f_stile) as f64;
+        let mut lut_lb = lm.ideal_time_s(fine_total, f_m as f64);
+        let mut lut_bytes_floor = fine_total;
+        if self.static_feasible {
+            lut_lb = lut_lb.min(lm.ideal_time_s(lut_floor, lut_floor));
+            lut_bytes_floor = lut_bytes_floor.min(lut_floor);
+        }
+        if self.coarse_feasible {
+            let chunk_max = (cb_m * w.ct * f_m).min(self.platform.wram_bytes) as f64;
+            lut_lb = lut_lb.min(lm.ideal_time_s(lut_floor, chunk_max));
+            lut_bytes_floor = lut_bytes_floor.min(lut_floor);
+        }
+
+        // Row activation: volume floor over all three streams; crossing
+        // is bounded by zero.
+        let stream_bytes = index_floor + 2.0 * output_floor + lut_bytes_floor;
+        let rowact_lb =
+            stream_bytes / self.hier.row_buffer_bytes as f64 * self.hier.row_activation_s;
+
+        (
+            self.sub_lut_s + index_lb + output_lb + reduce_lb + rowact_lb,
+            lut_lb,
+        )
+    }
+}
+
+/// Should the subtree bounded by `lb` be cut against `incumbent`?
+fn prunes(lb: f64, incumbent: Option<f64>) -> bool {
+    match incumbent {
+        Some(best) => lb * PRUNE_GUARD > best,
+        None => false,
+    }
+}
+
+/// Sorts `(bound, value)` children best-first so the dive finds a strong
+/// incumbent immediately (bounds are finite floats by construction).
+fn sort_children<T>(children: &mut [(f64, T)]) {
+    children.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+/// Branch-and-bound search for the mapping minimizing
+/// [`hierarchical_cost`](crate::model::hierarchical_cost). Walks exactly
+/// the candidate set of [`crate::space::kernel_candidates`] for every
+/// legal P1 pair, pruning with admissible bounds.
+///
+/// # Errors
+///
+/// Returns [`TuneError::NoLegalMapping`] if no candidate validates.
+pub fn search(platform: &PlatformConfig, workload: &LutWorkload) -> Result<BnbOutcome> {
+    let pairs = sub_lut_candidates(workload, platform);
+    if pairs.is_empty() {
+        return Err(TuneError::NoLegalMapping {
+            detail: format!(
+                "workload ({}, {}, {}, {}) cannot satisfy Eq. 5 on {} PEs",
+                workload.n, workload.cb, workload.ct, workload.f, platform.num_pes
+            ),
+        });
+    }
+
+    let hier = MemHierarchy::for_platform(platform);
+    let mut best: Option<(Mapping, HierBreakdown)> = None;
+    let mut evaluated = 0usize;
+    let mut pruned_subtrees = 0usize;
+
+    // Root level: order the P1 pairs by their pair-level bound.
+    let mut roots: Vec<(f64, PairCtx)> = pairs
+        .into_iter()
+        .map(|(n_s, f_s)| {
+            let probe = mapping_of(n_s, f_s, probe_kernel());
+            let lut_stile_bytes = workload.cb * workload.ct * f_s;
+            let ctx = PairCtx {
+                platform,
+                w: workload,
+                hier: &hier,
+                n_stile: n_s,
+                f_stile: f_s,
+                sub_lut_s: sub_lut_time_s(platform, workload, &probe),
+                lut_stile_bytes,
+                static_feasible: lut_stile_bytes <= platform.wram_bytes,
+                coarse_feasible: workload.ct <= platform.wram_bytes,
+            };
+            (ctx.bound(Partial::default()), ctx)
+        })
+        .collect();
+    sort_children(&mut roots);
+
+    for (lb, ctx) in &roots {
+        if prunes(*lb, best.as_ref().map(|(_, b)| b.total_s())) {
+            pruned_subtrees += 1;
+            continue;
+        }
+        descend_pair(ctx, &mut best, &mut evaluated, &mut pruned_subtrees);
+    }
+
+    let (mapping, predicted) = best.ok_or_else(|| TuneError::NoLegalMapping {
+        detail: format!(
+            "all {evaluated} scored candidates were illegal for ({}, {}, {}, {})",
+            workload.n, workload.cb, workload.ct, workload.f
+        ),
+    })?;
+    Ok(BnbOutcome {
+        mapping,
+        predicted,
+        evaluated,
+        pruned_subtrees,
+    })
+}
+
+/// The per-pair optimum of one P1 pair: a raw point on the pair's
+/// capacity ↔ latency tradeoff (larger `F_s-tile` replicates more LUT
+/// bytes per PE but buys more N-parallelism). The per-layer capacity
+/// allocator ([`crate::alloc`]) consumes the Pareto frontier of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairBest {
+    /// `N_s-tile` of the pair.
+    pub n_stile: usize,
+    /// `F_s-tile` of the pair.
+    pub f_stile: usize,
+    /// Per-PE sub-LUT footprint `CB·CT·F_s` (bytes).
+    pub per_pe_lut_bytes: usize,
+    /// Best mapping within the pair.
+    pub mapping: Mapping,
+    /// Hierarchical prediction for it.
+    pub predicted: HierBreakdown,
+}
+
+/// Branch-and-bound optimum *within each* legal P1 pair (no cross-pair
+/// pruning — every pair's own best is needed, not just the global one).
+/// Pairs with no legal kernel are omitted; the result is empty only when
+/// Eq. 5 has no solution at all.
+///
+/// # Errors
+///
+/// Returns [`TuneError::NoLegalMapping`] if Eq. 5 has no solution.
+pub fn pair_bests(platform: &PlatformConfig, workload: &LutWorkload) -> Result<Vec<PairBest>> {
+    let pairs = sub_lut_candidates(workload, platform);
+    if pairs.is_empty() {
+        return Err(TuneError::NoLegalMapping {
+            detail: format!(
+                "workload ({}, {}, {}, {}) cannot satisfy Eq. 5 on {} PEs",
+                workload.n, workload.cb, workload.ct, workload.f, platform.num_pes
+            ),
+        });
+    }
+    let hier = MemHierarchy::for_platform(platform);
+    let mut out = Vec::with_capacity(pairs.len());
+    for (n_s, f_s) in pairs {
+        let probe = mapping_of(n_s, f_s, probe_kernel());
+        let lut_stile_bytes = workload.cb * workload.ct * f_s;
+        let ctx = PairCtx {
+            platform,
+            w: workload,
+            hier: &hier,
+            n_stile: n_s,
+            f_stile: f_s,
+            sub_lut_s: sub_lut_time_s(platform, workload, &probe),
+            lut_stile_bytes,
+            static_feasible: lut_stile_bytes <= platform.wram_bytes,
+            coarse_feasible: workload.ct <= platform.wram_bytes,
+        };
+        let mut best = None;
+        let (mut evaluated, mut pruned) = (0, 0);
+        descend_pair(&ctx, &mut best, &mut evaluated, &mut pruned);
+        if let Some((mapping, predicted)) = best {
+            out.push(PairBest {
+                n_stile: n_s,
+                f_stile: f_s,
+                per_pe_lut_bytes: lut_stile_bytes,
+                mapping,
+                predicted,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Placeholder micro-kernel for pair-level probes: `sub_lut_time_s` and
+/// `stile_sizes` never read the kernel fields.
+fn probe_kernel() -> MicroKernel {
+    MicroKernel {
+        n_mtile: 1,
+        f_mtile: 1,
+        cb_mtile: 1,
+        traversal: TraversalOrder::Nfc,
+        load_scheme: LoadScheme::FineGrain {
+            f_load: 1,
+            threads: FINE_THREADS,
+        },
+    }
+}
+
+/// DFS through the micro-kernel levels of one P1 pair.
+fn descend_pair(
+    ctx: &PairCtx,
+    best: &mut Option<(Mapping, HierBreakdown)>,
+    evaluated: &mut usize,
+    pruned: &mut usize,
+) {
+    let incumbent =
+        |best: &Option<(Mapping, HierBreakdown)>| best.as_ref().map(|(_, b)| b.total_s());
+    let w = ctx.w;
+
+    let mut n_children: Vec<(f64, usize)> = tile_candidates(ctx.n_stile)
+        .into_iter()
+        .map(|n_m| {
+            let p = Partial {
+                n_m: Some(n_m),
+                ..Partial::default()
+            };
+            (ctx.bound(p), n_m)
+        })
+        .collect();
+    sort_children(&mut n_children);
+
+    for &(n_lb, n_m) in &n_children {
+        if prunes(n_lb, incumbent(best)) {
+            *pruned += 1;
+            continue;
+        }
+        let mut f_children: Vec<(f64, usize)> = tile_candidates(ctx.f_stile)
+            .into_iter()
+            .map(|f_m| {
+                let p = Partial {
+                    n_m: Some(n_m),
+                    f_m: Some(f_m),
+                    ..Partial::default()
+                };
+                (ctx.bound(p), f_m)
+            })
+            .collect();
+        sort_children(&mut f_children);
+
+        for &(f_lb, f_m) in &f_children {
+            if prunes(f_lb, incumbent(best)) {
+                *pruned += 1;
+                continue;
+            }
+            let mut cb_children: Vec<(f64, usize)> = tile_candidates(w.cb)
+                .into_iter()
+                .map(|cb_m| {
+                    let p = Partial {
+                        n_m: Some(n_m),
+                        f_m: Some(f_m),
+                        cb_m: Some(cb_m),
+                        traversal: None,
+                    };
+                    (ctx.bound(p), cb_m)
+                })
+                .collect();
+            sort_children(&mut cb_children);
+
+            for &(cb_lb, cb_m) in &cb_children {
+                if prunes(cb_lb, incumbent(best)) {
+                    *pruned += 1;
+                    continue;
+                }
+                // Structural WRAM cut: even the smallest scheme buffer
+                // (a fine-grain single-feature gather) cannot fit.
+                let tiles_bytes = n_m * cb_m * w.index_elem_bytes() + n_m * f_m * 4;
+                let min_buf = FINE_THREADS.min(w.ct).min(ctx.lut_stile_bytes);
+                if tiles_bytes + min_buf > ctx.platform.wram_bytes {
+                    *pruned += 1;
+                    continue;
+                }
+
+                let mut t_children: Vec<(f64, TraversalOrder)> = TraversalOrder::all()
+                    .into_iter()
+                    .map(|t| {
+                        let p = Partial {
+                            n_m: Some(n_m),
+                            f_m: Some(f_m),
+                            cb_m: Some(cb_m),
+                            traversal: Some(t),
+                        };
+                        (ctx.bound(p), t)
+                    })
+                    .collect();
+                sort_children(&mut t_children);
+
+                for &(t_lb, traversal) in &t_children {
+                    if prunes(t_lb, incumbent(best)) {
+                        *pruned += 1;
+                        continue;
+                    }
+                    score_leaves(ctx, (n_m, f_m, cb_m), traversal, best, evaluated, pruned);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates every load-scheme leaf under a fixed tiling + traversal,
+/// mirroring the scheme enumeration of `kernel_candidates` exactly.
+fn score_leaves(
+    ctx: &PairCtx,
+    (n_m, f_m, cb_m): (usize, usize, usize),
+    traversal: TraversalOrder,
+    best: &mut Option<(Mapping, HierBreakdown)>,
+    evaluated: &mut usize,
+    pruned: &mut usize,
+) {
+    let w = ctx.w;
+    let lm = &ctx.platform.local_mem;
+    let incumbent = best.as_ref().map(|(_, b)| b.total_s());
+    // Everything but the LUT term is exact at this depth; per scheme
+    // class, swap in that class's own LUT floor before enumerating its
+    // chunk factors (the classes dominate the leaf count).
+    let (non_lut_lb, _) = ctx.bound_parts(Partial {
+        n_m: Some(n_m),
+        f_m: Some(f_m),
+        cb_m: Some(cb_m),
+        traversal: Some(traversal),
+    });
+
+    let eval = |kernel: MicroKernel,
+                best: &mut Option<(Mapping, HierBreakdown)>,
+                evaluated: &mut usize| {
+        let mapping = mapping_of(ctx.n_stile, ctx.f_stile, kernel);
+        if let Ok(hb) = hierarchical_cost_with(ctx.hier, ctx.platform, w, &mapping) {
+            *evaluated += 1;
+            let better = match best {
+                None => true,
+                Some((_, b)) => hb.total_s() < b.total_s(),
+            };
+            if better {
+                *best = Some((mapping, hb));
+            }
+        }
+    };
+
+    // ❶ static.
+    if ctx.static_feasible {
+        eval(
+            MicroKernel {
+                n_mtile: n_m,
+                f_mtile: f_m,
+                cb_mtile: cb_m,
+                traversal,
+                load_scheme: LoadScheme::Static,
+            },
+            best,
+            evaluated,
+        );
+    }
+
+    // ❷ coarse-grain: gate the whole class with its tightest bound before
+    // enumerating chunk factors.
+    let lut_floor = ctx.lut_stile_bytes as f64;
+    let coarse_gran = (cb_m * w.ct * f_m).min(ctx.platform.wram_bytes) as f64;
+    let coarse_class_lb = non_lut_lb + lm.ideal_time_s(lut_floor, coarse_gran);
+    if prunes(coarse_class_lb, incumbent) {
+        *pruned += 1;
+    } else {
+        for &cb_load in &tile_candidates(cb_m) {
+            for &f_load in &tile_candidates(f_m) {
+                if cb_load * w.ct * f_load <= ctx.platform.wram_bytes {
+                    eval(
+                        MicroKernel {
+                            n_mtile: n_m,
+                            f_mtile: f_m,
+                            cb_mtile: cb_m,
+                            traversal,
+                            load_scheme: LoadScheme::CoarseGrain { cb_load, f_load },
+                        },
+                        best,
+                        evaluated,
+                    );
+                }
+            }
+        }
+    }
+
+    // ❸ fine-grain.
+    let fine_total = (ctx.n_stile * w.cb * ctx.f_stile) as f64;
+    let fine_class_lb = non_lut_lb + lm.ideal_time_s(fine_total, f_m as f64);
+    if prunes(fine_class_lb, incumbent) {
+        *pruned += 1;
+    } else {
+        for &f_load in &tile_candidates(f_m) {
+            eval(
+                MicroKernel {
+                    n_mtile: n_m,
+                    f_mtile: f_m,
+                    cb_mtile: cb_m,
+                    traversal,
+                    load_scheme: LoadScheme::FineGrain {
+                        f_load,
+                        threads: FINE_THREADS,
+                    },
+                },
+                best,
+                evaluated,
+            );
+        }
+    }
+}

@@ -14,6 +14,18 @@ pub enum TuneError {
     },
     /// An underlying simulator/validation error.
     Sim(SimError),
+    /// A search worker thread died; the result would be incomplete.
+    Worker {
+        /// What the runtime reported.
+        detail: String,
+    },
+    /// An allocation request is malformed (unsupported `V`, empty op
+    /// list, zero budget, …) — distinct from a well-formed request that
+    /// merely has no feasible answer.
+    InvalidConfig {
+        /// What is wrong with the request.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TuneError {
@@ -23,6 +35,10 @@ impl fmt::Display for TuneError {
                 write!(f, "no legal mapping found: {detail}")
             }
             TuneError::Sim(e) => write!(f, "simulator error: {e}"),
+            TuneError::Worker { detail } => write!(f, "tuner worker failed: {detail}"),
+            TuneError::InvalidConfig { detail } => {
+                write!(f, "invalid tuning request: {detail}")
+            }
         }
     }
 }

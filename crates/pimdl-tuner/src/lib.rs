@@ -33,13 +33,18 @@
 
 mod error;
 
+pub mod alloc;
+pub mod bnb;
+pub mod ktile;
 pub mod model;
 pub mod space;
 pub mod tuner;
 
 pub use error::TuneError;
-pub use model::{analytical_cost, AnalyticalBreakdown};
-pub use tuner::{tune, tune_with_options, TuneOptions, TuningResult};
+pub use model::{
+    analytical_cost, hierarchical_cost, AnalyticalBreakdown, HierBreakdown, MemHierarchy,
+};
+pub use tuner::{tune, tune_with_options, SearchStrategy, TuneOptions, TuningResult};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TuneError>;

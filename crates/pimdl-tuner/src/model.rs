@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use pimdl_sim::config::{PlatformConfig, TransferPattern};
+use pimdl_sim::config::{PlatformConfig, PlatformKind, TransferPattern};
 use pimdl_sim::{LoadScheme, LutWorkload, Mapping};
 
 use crate::Result;
@@ -61,33 +61,9 @@ pub fn analytical_cost(
     let w = workload;
     let m = mapping;
     let k = &m.kernel;
-    let num_pes = platform.num_pes as u64;
 
     // ---- Eq. 3–4: sub-LUT partition (shared with the simulator). ----
-    let (stile_idx, stile_lut, stile_out) = m.stile_sizes(w);
-    let ht = &platform.host_transfer;
-    let idx_pattern = if m.pes_per_group(w) > 1 {
-        TransferPattern::ToPimBroadcast
-    } else {
-        TransferPattern::ToPimDistinct
-    };
-    let lut_pattern = if m.groups(w) > 1 {
-        TransferPattern::ToPimBroadcast
-    } else {
-        TransferPattern::ToPimDistinct
-    };
-    let index_total_bytes = if platform.command_driven_indices {
-        stile_idx * m.groups(w) as u64
-    } else {
-        stile_idx * num_pes
-    };
-    let sub_lut_s = ht.transfer_time_s(idx_pattern, index_total_bytes as f64, stile_idx as f64)
-        + ht.transfer_time_s(lut_pattern, (stile_lut * num_pes) as f64, stile_lut as f64)
-        + ht.transfer_time_s(
-            TransferPattern::FromPim,
-            (stile_out * num_pes) as f64,
-            stile_out as f64,
-        );
+    let sub_lut_s = sub_lut_time_s(platform, w, m);
 
     // ---- Eq. 6–10: micro-kernel (idealized). ----
     let trips = m.trip_counts(w);
@@ -139,6 +115,207 @@ pub fn analytical_cost(
         kernel_lut_s,
         kernel_output_s,
         kernel_reduce_s,
+    })
+}
+
+/// The sub-LUT partition time (Eqs. 3–4) of a mapping. Depends only on the
+/// **P1** pair `(N_s-tile, F_s-tile)`, never on the micro-kernel, so the
+/// branch-and-bound search evaluates it exactly at the root of each pair's
+/// subtree. [`analytical_cost`] calls this same function, keeping the two
+/// bit-identical.
+pub fn sub_lut_time_s(platform: &PlatformConfig, w: &LutWorkload, m: &Mapping) -> f64 {
+    let num_pes = platform.num_pes as u64;
+    let (stile_idx, stile_lut, stile_out) = m.stile_sizes(w);
+    let ht = &platform.host_transfer;
+    let idx_pattern = if m.pes_per_group(w) > 1 {
+        TransferPattern::ToPimBroadcast
+    } else {
+        TransferPattern::ToPimDistinct
+    };
+    let lut_pattern = if m.groups(w) > 1 {
+        TransferPattern::ToPimBroadcast
+    } else {
+        TransferPattern::ToPimDistinct
+    };
+    let index_total_bytes = if platform.command_driven_indices {
+        stile_idx * m.groups(w) as u64
+    } else {
+        stile_idx * num_pes
+    };
+    ht.transfer_time_s(idx_pattern, index_total_bytes as f64, stile_idx as f64)
+        + ht.transfer_time_s(lut_pattern, (stile_lut * num_pes) as f64, stile_lut as f64)
+        + ht.transfer_time_s(
+            TransferPattern::FromPim,
+            (stile_out * num_pes) as f64,
+            stile_out as f64,
+        )
+}
+
+/// Greatest common divisor (Euclid). `gcd(0, n) = n`.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// DRAM row-buffer parameters of the PE-buffer → global-buffer → row-buffer
+/// hierarchy, derived per platform kind.
+///
+/// The analytical model (Eq. 8) prices local-memory traffic purely by
+/// bandwidth; real banks additionally pay a row-activation latency each
+/// time a streamed tile opens a DRAM row, and misaligned tiles straddle
+/// *extra* rows ("layout crossing"). These are the two terms the
+/// `pim_mapper`-style hierarchical model adds; [`hierarchical_cost`]
+/// computes them via GCD-periodic crossing-tile analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemHierarchy {
+    /// Row-buffer size of the bank behind the PE's global buffer (bytes).
+    pub row_buffer_bytes: usize,
+    /// Latency of one row activation (precharge + activate), seconds.
+    pub row_activation_s: f64,
+}
+
+impl MemHierarchy {
+    /// Hierarchy constants for a platform: DDR4-class banks behind UPMEM
+    /// DPUs (2 KiB rows, ~45 ns tRC), HBM2/GDDR6-class banks for the
+    /// MAC-style PIMs (8 KiB effective rows, ~15 ns).
+    pub fn for_platform(platform: &PlatformConfig) -> Self {
+        match platform.kind {
+            PlatformKind::Upmem => MemHierarchy {
+                row_buffer_bytes: 2048,
+                row_activation_s: 45e-9,
+            },
+            PlatformKind::HbmPim | PlatformKind::Aim => MemHierarchy {
+                row_buffer_bytes: 8192,
+                row_activation_s: 15e-9,
+            },
+        }
+    }
+
+    /// Row traffic of `loads` streamed transfers of a `tile_bytes` tile, as
+    /// `(compulsory_rows, crossing_rows)`.
+    ///
+    /// With tiles laid out back to back, consecutive tile start offsets
+    /// within a row cycle with period `R / gcd(T, R)`; averaged over one
+    /// period a `T`-byte tile touches `(T + R − gcd(T, R)) / R` rows. We
+    /// split that into the *compulsory* part `max(T, R)/R` (the rows any
+    /// placement must open: at least one per load, at least `T/R` by
+    /// volume) and the *crossing* excess `(min(T, R) − gcd(T, R))/R`, which
+    /// is zero exactly when tile and row sizes nest (`T | R` or `R | T`)
+    /// and positive otherwise.
+    pub fn row_traffic(&self, loads: f64, tile_bytes: f64) -> (f64, f64) {
+        if loads <= 0.0 || tile_bytes <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let r = self.row_buffer_bytes as f64;
+        let g = gcd(tile_bytes as u64, self.row_buffer_bytes as u64) as f64;
+        let compulsory = (tile_bytes / r).max(1.0);
+        let crossing = (tile_bytes.min(r) - g) / r;
+        (loads * compulsory, loads * crossing)
+    }
+}
+
+/// Hierarchical prediction: the flat analytical breakdown plus the
+/// row-activation and layout-crossing terms of [`MemHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HierBreakdown {
+    /// The flat analytical model (Eqs. 3–10), unchanged.
+    pub base: AnalyticalBreakdown,
+    /// Compulsory row-activation time for all streamed micro-kernel
+    /// traffic (index, output, LUT chunks).
+    pub row_activation_s: f64,
+    /// Excess activation time from tiles straddling row boundaries.
+    pub crossing_s: f64,
+}
+
+impl HierBreakdown {
+    /// Predicted end-to-end latency under the hierarchical model.
+    pub fn total_s(&self) -> f64 {
+        self.base.total_s() + self.row_activation_s + self.crossing_s
+    }
+}
+
+/// Evaluates the hierarchical cost model for one mapping: the flat
+/// analytical model of [`analytical_cost`] plus row-activation and
+/// layout-crossing terms for every streamed structure of the micro-kernel.
+/// This is the objective both tuner search strategies optimize.
+///
+/// # Errors
+///
+/// Returns a wrapped [`pimdl_sim::SimError`] if the mapping is illegal.
+pub fn hierarchical_cost(
+    platform: &PlatformConfig,
+    workload: &LutWorkload,
+    mapping: &Mapping,
+) -> Result<HierBreakdown> {
+    hierarchical_cost_with(
+        &MemHierarchy::for_platform(platform),
+        platform,
+        workload,
+        mapping,
+    )
+}
+
+/// [`hierarchical_cost`] with an explicit hierarchy (lets the search reuse
+/// one derivation; passing [`MemHierarchy::for_platform`] is identical).
+///
+/// # Errors
+///
+/// Returns a wrapped [`pimdl_sim::SimError`] if the mapping is illegal.
+pub fn hierarchical_cost_with(
+    hier: &MemHierarchy,
+    platform: &PlatformConfig,
+    workload: &LutWorkload,
+    mapping: &Mapping,
+) -> Result<HierBreakdown> {
+    let base = analytical_cost(platform, workload, mapping)?;
+    let w = workload;
+    let m = mapping;
+    let k = &m.kernel;
+    let trips = m.trip_counts(w);
+
+    let index_loads = k.traversal.load_count(trips, (true, false, true));
+    let index_mtile = (k.n_mtile * k.cb_mtile * w.index_elem_bytes()) as f64;
+    let output_loads = k.traversal.load_count(trips, (true, true, false));
+    let output_mtile = (k.n_mtile * k.f_mtile * 4) as f64;
+    let (lut_loads, lut_tile) = match k.load_scheme {
+        LoadScheme::Static => (1.0, (w.cb * w.ct * m.f_stile) as f64),
+        LoadScheme::CoarseGrain { cb_load, f_load } => {
+            let chunk = (cb_load * w.ct * f_load) as f64;
+            let chunks_per_mtile = ((k.cb_mtile / cb_load) * (k.f_mtile / f_load)) as u64;
+            let accesses = if chunks_per_mtile == 1 {
+                k.traversal.load_count(trips, (false, true, true))
+            } else {
+                trips.0 * trips.1 * trips.2 * chunks_per_mtile
+            };
+            (accesses as f64, chunk)
+        }
+        LoadScheme::FineGrain { f_load, .. } => {
+            let accesses = (m.n_stile * w.cb * (m.f_stile / f_load)) as f64;
+            (accesses, f_load as f64)
+        }
+    };
+
+    let streams = [
+        (index_loads as f64, index_mtile),
+        (2.0 * output_loads as f64, output_mtile),
+        (lut_loads, lut_tile),
+    ];
+    let mut row_activation_s = 0.0;
+    let mut crossing_s = 0.0;
+    for (loads, tile) in streams {
+        let (compulsory, crossing) = hier.row_traffic(loads, tile);
+        row_activation_s += compulsory * hier.row_activation_s;
+        crossing_s += crossing * hier.row_activation_s;
+    }
+
+    Ok(HierBreakdown {
+        base,
+        row_activation_s,
+        crossing_s,
     })
 }
 
@@ -247,6 +424,83 @@ mod tests {
         // index-repeat reuse.
         let sim = estimate_cost(&p, &w, &m).unwrap();
         assert!((pred.kernel_reduce_s - sim.time.kernel_reduce_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(2048, 768), 256);
+    }
+
+    #[test]
+    fn row_traffic_gcd_periodic_analysis() {
+        let h = MemHierarchy {
+            row_buffer_bytes: 2048,
+            row_activation_s: 45e-9,
+        };
+        // Tile divides row: exactly one row per load, zero crossing.
+        let (comp, cross) = h.row_traffic(10.0, 256.0);
+        assert_eq!(comp, 10.0);
+        assert_eq!(cross, 0.0);
+        // Row divides tile: T/R rows per load, zero crossing.
+        let (comp, cross) = h.row_traffic(4.0, 8192.0);
+        assert_eq!(comp, 16.0);
+        assert_eq!(cross, 0.0);
+        // Misaligned (T = 3R/4): gcd = R/4, total rows per load must equal
+        // (T + R − g)/R = 1.5, split 1.0 compulsory + 0.5 crossing.
+        let (comp, cross) = h.row_traffic(2.0, 1536.0);
+        assert!((comp - 2.0).abs() < 1e-12);
+        assert!((cross - 1.0).abs() < 1e-12);
+        // Degenerate inputs are silent zeros.
+        assert_eq!(h.row_traffic(0.0, 64.0), (0.0, 0.0));
+        assert_eq!(h.row_traffic(3.0, 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hierarchical_extends_analytical() {
+        let p = platform(16);
+        let w = workload();
+        for scheme in [
+            LoadScheme::Static,
+            LoadScheme::CoarseGrain {
+                cb_load: 2,
+                f_load: 2,
+            },
+            LoadScheme::FineGrain {
+                f_load: 4,
+                threads: 16,
+            },
+        ] {
+            let m = mapping(scheme);
+            let base = analytical_cost(&p, &w, &m).unwrap();
+            let hier = hierarchical_cost(&p, &w, &m).unwrap();
+            // The flat breakdown is embedded unchanged...
+            assert_eq!(hier.base, base, "{}", scheme.name());
+            // ...and the hierarchy terms only ever add cost.
+            assert!(hier.row_activation_s > 0.0, "{}", scheme.name());
+            assert!(hier.crossing_s >= 0.0, "{}", scheme.name());
+            assert!(hier.total_s() >= base.total_s(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn hierarchical_rejects_illegal_mapping() {
+        let w = workload();
+        let m = mapping(LoadScheme::Static);
+        assert!(hierarchical_cost(&platform(7), &w, &m).is_err());
+    }
+
+    #[test]
+    fn crossing_penalizes_misaligned_tiles() {
+        // Same data volume, one tile size nesting with the 2 KiB row and
+        // one straddling it: the straddler must pay a crossing term.
+        let h = MemHierarchy::for_platform(&platform(16));
+        let (_, aligned) = h.row_traffic(12.0, 512.0);
+        let (_, misaligned) = h.row_traffic(12.0, 384.0);
+        assert_eq!(aligned, 0.0);
+        assert!(misaligned > 0.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use pimdl_tuner::model::{analytical_cost, relative_error};
 use pimdl_tuner::space::{
     divisors, kernel_candidates, mapping_of, sub_lut_candidates, tile_candidates,
 };
-use pimdl_tuner::{tune_with_options, TuneOptions};
+use pimdl_tuner::{tune_with_options, SearchStrategy, TuneOptions};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -83,14 +83,54 @@ proptest! {
         let sampled = tune_with_options(&p, &w, TuneOptions {
             parallel: false,
             max_kernels_per_pair: cap,
+            strategy: SearchStrategy::Exhaustive,
         });
-        let full = tune_with_options(&p, &w, TuneOptions {
-            parallel: false,
-            max_kernels_per_pair: 0,
-        });
+        let full = tune_with_options(&p, &w, TuneOptions::exhaustive_oracle());
         if let (Ok(s), Ok(f)) = (sampled, full) {
             prop_assert!(f.predicted_total_s <= s.predicted_total_s + 1e-15);
             prop_assert!(f.evaluated >= s.evaluated);
+        }
+    }
+
+    /// The branch-and-bound oracle property: on randomly generated small
+    /// mapping spaces, the pruned search returns a cost **exactly equal**
+    /// (bit-identical) to the exhaustive enumerator's optimum — pruning
+    /// may never lose a better mapping.
+    #[test]
+    fn bnb_cost_bit_identical_to_exhaustive(
+        n_idx in 0usize..5,
+        cb_idx in 0usize..3,
+        ct_idx in 0usize..3,
+        f_idx in 0usize..4,
+        pes_idx in 0usize..3,
+        wram_idx in 0usize..3,
+    ) {
+        let n = [16, 24, 32, 48, 64][n_idx];
+        let cb = [2, 4, 8][cb_idx];
+        let ct = [8, 16, 64][ct_idx];
+        let f = [8, 16, 24, 32][f_idx];
+        let mut p = PlatformConfig::upmem();
+        p.num_pes = [4, 8, 16][pes_idx];
+        // Vary WRAM so scheme feasibility (static vs coarse vs fine)
+        // changes across cases.
+        p.wram_bytes = [1024, 4096, 65536][wram_idx];
+        let w = LutWorkload::new(n, cb, ct, f).unwrap();
+
+        let oracle = tune_with_options(&p, &w, TuneOptions::exhaustive_oracle());
+        let bnb = tune_with_options(&p, &w, TuneOptions::default());
+        match (oracle, bnb) {
+            (Ok(o), Ok(b)) => {
+                prop_assert_eq!(
+                    b.predicted_total_s.to_bits(),
+                    o.predicted_total_s.to_bits(),
+                    "bnb {} != exhaustive {} on ({},{},{},{}) pes={} wram={}",
+                    b.predicted_total_s, o.predicted_total_s,
+                    n, cb, ct, f, p.num_pes, p.wram_bytes
+                );
+                prop_assert!(b.evaluated <= o.evaluated);
+            }
+            (Err(_), Err(_)) => {} // both agree the space is empty
+            (o, b) => prop_assert!(false, "strategies disagree: {o:?} vs {b:?}"),
         }
     }
 }

@@ -36,7 +36,7 @@ for crate in "${WORKSPACE_CRATES[@]}"; do
     cargo clippy --offline -p "${crate}" --all-targets -- -D warnings
 done
 
-for crate in pimdl-tensor pimdl-lutnn pimdl-serve pimdl-lint; do
+for crate in pimdl-tensor pimdl-lutnn pimdl-tuner pimdl-serve pimdl-lint; do
     echo "==> cargo test -p ${crate} --offline"
     cargo test --offline -p "${crate}"
 done
@@ -60,5 +60,11 @@ cargo test --offline -p pimdl-serve --test http_loopback
 # exits non-zero if the fused kernel regresses below the scalar two-pass.
 echo "==> reproduce bench_kernels --smoke"
 cargo run --offline --release -p pimdl-bench --bin reproduce -- bench_kernels --smoke
+
+# Auto-tuner smoke: branch-and-bound vs the exhaustive oracle on a tiny
+# model plus the per-layer capacity sweep (the library tests assert the
+# optima match bit-for-bit; this exercises the CLI path end to end).
+echo "==> reproduce tuner --quick"
+cargo run --offline --release -p pimdl-bench --bin reproduce -- tuner --quick
 
 echo "All checks passed."
