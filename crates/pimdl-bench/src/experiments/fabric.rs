@@ -1,0 +1,453 @@
+//! Extension experiment — the distributed shard fabric (DESIGN.md §13):
+//! the same pipelined line-protocol load served by the in-process reactor
+//! ([`Runtime::serve`]) and by real multi-process shard workers
+//! ([`Runtime::serve_fabric`]), next to the fabric discrete-event
+//! simulation whose network costs are calibrated from measured loopback
+//! round trips ([`measure_loopback_rtt`] → [`NetworkModel::calibrate`]).
+//!
+//! Three numbers matter: the fabric/in-process throughput ratio (what the
+//! process boundary costs at this service time), the calibrated link
+//! model itself, and the residual RT/DES gap (how well the simulation,
+//! fed that model, predicts the real multi-process fabric).
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use pimdl_engine::fabric::FabricConfig;
+use pimdl_engine::shapes::TransformerShape;
+use pimdl_serve::codec::{self, ServerMsg};
+use pimdl_serve::fabric::{measure_loopback_rtt, shard_worker_main};
+use pimdl_serve::{
+    Clock, EventSource, FabricServerLoop, Frame, LineClient, Metrics, MetricsSnapshot, Runtime,
+    ServeConfig, ServeError, SimPoller, SimShardEngine, VirtualClock,
+};
+use pimdl_sim::{LutWorkload, NetworkModel, PlatformConfig};
+use pimdl_tensor::rng::DataRng;
+
+use crate::report::TextTable;
+
+/// Process shards on the real side and simulated shards on the DES side.
+const NUM_SHARDS: usize = 2;
+
+/// Hidden argv marker for the self-exec worker entry: the `reproduce`
+/// binary re-invokes itself as `reproduce __fabric-shard ADDR SHARD_ID
+/// SPEEDUP SPEC_JSON` so the fabric can spawn workers without depending
+/// on a second installed binary.
+pub const WORKER_SUBCOMMAND: &str = "__fabric-shard";
+
+/// Worker-process entry behind [`WORKER_SUBCOMMAND`]: parses the four
+/// operands `serve_fabric` appended to the argv and hands off to
+/// [`shard_worker_main`] (mirroring the standalone `fabric_shard` binary).
+///
+/// # Errors
+///
+/// Malformed operands, or any worker-side fabric error.
+pub fn worker_entry(args: &[String]) -> Result<(), ServeError> {
+    let [addr, shard_id, speedup, spec_json] = args else {
+        return Err(ServeError::Config {
+            detail: format!(
+                "{WORKER_SUBCOMMAND} needs <addr> <shard_id> <speedup> <spec-json>, got {} args",
+                args.len()
+            ),
+        });
+    };
+    let shard_id: u32 = shard_id.parse().map_err(|e| ServeError::Config {
+        detail: format!("bad shard id {shard_id:?}: {e}"),
+    })?;
+    let speedup: f64 = speedup.parse().map_err(|e| ServeError::Config {
+        detail: format!("bad speedup {speedup:?}: {e}"),
+    })?;
+    shard_worker_main(addr, shard_id, speedup, spec_json)
+}
+
+/// The argv that re-invokes the current executable as a fabric worker.
+///
+/// # Errors
+///
+/// Fails if the current executable path cannot be resolved.
+pub fn self_worker_argv() -> Result<Vec<String>, ServeError> {
+    let exe = std::env::current_exe().map_err(ServeError::from_io("resolve current exe"))?;
+    Ok(vec![
+        exe.to_string_lossy().into_owned(),
+        WORKER_SUBCOMMAND.to_string(),
+    ])
+}
+
+/// One measured serving side (in-process or fabric).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputPoint {
+    /// Wall-clock seconds from the first measured send to the last
+    /// response (warmup excluded).
+    pub wall_s: f64,
+    /// Achieved rate in simulated time: requests / (wall × speedup).
+    pub virtual_rps: f64,
+    /// The side's final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Full result of the fabric experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct FabricBenchResult {
+    /// Shard workers (processes on the real side, simulated on the DES side).
+    pub num_shards: usize,
+    /// Measured requests per side.
+    pub num_requests: usize,
+    /// Clock acceleration both real sides ran under.
+    pub speedup: f64,
+    /// Single-request service time (simulated seconds).
+    pub single_request_s: f64,
+    /// Measured loopback RTT at the small calibration frame (64 B).
+    pub rtt_small_s: f64,
+    /// Measured loopback RTT at the large calibration frame (64 KiB).
+    pub rtt_large_s: f64,
+    /// The affine network model fitted from the two RTTs.
+    pub net: NetworkModel,
+    /// The in-process reactor ([`Runtime::serve`]).
+    pub in_process: ThroughputPoint,
+    /// The multi-process fabric ([`Runtime::serve_fabric`]).
+    pub fabric: ThroughputPoint,
+    /// `fabric.virtual_rps / in_process.virtual_rps` — the throughput
+    /// cost of the process boundary at this service time.
+    pub fabric_vs_in_process: f64,
+    /// Fabric DES achieved rate with the calibrated network model.
+    pub des_rps: f64,
+    /// Fabric DES achieved rate with a free network (degenerates to the
+    /// in-process DES; the spread to `des_rps` is the modeled net share).
+    pub des_free_rps: f64,
+    /// `fabric.virtual_rps / des_rps` — the residual RT/DES gap across
+    /// the process boundary.
+    pub rt_des_gap: f64,
+}
+
+fn bench_runtime(queue_capacity: usize) -> Result<Arc<Runtime>, ServeError> {
+    let mut platform = PlatformConfig::upmem();
+    platform.num_pes = 64;
+    let mut cfg = ServeConfig::example(); // max_batch 4, max_wait 4 ms
+    cfg.num_shards = NUM_SHARDS;
+    cfg.queue_capacity = queue_capacity;
+    cfg.deadline_s = f64::INFINITY;
+    Ok(Arc::new(Runtime::new(
+        platform,
+        TransformerShape::tiny(),
+        cfg,
+    )?))
+}
+
+fn bench_tables() -> Vec<(String, u64)> {
+    (0..NUM_SHARDS)
+        .map(|i| (format!("t-{i}"), 0xFA0 + i as u64))
+        .collect()
+}
+
+/// The per-query route cycle: every `tables.len() + 1`-th query takes the
+/// default route (first table), the rest name a table explicitly.
+fn route(tables: &[(String, u64)], k: usize) -> Option<&str> {
+    match k % (tables.len() + 1) {
+        0 => None,
+        i => Some(tables[i - 1].0.as_str()),
+    }
+}
+
+fn indices(rng: &mut DataRng, w: LutWorkload) -> Vec<u16> {
+    (0..w.n * w.cb).map(|_| rng.index(w.ct) as u16).collect()
+}
+
+/// Sends `warmup` unmeasured queries (waiting for each — on the fabric
+/// side this forces every table replica to load before the clock starts),
+/// then pipelines `n` measured queries and drains all responses. Every
+/// response must be a correct `Result`.
+fn drive(
+    addr: SocketAddr,
+    w: LutWorkload,
+    tables: &[(String, u64)],
+    warmup: &[Option<&str>],
+    n: usize,
+) -> Result<f64, ServeError> {
+    let mut client = LineClient::connect(addr)?;
+    let mut rng = DataRng::new(0xD21BE);
+    for (k, table) in warmup.iter().enumerate() {
+        client.send_to(&format!("warm-{k}"), &indices(&mut rng, w), *table)?;
+        expect_correct(client.recv()?)?;
+    }
+    let started = Instant::now();
+    for k in 0..n {
+        client.send_to(&format!("q-{k}"), &indices(&mut rng, w), route(tables, k))?;
+    }
+    for _ in 0..n {
+        expect_correct(client.recv()?)?;
+    }
+    Ok(started.elapsed().as_secs_f64())
+}
+
+fn expect_correct(msg: ServerMsg) -> Result<(), ServeError> {
+    match msg {
+        ServerMsg::Result { correct: true, .. } => Ok(()),
+        ServerMsg::Result { tag, .. } => Err(ServeError::Io {
+            detail: format!("{tag}: PIM execution mismatched the host"),
+        }),
+        ServerMsg::Error { tag, kind } => Err(ServeError::Io {
+            detail: format!("{tag}: refused with {kind:?}"),
+        }),
+    }
+}
+
+/// Achieved rate of the fabric DES: the same burst of `n` queries through
+/// [`FabricServerLoop`] under [`SimPoller`], with [`SimShardEngine`]
+/// pricing both socket crossings of every round trip with `net`. Returns
+/// requests per simulated second over the burst's makespan.
+fn des_rate(
+    rt: &Runtime,
+    tables: &[(String, u64)],
+    net: NetworkModel,
+    n: usize,
+) -> Result<f64, ServeError> {
+    let arrive_s = 0.1;
+    let clock = Arc::new(VirtualClock::new());
+    let mut poller = SimPoller::new(Arc::clone(&clock));
+    let metrics = Arc::new(Metrics::new(rt.config().policy.max_batch));
+    for s in 0..NUM_SHARDS as u32 {
+        let conn = poller.connect_at(0.0);
+        poller.send_at(0.0, conn, Frame::Hello { shard_id: s }.encode()?);
+    }
+    let client = poller.connect_at(0.0);
+    let w = rt.replica().workload();
+    let mut rng = DataRng::new(0xD21BE);
+    for k in 0..n {
+        poller.send_at(
+            arrive_s,
+            client,
+            codec::encode_query_for(&format!("q-{k}"), &indices(&mut rng, w), route(tables, k)),
+        );
+    }
+    // Hang up just after the burst: the final-drain contract still
+    // completes everything, and the virtual clock then stops at the last
+    // completion instead of a scripted close far in the future.
+    poller.close_at(arrive_s + 1e-4, client);
+
+    let mut engine = SimShardEngine::new(rt, poller.handle(), 0.01).with_network(net);
+    let mut fabric = FabricConfig::example();
+    fabric.num_shards = NUM_SHARDS;
+    let clock_dyn: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+    let mut server = FabricServerLoop::new(rt, fabric, tables, clock_dyn, Arc::clone(&metrics))?;
+    server.run(&mut poller, &mut engine)?;
+
+    let snap = metrics.snapshot_with_reactor(poller.stats().snapshot());
+    if snap.completed as usize != n {
+        return Err(ServeError::Io {
+            detail: format!("fabric DES completed {}/{n} requests", snap.completed),
+        });
+    }
+    let makespan = (clock.now() - arrive_s).max(f64::MIN_POSITIVE);
+    Ok(n as f64 / makespan)
+}
+
+/// Runs the experiment: calibrates the network model from `rtt_iters`
+/// loopback round trips at two frame sizes, measures `num_requests`
+/// pipelined queries through the in-process reactor and through
+/// `num_shards` real worker processes (spawned with `worker_argv`), and
+/// runs the calibrated fabric DES over the same burst.
+///
+/// # Errors
+///
+/// Propagates runtime, fabric, and calibration errors; any refused or
+/// incorrect response is an error (this load must not shed).
+pub fn run(
+    num_requests: usize,
+    rtt_iters: usize,
+    worker_argv: Vec<String>,
+) -> Result<FabricBenchResult, ServeError> {
+    let rt = bench_runtime(num_requests + 16)?;
+    let w = rt.replica().workload();
+    let tables = bench_tables();
+    let single = rt.service_model().batch_service_s(1)?;
+    // ~0.5 ms of wall time per single-request service keeps both measured
+    // sides well under a second without drowning in scheduler noise.
+    let speedup = (single / 0.5e-3).max(1.0);
+
+    let rtt_small = measure_loopback_rtt(64, rtt_iters)?;
+    let rtt_large = measure_loopback_rtt(64 * 1024, rtt_iters)?;
+    let net = NetworkModel::calibrate((64, rtt_small), (64 * 1024, rtt_large))
+        .map_err(ServeError::from)?;
+    // Measured RTTs are real time; the DES runs in simulated time, so the
+    // model crosses the clock acceleration with the rest of the run.
+    let net_virtual = NetworkModel {
+        link_latency_s: net.link_latency_s * speedup,
+        per_byte_s: net.per_byte_s * speedup,
+    };
+
+    // In-process side: the reactor executes batches on worker threads.
+    let in_process = {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(ServeError::from_io("bind in-process"))?;
+        let handle = rt.serve(listener, speedup)?;
+        let wall_s = drive(handle.addr(), w, &tables, &[None, None], num_requests)?;
+        let metrics = handle.shutdown()?;
+        ThroughputPoint {
+            wall_s,
+            virtual_rps: num_requests as f64 / (wall_s * speedup),
+            metrics,
+        }
+    };
+
+    // Fabric side: the same load over real worker processes. One warmup
+    // query per table forces every replica to load before timing starts.
+    let fabric = {
+        let mut cfg = FabricConfig::example();
+        cfg.num_shards = NUM_SHARDS;
+        // Deaths are EOF-detected; the huge *virtual* timeout keeps the
+        // accelerated clock from expiring slow-but-alive workers.
+        cfg.hello_timeout_s = 1e6;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(ServeError::from_io("bind fabric"))?;
+        let handle = rt.serve_fabric(listener, speedup, cfg, tables.clone(), worker_argv)?;
+        let warmup: Vec<Option<&str>> = tables.iter().map(|(n, _)| Some(n.as_str())).collect();
+        let wall_s = drive(handle.addr(), w, &tables, &warmup, num_requests)?;
+        let metrics = handle.shutdown()?;
+        ThroughputPoint {
+            wall_s,
+            virtual_rps: num_requests as f64 / (wall_s * speedup),
+            metrics,
+        }
+    };
+
+    let des_rps = des_rate(&rt, &tables, net_virtual, num_requests)?;
+    let des_free_rps = des_rate(&rt, &tables, NetworkModel::zero(), num_requests)?;
+
+    Ok(FabricBenchResult {
+        num_shards: NUM_SHARDS,
+        num_requests,
+        speedup,
+        single_request_s: single,
+        rtt_small_s: rtt_small,
+        rtt_large_s: rtt_large,
+        net,
+        fabric_vs_in_process: fabric.virtual_rps / in_process.virtual_rps.max(f64::MIN_POSITIVE),
+        rt_des_gap: fabric.virtual_rps / des_rps.max(f64::MIN_POSITIVE),
+        in_process,
+        fabric,
+        des_rps,
+        des_free_rps,
+    })
+}
+
+/// Renders the comparison.
+pub fn render(r: &FabricBenchResult) -> String {
+    let mut t = TextTable::new(vec![
+        "Side",
+        "Wall (s)",
+        "Virtual rps",
+        "Mean batch",
+        "Batches",
+    ]);
+    let mut row = |name: &str, p: &ThroughputPoint| {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", p.wall_s),
+            format!("{:.2}", p.virtual_rps),
+            format!("{:.1}", p.metrics.mean_batch),
+            format!("{}", p.metrics.batches),
+        ]);
+    };
+    row("in-process", &r.in_process);
+    row("fabric", &r.fabric);
+    format!(
+        "Extension — distributed shard fabric: {} worker processes vs the in-process reactor\n\
+         {} pipelined requests; single-request execution = {:.2} s; clock speedup = {:.0}x\n\
+         calibrated link: {:.1} us + {:.3} ns/B one-way (loopback RTT {:.1} us @ 64 B, {:.1} us @ 64 KiB)\n\n\
+         {}\n\
+         fabric / in-process = {:.2}x\n\
+         fabric DES: {:.2} rps calibrated net, {:.2} rps free net; measured RT/DES = {:.2}x",
+        r.num_shards,
+        r.num_requests,
+        r.single_request_s,
+        r.speedup,
+        r.net.link_latency_s * 1e6,
+        r.net.per_byte_s * 1e9,
+        r.rtt_small_s * 1e6,
+        r.rtt_large_s * 1e6,
+        t.render(),
+        r.fabric_vs_in_process,
+        r.des_rps,
+        r.des_free_rps,
+        r.rt_des_gap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn des_side_completes_and_prices_the_network() {
+        let rt = bench_runtime(64).unwrap();
+        let tables = bench_tables();
+        let free = des_rate(&rt, &tables, NetworkModel::zero(), 24).unwrap();
+        let slow = NetworkModel {
+            link_latency_s: 0.05,
+            per_byte_s: 1e-6,
+        };
+        let priced = des_rate(&rt, &tables, slow, 24).unwrap();
+        assert!(free > 0.0 && priced > 0.0);
+        assert!(
+            priced < free,
+            "a costly network must lower DES throughput: {priced} vs {free}"
+        );
+        // Determinism carries over from the fabric loop.
+        let again = des_rate(&rt, &tables, slow, 24).unwrap();
+        assert_eq!(priced.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn worker_entry_rejects_malformed_argv() {
+        assert!(worker_entry(&["only-three".into(), "args".into(), "here".into()]).is_err());
+        let bad_id = [
+            "127.0.0.1:1".to_string(),
+            "not-a-number".to_string(),
+            "1.0".to_string(),
+            "{}".to_string(),
+        ];
+        assert!(worker_entry(&bad_id).is_err());
+        let bad_speedup = [
+            "127.0.0.1:1".to_string(),
+            "0".to_string(),
+            "fast".to_string(),
+            "{}".to_string(),
+        ];
+        assert!(worker_entry(&bad_speedup).is_err());
+    }
+
+    #[test]
+    fn render_shows_both_sides_and_the_gap() {
+        let point = |wall_s: f64, rps: f64| ThroughputPoint {
+            wall_s,
+            virtual_rps: rps,
+            metrics: Metrics::new(4).snapshot(),
+        };
+        let r = FabricBenchResult {
+            num_shards: 2,
+            num_requests: 240,
+            speedup: 100.0,
+            single_request_s: 0.05,
+            rtt_small_s: 40e-6,
+            rtt_large_s: 120e-6,
+            net: NetworkModel {
+                link_latency_s: 15e-6,
+                per_byte_s: 0.6e-9,
+            },
+            in_process: point(0.4, 6.0),
+            fabric: point(0.5, 4.8),
+            fabric_vs_in_process: 0.8,
+            des_rps: 5.0,
+            des_free_rps: 5.5,
+            rt_des_gap: 0.96,
+        };
+        let s = render(&r);
+        assert!(s.contains("in-process"));
+        assert!(s.contains("fabric"));
+        assert!(s.contains("RT/DES"));
+        assert!(s.contains("0.80x"));
+    }
+}

@@ -7,6 +7,7 @@ pub mod bench_kernels;
 pub mod data_efficiency;
 pub mod discussion;
 pub mod elutnn_ablation;
+pub mod fabric;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

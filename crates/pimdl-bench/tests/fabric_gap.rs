@@ -1,0 +1,60 @@
+//! Pins the fabric experiment end to end with real worker processes: the
+//! `reproduce` binary's hidden `__fabric-shard` self-exec entry spawns
+//! the shards, the in-process and fabric sides both serve the full load,
+//! and the calibrated-DES prediction stays within a generous band of the
+//! measured fabric throughput. Loose bounds on purpose — both real sides
+//! run threads and processes under an accelerated clock on a shared CI
+//! host — but a regression that loses the network calibration or breaks
+//! the self-exec worker path lands far outside them.
+
+use pimdl_bench::experiments::fabric;
+
+#[test]
+fn fabric_experiment_runs_and_the_gap_is_pinned() {
+    let worker_argv = vec![
+        env!("CARGO_BIN_EXE_reproduce").to_string(),
+        fabric::WORKER_SUBCOMMAND.to_string(),
+    ];
+    let r = fabric::run(40, 40, worker_argv).unwrap();
+
+    assert_eq!(r.num_shards, 2);
+    assert_eq!(r.num_requests, 40);
+    assert!(r.speedup >= 1.0);
+
+    // Both measured sides completed the whole load plus their two warmup
+    // queries (drive() errors on any refusal, so completion is also
+    // implied by run() returning Ok).
+    assert_eq!(r.in_process.metrics.completed, 42);
+    assert_eq!(r.fabric.metrics.completed, 42);
+    assert!(r.in_process.virtual_rps > 0.0 && r.fabric.virtual_rps > 0.0);
+
+    // A real loopback cannot be free, and the calibrated model must be
+    // usable by the DES.
+    assert!(r.rtt_small_s > 0.0 && r.rtt_large_s > 0.0);
+    assert!(r.net.link_latency_s > 0.0 || r.net.per_byte_s > 0.0);
+    assert!(r.des_rps > 0.0 && r.des_free_rps > 0.0);
+    assert!(
+        r.des_rps <= r.des_free_rps,
+        "pricing the network cannot raise DES throughput: {} vs {}",
+        r.des_rps,
+        r.des_free_rps
+    );
+
+    // The pinned gaps: order-of-magnitude agreement, not noise-level
+    // equality. (0.05, 20) catches a lost calibration or a fabric path
+    // that stops batching, while surviving CI scheduling jitter.
+    assert!(
+        (0.05..20.0).contains(&r.fabric_vs_in_process),
+        "fabric/in-process ratio out of band: {}",
+        r.fabric_vs_in_process
+    );
+    assert!(
+        (0.05..20.0).contains(&r.rt_des_gap),
+        "RT/DES gap out of band: {}",
+        r.rt_des_gap
+    );
+
+    let s = fabric::render(&r);
+    assert!(s.contains("fabric / in-process"));
+    assert!(s.contains("RT/DES"));
+}

@@ -1,0 +1,133 @@
+//! Shard-fabric configuration (DESIGN.md §13).
+//!
+//! The distributed fabric in `pimdl-serve` runs shard workers as separate
+//! OS processes and places LUT tables on them by consistent hashing. Its
+//! knobs are validated here, next to the other serving-contract types
+//! ([`crate::scheduler::BatchingPolicy`], `TenantQuota`), because the
+//! engine is where every serving configuration is priced and checked
+//! before a runtime is built around it.
+
+use serde::{Deserialize, Serialize};
+
+use pimdl_sim::NetworkModel;
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// Virtual nodes per shard on the consistent-hash ring. Enough to spread
+/// a handful of tables evenly over a handful of shards; small enough that
+/// the ring stays trivially cheap to rebuild on membership change.
+pub const DEFAULT_VNODES: usize = 32;
+
+/// Configuration of the multi-process shard fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Worker processes to place tables on. Must be >= 1.
+    pub num_shards: usize,
+    /// Virtual nodes per shard on the consistent-hash ring. Must be >= 1.
+    pub vnodes: usize,
+    /// How long the supervisor waits for a worker's `Hello` (and for a
+    /// `TableReady` after a `LoadTable`) before declaring it dead and
+    /// re-placing its tables (seconds). Must be finite and > 0.
+    pub hello_timeout_s: f64,
+    /// Network cost model the DES charges per dispatched batch, typically
+    /// calibrated from measured loopback round trips
+    /// ([`NetworkModel::calibrate`]).
+    pub net: NetworkModel,
+}
+
+impl FabricConfig {
+    /// A small two-shard fabric with a generous worker timeout and a free
+    /// network — the starting point the examples and tests mutate.
+    pub fn example() -> Self {
+        FabricConfig {
+            num_shards: 2,
+            vnodes: DEFAULT_VNODES,
+            hello_timeout_s: 10.0,
+            net: NetworkModel::zero(),
+        }
+    }
+
+    /// Checks the fabric configuration for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `num_shards` or `vnodes` is
+    /// zero, `hello_timeout_s` is non-finite or non-positive (the
+    /// supervisor could never detect a silent worker), or the network
+    /// model fails [`NetworkModel::validate`].
+    pub fn validate(&self) -> Result<()> {
+        if self.num_shards == 0 {
+            return Err(EngineError::Config {
+                detail: "fabric num_shards must be >= 1".to_string(),
+            });
+        }
+        if self.vnodes == 0 {
+            return Err(EngineError::Config {
+                detail: "fabric vnodes must be >= 1".to_string(),
+            });
+        }
+        if !self.hello_timeout_s.is_finite() || self.hello_timeout_s <= 0.0 {
+            return Err(EngineError::Config {
+                detail: format!(
+                    "fabric hello_timeout_s must be finite and > 0, got {}",
+                    self.hello_timeout_s
+                ),
+            });
+        }
+        self.net.validate().map_err(|e| EngineError::Config {
+            detail: format!("fabric network model: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_validates_and_round_trips_json() {
+        let cfg = FabricConfig::example();
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FabricConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let ok = FabricConfig::example();
+        for bad in [
+            FabricConfig {
+                num_shards: 0,
+                ..ok
+            },
+            FabricConfig { vnodes: 0, ..ok },
+            FabricConfig {
+                hello_timeout_s: 0.0,
+                ..ok
+            },
+            FabricConfig {
+                hello_timeout_s: -1.0,
+                ..ok
+            },
+            FabricConfig {
+                hello_timeout_s: f64::NAN,
+                ..ok
+            },
+            FabricConfig {
+                hello_timeout_s: f64::INFINITY,
+                ..ok
+            },
+            FabricConfig {
+                net: NetworkModel {
+                    link_latency_s: -1e-6,
+                    per_byte_s: 0.0,
+                },
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -32,6 +32,7 @@
 mod error;
 
 pub mod baseline;
+pub mod fabric;
 pub mod perlayer;
 pub mod pipeline;
 pub mod residency;
@@ -39,6 +40,7 @@ pub mod scheduler;
 pub mod shapes;
 
 pub use error::EngineError;
+pub use fabric::FabricConfig;
 pub use perlayer::{OpLutConfig, PerLayerServingConfig};
 pub use pipeline::{InferenceReport, PimDlEngine, ServingConfig};
 pub use shapes::TransformerShape;

@@ -62,6 +62,8 @@ impl Default for LintConfig {
                 "crates/pimdl-serve/src/admission.rs",
                 "crates/pimdl-serve/src/http.rs",
                 "crates/pimdl-serve/src/registry.rs",
+                "crates/pimdl-serve/src/fabric.rs",
+                "crates/pimdl-serve/src/supervisor.rs",
                 "crates/pimdl-tensor/src/pool.rs",
                 "crates/pimdl-tuner/src/lib.rs",
                 "crates/pimdl-tuner/src/model.rs",

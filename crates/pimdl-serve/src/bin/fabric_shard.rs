@@ -1,0 +1,40 @@
+//! Thin entry point for a fabric shard worker process.
+//!
+//! Spawned by [`pimdl_serve::Runtime::serve_fabric`] (or any caller
+//! passing a worker argv) as:
+//!
+//! ```text
+//! fabric_shard <addr> <shard_id> <speedup> <worker-spec-json>
+//! ```
+//!
+//! All logic lives in [`pimdl_serve::fabric::shard_worker_main`]; this
+//! binary only parses argv so integration tests can point
+//! `CARGO_BIN_EXE_fabric_shard` at a real process.
+
+use pimdl_serve::fabric::shard_worker_main;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 5 {
+        eprintln!("usage: fabric_shard <addr> <shard_id> <speedup> <worker-spec-json>");
+        std::process::exit(2);
+    }
+    let shard_id: u32 = match args[2].parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fabric_shard: bad shard id {:?}: {e}", args[2]);
+            std::process::exit(2);
+        }
+    };
+    let speedup: f64 = match args[3].parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fabric_shard: bad speedup {:?}: {e}", args[3]);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = shard_worker_main(&args[1], shard_id, speedup, &args[4]) {
+        eprintln!("fabric_shard: {e}");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //! deterministic tests:
 //!
 //! ```text
-//! client → server:  Q <tag> <i1>,<i2>,...,<ik>\n
+//! client → server:  Q <tag> <i1>,<i2>,...,<ik> [table]\n
 //! server → client:  R <tag> ok|bad <checksum-bits-hex>\n
 //!                   E <tag> rejected|deadline|invalid|shutdown\n
 //! ```
@@ -13,6 +13,9 @@
 //! `<tag>` is an opaque client-chosen identifier echoed back verbatim, so
 //! clients can pipeline. The checksum is the f64 host-reference checksum's
 //! IEEE-754 bit pattern in hex — exact, no float formatting ambiguity.
+//! The optional trailing `[table]` names the LUT table the query targets
+//! (the shard-fabric front end routes on it, DESIGN.md §13); queries
+//! without it go to the server's default table.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -86,6 +89,8 @@ pub struct Query {
     pub tag: String,
     /// LUT row indices to execute.
     pub indices: Vec<u16>,
+    /// Target LUT table (fabric routing); `None` means the default table.
+    pub table: Option<String>,
 }
 
 fn valid_tag(tag: &str) -> bool {
@@ -98,12 +103,21 @@ fn valid_tag(tag: &str) -> bool {
 
 /// Encodes a query line (includes the trailing `\n`, ready to write).
 pub fn encode_query(tag: &str, indices: &[u16]) -> Vec<u8> {
+    encode_query_for(tag, indices, None)
+}
+
+/// Encodes a query line targeting a named table (fabric routing); `None`
+/// produces the plain three-field form.
+pub fn encode_query_for(tag: &str, indices: &[u16], table: Option<&str>) -> Vec<u8> {
     let idx = indices
         .iter()
         .map(|i| i.to_string())
         .collect::<Vec<_>>()
         .join(",");
-    format!("Q {tag} {idx}\n").into_bytes()
+    match table {
+        Some(t) => format!("Q {tag} {idx} {t}\n").into_bytes(),
+        None => format!("Q {tag} {idx}\n").into_bytes(),
+    }
 }
 
 /// Parses a `Q` line (already stripped of its newline).
@@ -116,7 +130,7 @@ pub fn parse_query(line: &[u8]) -> Result<Query> {
     let text = std::str::from_utf8(line).map_err(|_| ServeError::Io {
         detail: "query line is not UTF-8".into(),
     })?;
-    let mut parts = text.splitn(3, ' ');
+    let mut parts = text.splitn(4, ' ');
     let (kind, tag, rest) = (parts.next(), parts.next(), parts.next());
     let (Some("Q"), Some(tag), Some(rest)) = (kind, tag, rest) else {
         return Err(ServeError::Io {
@@ -128,6 +142,17 @@ pub fn parse_query(line: &[u8]) -> Result<Query> {
             detail: format!("invalid query tag: {tag:?}"),
         });
     }
+    let table = match parts.next() {
+        // Table names share the tag charset (they also travel in fabric
+        // frames and metrics labels).
+        Some(t) if valid_tag(t) => Some(t.to_string()),
+        Some(t) => {
+            return Err(ServeError::Io {
+                detail: format!("invalid table name in query {tag}: {t:?}"),
+            });
+        }
+        None => None,
+    };
     let indices: Vec<u16> = rest
         .split(',')
         .map(|s| s.trim().parse::<u16>())
@@ -143,6 +168,7 @@ pub fn parse_query(line: &[u8]) -> Result<Query> {
     Ok(Query {
         tag: tag.to_string(),
         indices,
+        table,
     })
 }
 
@@ -282,8 +308,17 @@ impl LineClient {
     ///
     /// Propagates socket write failures.
     pub fn send(&mut self, tag: &str, indices: &[u16]) -> Result<()> {
+        self.send_to(tag, indices, None)
+    }
+
+    /// Sends one query line targeting a named table (fabric routing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_to(&mut self, tag: &str, indices: &[u16], table: Option<&str>) -> Result<()> {
         self.writer
-            .write_all(&encode_query(tag, indices))
+            .write_all(&encode_query_for(tag, indices, table))
             .map_err(ServeError::from_io("send query"))
     }
 
@@ -330,6 +365,17 @@ mod tests {
         let q = parse_query(&line[..line.len() - 1]).unwrap();
         assert_eq!(q.tag, "req-7");
         assert_eq!(q.indices, vec![1, 2, 300]);
+        assert_eq!(q.table, None);
+    }
+
+    #[test]
+    fn table_routed_query_round_trips() {
+        let line = encode_query_for("req-8", &[4, 5], Some("bert.ffn1"));
+        assert_eq!(line, b"Q req-8 4,5 bert.ffn1\n");
+        let q = parse_query(&line[..line.len() - 1]).unwrap();
+        assert_eq!(q.tag, "req-8");
+        assert_eq!(q.indices, vec![4, 5]);
+        assert_eq!(q.table.as_deref(), Some("bert.ffn1"));
     }
 
     #[test]
@@ -343,6 +389,8 @@ mod tests {
             b"Q tag 99999999",
             b"Q bad tag 1",
             b"Q \xff 1",
+            b"Q tag 1,2 bad~table",
+            b"Q tag 1,2 table extra",
         ] {
             assert!(parse_query(bad).is_err(), "accepted {bad:?}");
         }

@@ -51,6 +51,7 @@ pub mod admission;
 pub mod batcher;
 pub mod clock;
 pub mod codec;
+pub mod fabric;
 pub mod http;
 pub mod metrics;
 pub mod reactor;
@@ -59,12 +60,17 @@ pub mod request;
 pub mod runtime;
 pub mod server;
 pub mod shard;
+pub mod supervisor;
 
 pub use admission::AdmissionQueue;
 pub use batcher::ContinuousBatcher;
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use codec::{LineBuffer, LineClient, ServerMsg};
 pub use error::ServeError;
+pub use fabric::{
+    FabricHandle, FabricServerLoop, FabricShardEngine, Frame, FrameDecoder, FrameError,
+    ProcessShardEngine, SimShardEngine, WorkerSpec,
+};
 pub use http::{HttpClient, HttpLimits, HttpParser, HttpRequest};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use reactor::{
@@ -78,6 +84,7 @@ pub use server::{
     ThreadedExecutor,
 };
 pub use shard::{DispatchTicket, ReplicaModel, ServiceModel, ShardManager};
+pub use supervisor::{HashRing, LoadOrder, ShardState, Supervisor, TableState};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;

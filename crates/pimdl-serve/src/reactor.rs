@@ -232,7 +232,11 @@ impl ReactorStats {
         self.accepts.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_accept_error(&self) {
+    /// One failed accept the loop survived (`ECONNABORTED`, fd
+    /// exhaustion, per-connection setup). Public so the quiescence
+    /// contract tests can pin the counter's propagation through every
+    /// server loop's metrics snapshot.
+    pub fn record_accept_error(&self) {
         self.accept_errors.fetch_add(1, Ordering::Relaxed);
     }
 

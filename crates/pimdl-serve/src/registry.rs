@@ -673,6 +673,62 @@ mod tests {
     }
 
     #[test]
+    fn rejoin_clamp_only_raises_the_pass() {
+        // The idle→active clamp is `pass = pass.max(global_pass)`: it may
+        // lift a stale low pass up to the current virtual time, but must
+        // never *lower* a pass. After `a` is served 8 times alone its pass
+        // sits one stride *ahead* of `global_pass` (global is advanced to
+        // the scheduled tenant's pass before the stride is charged). If
+        // rejoining overwrote the pass with `global_pass`, `a` would tie
+        // with a fresh tenant and win on the name tiebreak; keeping the
+        // higher pass means the fresh tenant leads.
+        let mut b = batcher(64, &[("a", quota(1, 64)), ("b", quota(1, 64))]);
+        for id in 0..8 {
+            b.admit(job(id, "a", "m")).unwrap();
+        }
+        while b.take_batch().is_some() {}
+        assert!(b.is_empty());
+        // b joins at the current virtual time, then a rejoins from idle.
+        b.admit(job(8, "b", "m")).unwrap();
+        for id in 9..12 {
+            b.admit(job(id, "b", "m")).unwrap();
+        }
+        for id in 12..16 {
+            b.admit(job(id, "a", "m")).unwrap();
+        }
+        let (_, batch) = b.take_batch().unwrap();
+        assert_eq!(
+            batch[0].tenant, "b",
+            "a's retained (higher) pass must not be clamped down: {batch:?}"
+        );
+        let b_count = batch.iter().filter(|j| j.tenant == "b").count();
+        assert_eq!(b_count, 2, "stride order resumes after the lead: {batch:?}");
+    }
+
+    #[test]
+    fn model_name_validation_edge_cases() {
+        let mut reg = ModelRegistry::new();
+        // Empty and over-long names are refused.
+        assert!(reg.register("", dummy_replica()).is_err());
+        let max = "m".repeat(64);
+        reg.register(&max, dummy_replica()).unwrap();
+        let over = "m".repeat(65);
+        assert!(reg.register(&over, dummy_replica()).is_err());
+        // Non-ASCII is refused even when char count fits: names appear in
+        // request paths and the byte-level check must not pass multi-byte
+        // letters.
+        assert!(reg.register("caf\u{e9}", dummy_replica()).is_err());
+        assert!(reg.register("\u{6a21}\u{578b}", dummy_replica()).is_err());
+        // The full permitted alphabet round-trips.
+        reg.register("A-z0.9_ok", dummy_replica()).unwrap();
+        assert!(reg.get("A-z0.9_ok").is_some());
+        // Whitespace and path separators are refused.
+        assert!(reg.register("a b", dummy_replica()).is_err());
+        assert!(reg.register("a/b", dummy_replica()).is_err());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
     fn degenerate_configs_are_rejected() {
         let policy = BatchingPolicy {
             max_batch: 4,

@@ -727,8 +727,9 @@ impl<'a> ServerLoop<'a> {
 }
 
 /// Best-effort tag extraction from an unparsable line, so the `E` reply
-/// still correlates ("-" when even the tag is unusable).
-fn fallback_tag(line: &[u8]) -> String {
+/// still correlates ("-" when even the tag is unusable). Shared with the
+/// fabric front end, which speaks the same line protocol to clients.
+pub(crate) fn fallback_tag(line: &[u8]) -> String {
     std::str::from_utf8(line)
         .ok()
         .and_then(|s| s.split(' ').nth(1))

@@ -1,0 +1,40 @@
+//! Shared helpers for `pimdl-serve` integration tests.
+
+/// Pins the crate-wide incremental-decoder poisoning contract, shared by
+/// `HttpParser` and `FrameDecoder`: after feeding `garbage`, draining the
+/// decoder surfaces **exactly one** `Err` (items already complete before
+/// the violation may still pop first), and from then on every call
+/// returns `Ok(None)` — even when more garbage *or perfectly valid input*
+/// (`valid_follow_up`) is pushed afterwards. The caller is expected to
+/// close the connection on the single error; a decoder that errors twice
+/// would double-count protocol failures, and one that revives on valid
+/// bytes would desynchronize the stream.
+pub fn assert_poisons_exactly_once<T, E: std::fmt::Debug>(
+    mut push: impl FnMut(&[u8]),
+    mut next: impl FnMut() -> Result<Option<T>, E>,
+    garbage: &[u8],
+    valid_follow_up: &[u8],
+) {
+    push(garbage);
+    let mut errors = 0usize;
+    for step in 0.. {
+        assert!(step < 64, "decoder did not settle after poisoning");
+        match next() {
+            Ok(Some(_)) => continue,
+            Err(_) => errors += 1,
+            Ok(None) => break,
+        }
+    }
+    assert_eq!(errors, 1, "poisoning must surface exactly one error");
+    for _ in 0..3 {
+        push(garbage);
+        push(valid_follow_up);
+        for _ in 0..4 {
+            match next() {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("poisoned decoder produced an item"),
+                Err(e) => panic!("poisoned decoder reported a second error: {e:?}"),
+            }
+        }
+    }
+}

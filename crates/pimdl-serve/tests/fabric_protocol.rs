@@ -1,0 +1,261 @@
+//! Property corpus for the fabric wire protocol: random frame streams
+//! must round-trip through [`FrameDecoder`] under arbitrary transport
+//! splits, truncation must starve (never error, never fabricate), any
+//! single corrupted byte must surface as exactly one framing error (the
+//! CRC covers header and payload, so no flip can decode as a different
+//! valid frame), and a foreign version byte — even with a correctly
+//! re-stamped CRC — must be refused. The poisoning contract itself is
+//! pinned by a helper shared with the `HttpParser` tests: one `Err`,
+//! then `Ok(None)` forever.
+
+mod common;
+
+use proptest::prelude::*;
+
+use pimdl_serve::{Frame, FrameDecoder, HttpParser, Request};
+use proptest::TestRng;
+
+/// A random but valid frame. Covers every variant, including empty and
+/// maximal-ish string/collection shapes.
+fn arb_frame(rng: &mut TestRng) -> Frame {
+    match rng.below(6) {
+        0 => Frame::Hello {
+            shard_id: rng.next_u64() as u32,
+        },
+        1 => Frame::LoadTable {
+            table: arb_table(rng),
+            seed: rng.next_u64(),
+        },
+        2 => Frame::TableReady {
+            table: arb_table(rng),
+        },
+        3 => {
+            let n = rng.below(5) as usize;
+            let requests = (0..n)
+                .map(|_| {
+                    let k = rng.below(9) as usize;
+                    Request {
+                        id: rng.next_u64(),
+                        arrival_s: rng.unit_f64() * 10.0,
+                        deadline_s: if rng.below(3) == 0 {
+                            f64::INFINITY
+                        } else {
+                            rng.unit_f64() * 20.0
+                        },
+                        indices: (0..k).map(|_| rng.next_u64() as u16).collect(),
+                        expected_checksum: rng.unit_f64() * 1e3,
+                    }
+                })
+                .collect();
+            Frame::Execute {
+                batch_id: rng.next_u64(),
+                service_s: rng.unit_f64() * 1e-2,
+                table: arb_table(rng),
+                requests,
+            }
+        }
+        4 => {
+            let n = rng.below(9) as usize;
+            Frame::ExecDone {
+                batch_id: rng.next_u64(),
+                flags: (0..n).map(|_| rng.below(2) == 1).collect(),
+            }
+        }
+        _ => Frame::Shutdown,
+    }
+}
+
+fn arb_table(rng: &mut TestRng) -> String {
+    let len = 1 + rng.below(12) as usize;
+    (0..len)
+        .map(|_| {
+            let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789-_.";
+            alphabet[rng.below(alphabet.len() as u64) as usize] as char
+        })
+        .collect()
+}
+
+/// A stream of 1..=6 random frames plus the encoded byte concatenation.
+fn arb_stream(rng: &mut TestRng) -> (Vec<Frame>, Vec<u8>) {
+    let n = 1 + rng.below(6) as usize;
+    let frames: Vec<Frame> = (0..n).map(|_| arb_frame(rng)).collect();
+    let mut bytes = Vec::new();
+    for f in &frames {
+        bytes.extend_from_slice(&f.encode().expect("arb frames fit the wire format"));
+    }
+    (frames, bytes)
+}
+
+/// Feeds `bytes` to `dec` in random-size chunks (including empty pushes),
+/// draining after every push, and returns everything decoded.
+fn feed_in_random_chunks(dec: &mut FrameDecoder, bytes: &[u8], rng: &mut TestRng) -> Vec<Frame> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let chunk = (rng.below(17) as usize).min(bytes.len() - pos);
+        dec.push(&bytes[pos..pos + chunk]);
+        pos += chunk;
+        while let Ok(Some(f)) = dec.next_frame() {
+            out.push(f);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Round-trip: any frame stream, split at arbitrary byte boundaries,
+    /// decodes to exactly the original frames with nothing left over.
+    #[test]
+    fn streams_round_trip_under_arbitrary_splits(seed in 0u64..100_000) {
+        let mut rng = TestRng::deterministic(&format!("fabric-rt-{seed}"));
+        let (frames, bytes) = arb_stream(&mut rng);
+        let mut dec = FrameDecoder::new();
+        let got = feed_in_random_chunks(&mut dec, &bytes, &mut rng);
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.pending(), 0, "no stray bytes may remain");
+        prop_assert!(matches!(dec.next_frame(), Ok(None)));
+    }
+
+    /// Truncation starves: cutting the stream anywhere inside a frame
+    /// yields every frame wholly before the cut, then `Ok(None)` — never
+    /// an error (the missing bytes could still arrive) and never a frame
+    /// the peer did not finish sending.
+    #[test]
+    fn truncated_streams_starve_without_erroring(seed in 0u64..100_000) {
+        let mut rng = TestRng::deterministic(&format!("fabric-trunc-{seed}"));
+        let (frames, bytes) = arb_stream(&mut rng);
+        // Cut strictly inside the encoding (1..len), so at least the last
+        // frame is incomplete.
+        let cut = 1 + rng.below(bytes.len() as u64 - 1) as usize;
+        let mut dec = FrameDecoder::new();
+        let got = feed_in_random_chunks(&mut dec, &bytes[..cut], &mut rng);
+        prop_assert!(got.len() < frames.len(), "a truncated stream cannot complete");
+        prop_assert_eq!(&got[..], &frames[..got.len()], "prefix frames must survive");
+        for _ in 0..3 {
+            prop_assert!(matches!(dec.next_frame(), Ok(None)),
+                "starvation is not an error");
+        }
+        // The remainder arriving later completes the stream.
+        let rest = feed_in_random_chunks(&mut dec, &bytes[cut..], &mut rng);
+        prop_assert_eq!(&rest[..], &frames[got.len()..], "resumed stream completes");
+    }
+
+    /// Any single corrupted byte surfaces as exactly one error: frames
+    /// before the flip decode intact, the flipped frame can never decode
+    /// (the CRC covers header and payload), and the decoder either
+    /// poisons or starves — it never silently yields the full stream.
+    #[test]
+    fn corrupted_bytes_never_decode_and_poison_once(seed in 0u64..100_000) {
+        let mut rng = TestRng::deterministic(&format!("fabric-crc-{seed}"));
+        let (frames, mut bytes) = arb_stream(&mut rng);
+        let victim = rng.below(bytes.len() as u64) as usize;
+        let flip = 1 + rng.below(255) as u8;
+        bytes[victim] ^= flip;
+        // Which frame holds the victim byte, so we know the intact prefix.
+        let mut intact = 0usize;
+        let mut off = 0usize;
+        for f in &frames {
+            let len = f.encode().expect("encodable").len();
+            if victim < off + len {
+                break;
+            }
+            off += len;
+            intact += 1;
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut errors = 0usize;
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let chunk = (rng.below(17) as usize).min(bytes.len() - pos);
+            dec.push(&bytes[pos..pos + chunk]);
+            pos += chunk;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => got.push(f),
+                    Ok(None) => break,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+        prop_assert!(errors <= 1, "at most one error per poisoning");
+        prop_assert_eq!(&got[..], &frames[..intact],
+            "exactly the frames before the flip decode");
+        if errors == 0 {
+            // No error means a length-field flip left the decoder starving
+            // for bytes that will never come — it must be holding data and
+            // must not have produced the full stream.
+            prop_assert!(got.len() < frames.len(), "corruption cannot be lossless");
+            prop_assert!(dec.pending() > 0, "starving decoder holds partial input");
+            prop_assert!(matches!(dec.next_frame(), Ok(None)));
+        } else {
+            // Poisoned: later input — valid or not — stays dead.
+            let follow = Frame::Shutdown.encode().expect("encodable");
+            dec.push(&follow);
+            prop_assert!(matches!(dec.next_frame(), Ok(None)));
+        }
+    }
+
+    /// A foreign version byte is refused even when the sender re-stamps a
+    /// correct CRC over the altered header: version negotiation failures
+    /// must be explicit, not CRC noise.
+    #[test]
+    fn foreign_versions_are_refused(seed in 0u64..100_000, version in 0u32..256) {
+        let version = version as u8;
+        prop_assume!(version != 1);
+        let mut rng = TestRng::deterministic(&format!("fabric-ver-{seed}"));
+        let mut bytes = arb_frame(&mut rng).encode().expect("encodable");
+        bytes[2] = version;
+        let body = bytes.len() - 4;
+        let crc = {
+            // Recompute the trailer the way a well-meaning foreign peer
+            // would: CRC32/IEEE over header + payload.
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in &bytes[..body] {
+                let mut x = (c ^ u32::from(b)) & 0xFF;
+                for _ in 0..8 {
+                    x = if x & 1 == 1 { 0xEDB8_8320 ^ (x >> 1) } else { x >> 1 };
+                }
+                c = x ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        };
+        bytes[body..].copy_from_slice(&crc.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let err = dec.next_frame().expect_err("foreign version must error");
+        prop_assert!(err.detail.contains("version"),
+            "refusal names the version: {}", err.detail);
+        prop_assert!(matches!(dec.next_frame(), Ok(None)), "and poisons");
+    }
+}
+
+/// The shared poisoning contract, pinned for the fabric decoder: garbage
+/// that fails the magic check yields one error, then `Ok(None)` forever,
+/// even across later pushes of valid frames.
+#[test]
+fn frame_decoder_poison_contract() {
+    let dec = std::cell::RefCell::new(FrameDecoder::new());
+    let valid = Frame::Shutdown.encode().expect("encodable");
+    common::assert_poisons_exactly_once(
+        |b| dec.borrow_mut().push(b),
+        || dec.borrow_mut().next_frame(),
+        b"\x00definitely not a frame",
+        &valid,
+    );
+}
+
+/// The same contract, same helper, for the HTTP parser — the two front-end
+/// decoders must stay behaviorally interchangeable at the reactor layer.
+#[test]
+fn http_parser_poison_contract() {
+    let p = std::cell::RefCell::new(HttpParser::default());
+    common::assert_poisons_exactly_once(
+        |b| p.borrow_mut().push(b),
+        || p.borrow_mut().next_request(),
+        b"NOT A REQUEST LINE AT ALL\r\n\r\n",
+        b"GET / HTTP/1.1\r\n\r\n",
+    );
+}

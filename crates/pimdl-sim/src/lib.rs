@@ -31,12 +31,14 @@ pub mod exec;
 pub mod interp;
 pub mod isa;
 pub mod mapping;
+pub mod net;
 pub mod trace;
 
 pub use config::{LocalMemModel, PlatformConfig, PlatformKind, TransferModel};
 pub use cost::{CostReport, TimeBreakdown};
 pub use error::SimError;
 pub use mapping::{LoadScheme, LutWorkload, Mapping, MicroKernel, TraversalOrder};
+pub use net::NetworkModel;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

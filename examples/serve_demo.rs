@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run --release --example serve_demo [num_clients] [per_client]
 //! cargo run --release --example serve_demo -- --http [num_clients] [per_client]
+//! cargo run --release --example serve_demo -- --fabric N [num_clients] [per_client]
 //! ```
 //!
 //! In the default mode each client opens its own connection and issues
@@ -20,25 +21,62 @@
 //! reactor counters: polls, wakeups, accepts, and the measured shard wake
 //! latency that calibrates the discrete-event simulator's dispatch
 //! overhead.
+//!
+//! With `--fabric N` the same front end drives the distributed shard
+//! fabric (DESIGN.md §13): `N >= 2` shard *worker processes* are spawned
+//! (this example re-executes itself via a hidden `__fabric-shard` argv),
+//! each serving consistent-hash-placed LUT tables over the binary frame
+//! protocol, and one worker is SIGKILLed mid-run — the supervisor
+//! re-replicates its tables to the hash successor and every in-flight
+//! query still completes against its client-side oracle.
 
 use std::net::TcpListener;
 use std::sync::Arc;
 
+use pimdl::engine::fabric::FabricConfig;
 use pimdl::engine::scheduler::TenantQuota;
 use pimdl::engine::shapes::TransformerShape;
 use pimdl::serve::codec::{ErrorKind, ServerMsg};
 use pimdl::serve::http;
 use pimdl::serve::server::HttpConfig;
-use pimdl::serve::{HttpClient, LineClient, ModelRegistry, Runtime, ServeConfig};
+use pimdl::serve::{HttpClient, LineClient, ModelRegistry, ReplicaModel, Runtime, ServeConfig};
 use pimdl::sim::PlatformConfig;
 use pimdl::tensor::rng::DataRng;
 
+/// Hidden argv marker for the fabric mode's self-exec shard workers.
+const WORKER_SUBCOMMAND: &str = "__fabric-shard";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fabric shard workers are this same executable, re-invoked as
+    // `serve_demo __fabric-shard <addr> <shard_id> <speedup> <spec-json>`.
+    let raw: Vec<String> = std::env::args().collect();
+    if raw.get(1).map(String::as_str) == Some(WORKER_SUBCOMMAND) {
+        if raw.len() != 6 {
+            return Err(format!(
+                "{WORKER_SUBCOMMAND} needs 4 operands, got {}",
+                raw.len() - 2
+            )
+            .into());
+        }
+        pimdl::serve::fabric::shard_worker_main(
+            &raw[2],
+            raw[3].parse()?,
+            raw[4].parse()?,
+            &raw[5],
+        )?;
+        return Ok(());
+    }
+
     let mut positional: Vec<String> = Vec::new();
     let mut http_mode = false;
-    for arg in std::env::args().skip(1) {
+    let mut fabric_shards: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--http" {
             http_mode = true;
+        } else if arg == "--fabric" {
+            let n = args.next().ok_or("--fabric needs a shard count")?;
+            fabric_shards = Some(n.parse()?);
         } else {
             positional.push(arg);
         }
@@ -57,7 +95,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform = PlatformConfig::upmem();
     platform.num_pes = 64;
     let shape = TransformerShape::tiny();
-    let cfg = ServeConfig::example();
+    let mut cfg = ServeConfig::example();
+    if fabric_shards.is_some() {
+        // The fabric demo's contract is zero lost requests across a worker
+        // kill, so nothing may be queue-rejected or deadline-shed either.
+        cfg.queue_capacity = (num_clients * per_client).max(cfg.queue_capacity);
+        cfg.deadline_s = f64::INFINITY;
+    }
     let rt = Arc::new(Runtime::new(platform, shape, cfg)?);
 
     // Compress simulated service times so the demo finishes quickly: one
@@ -65,6 +109,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let single_s = rt.service_model().batch_service_s(1)?;
     let speedup = (single_s / 1e-3).max(1.0);
 
+    if let Some(num_shards) = fabric_shards {
+        return run_fabric(&rt, single_s, speedup, num_shards, num_clients, per_client);
+    }
     if http_mode {
         return run_http(&rt, &cfg, single_s, speedup, num_clients, per_client);
     }
@@ -144,6 +191,131 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "conservation: {} | every result matched its client-side oracle",
         snap.completed + snap.rejected + snap.deadline_exceeded
             == (num_clients * per_client) as u64,
+    );
+    Ok(())
+}
+
+/// The `--fabric N` mode: the line protocol served by `N` shard worker
+/// processes, with a SIGKILL of worker 0 mid-run to showcase the
+/// zero-lost-requests re-replication contract.
+fn run_fabric(
+    rt: &Arc<Runtime>,
+    single_s: f64,
+    speedup: f64,
+    num_shards: usize,
+    num_clients: usize,
+    per_client: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if num_shards < 2 {
+        return Err(
+            "--fabric needs at least 2 shards (a lone shard's death loses its tables)".into(),
+        );
+    }
+    // One LUT table per shard; the consistent-hash ring decides the actual
+    // placement. Clients keep per-table oracle replicas.
+    let tables: Vec<(String, u64)> = (0..num_shards)
+        .map(|i| (format!("table-{i}"), 0xFAB + i as u64))
+        .collect();
+    let oracles: Arc<Vec<(String, Arc<ReplicaModel>)>> = Arc::new(
+        tables
+            .iter()
+            .map(|(name, seed)| Ok((name.clone(), rt.build_replica(*seed)?)))
+            .collect::<Result<_, pimdl::serve::ServeError>>()?,
+    );
+
+    let mut fabric = FabricConfig::example();
+    fabric.num_shards = num_shards;
+    // Deaths are EOF-detected; a huge *virtual* timeout keeps the
+    // accelerated clock from expiring slow-but-alive workers.
+    fabric.hello_timeout_s = 1e6;
+    let exe = std::env::current_exe()?;
+    let worker_argv = vec![
+        exe.to_string_lossy().into_owned(),
+        WORKER_SUBCOMMAND.to_string(),
+    ];
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let handle = rt.serve_fabric(listener, speedup, fabric, tables.clone(), worker_argv)?;
+    // EOF-driven death detection needs the victim to have connected: wait
+    // for every table to route before the SIGKILL below, or a slow worker
+    // killed pre-Hello would strand its tables until the huge timeout.
+    handle.wait_all_ready(std::time::Duration::from_secs(120))?;
+    let addr = handle.addr();
+    println!(
+        "fabric serving on {addr}: {num_shards} worker processes, {} tables \
+         (consistent-hash placement, vnodes {})",
+        tables.len(),
+        FabricConfig::example().vnodes,
+    );
+    println!(
+        "load: {num_clients} clients x {per_client} queries round-robined over the tables \
+         (single-request service {single_s:.4} s, clock speedup {speedup:.0}x)"
+    );
+    println!("worker 0 will be SIGKILLed mid-run — zero lost requests is the contract\n");
+
+    let workload = rt.replica().workload();
+    let clients: Vec<_> = (0..num_clients)
+        .map(|c| {
+            let oracles = Arc::clone(&oracles);
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut client = LineClient::connect(addr).map_err(|e| e.to_string())?;
+                let mut rng = DataRng::new(0xFAB0 + c as u64);
+                let mut ok = 0usize;
+                for k in 0..per_client {
+                    let (table, replica) = &oracles[(c + k) % oracles.len()];
+                    let indices: Vec<u16> = (0..workload.n * workload.cb)
+                        .map(|_| rng.index(workload.ct) as u16)
+                        .collect();
+                    let oracle = replica
+                        .checksum_of(&indices)
+                        .map_err(|e| e.to_string())?
+                        .to_bits();
+                    let tag = format!("c{c}-{k}");
+                    client
+                        .send_to(&tag, &indices, Some(table))
+                        .map_err(|e| e.to_string())?;
+                    match client.recv().map_err(|e| e.to_string())? {
+                        ServerMsg::Result {
+                            tag: rtag,
+                            correct,
+                            checksum_bits,
+                        } => {
+                            if rtag != tag || !correct || checksum_bits != oracle {
+                                return Err(format!("{tag}: response mismatched the oracle"));
+                            }
+                            ok += 1;
+                        }
+                        ServerMsg::Error { kind, .. } => {
+                            return Err(format!(
+                                "{tag}: refused with {kind:?} — a worker kill must not shed requests"
+                            ));
+                        }
+                    }
+                }
+                Ok(ok)
+            })
+        })
+        .collect();
+
+    // Let the fleet get batches in flight, then kill a worker for real.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    handle.kill_worker(0)?;
+    println!("SIGKILLed worker 0; supervisor re-replicates its tables to the hash successor\n");
+
+    let mut ok = 0usize;
+    for c in clients {
+        ok += c.join().expect("client thread panicked")?;
+    }
+    let snap = handle.shutdown()?;
+
+    println!("{}", snap.render());
+    println!(
+        "\nclients saw {ok}/{} correct results across the worker kill — zero lost",
+        num_clients * per_client,
+    );
+    println!(
+        "conservation: {} | every result matched its client-side oracle",
+        snap.completed == (num_clients * per_client) as u64,
     );
     Ok(())
 }

@@ -56,6 +56,18 @@ cargo test --offline -p pimdl --test http_pipeline
 echo "==> cargo test -p pimdl-serve --test http_loopback"
 cargo test --offline -p pimdl-serve --test http_loopback
 
+# Shard fabric: the frame-protocol property corpus (round-trip under
+# arbitrary splits, truncation starves, corruption poisons exactly once),
+# the deterministic SimPoller fault-injection suite (shard death
+# mid-batch loses nothing, bit-identical reruns), and the real-process
+# loopback smoke including a kill -9 of a live worker.
+echo "==> cargo test -p pimdl-serve --test fabric_protocol"
+cargo test --offline -p pimdl-serve --test fabric_protocol
+echo "==> cargo test -p pimdl --test fabric_pipeline"
+cargo test --offline -p pimdl --test fabric_pipeline
+echo "==> cargo test -p pimdl-serve --test fabric_loopback"
+cargo test --offline -p pimdl-serve --test fabric_loopback
+
 # Kernel-performance smoke: small shape, best-of-reps timing; the binary
 # exits non-zero if the fused kernel regresses below the scalar two-pass.
 echo "==> reproduce bench_kernels --smoke"

@@ -540,6 +540,41 @@ fn weighted_fair_sharing_holds_under_overload() {
     assert_eq!(run.snapshot.reactor.spurious_wakeups, 0);
 }
 
+/// The quiescence contract (shared with `ServerLoop` and the fabric loop,
+/// each pinned in its own suite): with no shutdown wake, two pipelined
+/// infers — half a batch — from a client that hangs up immediately are
+/// still executed when the flush window expires (final drain), the loop
+/// exits on quiescence, and accept-error counters recorded on the reactor
+/// survive into the final snapshot.
+#[test]
+fn final_drain_and_accept_errors_reach_the_snapshot() {
+    let rt = runtime(64, f64::INFINITY);
+    let w = rt.replica().workload();
+
+    let run = run_sim(&rt, HttpConfig::default(), &[("m-a", 101)], &|poller| {
+        for _ in 0..2 {
+            poller.stats().record_accept_error();
+        }
+        let a = poller.connect_at(0.0);
+        let mut bytes = Vec::new();
+        for k in 0..2 {
+            bytes.extend_from_slice(&infer_req("m-a", "t0", &csv(&indices_for(w, k))));
+        }
+        poller.send_at(0.05, a, bytes);
+        poller.close_at(0.0501, a);
+        vec![a]
+    });
+
+    assert_eq!(run.snapshot.submitted, 2);
+    assert_eq!(
+        run.snapshot.completed, 2,
+        "final drain must flush the partial batch"
+    );
+    assert_eq!(run.snapshot.deadline_exceeded, 0);
+    assert_eq!(run.snapshot.batches, 1, "one partial batch of two");
+    assert_eq!(run.snapshot.reactor.accept_errors, 2);
+}
+
 #[test]
 fn weighted_fair_runs_are_bit_identical() {
     let (a, a_heavy, a_light) = run_weighted_fair();

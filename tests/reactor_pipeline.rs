@@ -32,14 +32,16 @@ fn runtime(deadline_s: f64) -> Runtime {
     Runtime::new(platform, TransformerShape::tiny(), cfg).unwrap()
 }
 
-/// One deterministic run. Returns the final metrics snapshot (with
-/// reactor stats), every parsed response keyed by tag, and the per-shard
-/// dispatch/wakeup counts.
-fn run_pipeline() -> (
+/// Final metrics snapshot (with reactor stats), every parsed response
+/// keyed by tag, and the per-shard dispatch/wakeup counts.
+type PipelineRun = (
     MetricsSnapshot,
     BTreeMap<String, ServerMsg>,
     (Vec<u64>, Vec<u64>),
-) {
+);
+
+/// One deterministic run.
+fn run_pipeline() -> PipelineRun {
     // Overload: arrivals 20x faster than single-request service, deadline
     // 1.5 service times, a 12-deep queue. Early arrivals complete; the
     // backlog then rejects at the queue bound and sheds on deadline.
@@ -200,4 +202,51 @@ fn two_consecutive_runs_are_bit_identical() {
     );
     assert_eq!(responses_a, responses_b, "wire responses must be identical");
     assert_eq!(shards_a, shards_b, "per-shard accounting must be identical");
+}
+
+/// The quiescence contract (shared with `HttpServerLoop` and the fabric
+/// loop, each pinned in its own suite): with no shutdown wake at all, a
+/// partial batch whose client already hung up is still flushed when its
+/// wait window expires (final drain), the loop then exits on quiescence,
+/// and reactor accept-error counters recorded before the run survive into
+/// the final snapshot.
+#[test]
+fn final_drain_and_accept_errors_reach_the_snapshot() {
+    let rt = runtime(f64::INFINITY);
+    let w = rt.replica().workload();
+    let clock = Arc::new(VirtualClock::new());
+    let mut poller = SimPoller::new(Arc::clone(&clock));
+    let metrics = Arc::new(Metrics::new(rt.config().policy.max_batch));
+    for _ in 0..2 {
+        poller.stats().record_accept_error();
+    }
+
+    // Two queries — half a batch — then an immediate hang-up, long before
+    // the 4 ms flush window. No shutdown wake is ever scripted.
+    let conn = poller.connect_at(0.0);
+    for k in 0..2 {
+        let indices: Vec<u16> = (0..w.n * w.cb).map(|i| ((k + i) % w.ct) as u16).collect();
+        poller.send_at(0.05, conn, codec::encode_query(&format!("q{k}"), &indices));
+    }
+    poller.close_at(0.0501, conn);
+
+    let mut executor = SimExecutor::new(
+        Arc::clone(&clock),
+        poller.handle(),
+        Arc::clone(&metrics),
+        rt.config().num_shards,
+    );
+    let clock_dyn: Arc<dyn Clock> = Arc::clone(&clock) as Arc<dyn Clock>;
+    let mut server = ServerLoop::new(&rt, clock_dyn, Arc::clone(&metrics)).unwrap();
+    server.run(&mut poller, &mut executor).unwrap();
+
+    let snap = metrics.snapshot_with_reactor(poller.stats().snapshot());
+    assert_eq!(snap.submitted, 2);
+    assert_eq!(
+        snap.completed, 2,
+        "final drain must flush the partial batch"
+    );
+    assert_eq!(snap.deadline_exceeded, 0);
+    assert_eq!(snap.batches, 1, "one partial batch of two");
+    assert_eq!(snap.reactor.accept_errors, 2);
 }
