@@ -70,6 +70,10 @@ pub struct Report {
     pub lock_inventory: Vec<LockGroup>,
     pub pass_stats: Vec<PassStat>,
     pub files_scanned: usize,
+    /// Distinct (file, line) sites where L7 recognized a taint source.
+    pub taint_sources: usize,
+    /// Distinct (file, line) sites L7 checked as sinks (tainted or not).
+    pub taint_sinks: usize,
 }
 
 impl Report {
@@ -218,7 +222,8 @@ impl Report {
     }
 
     /// The drift-reviewable inventory file (`results/lint_inventory.json`):
-    /// unsafe sites and resolved lock identities, no diagnostics.
+    /// unsafe sites, resolved lock identities, and taint source/sink
+    /// counts — no diagnostics.
     pub fn render_inventory_json(&self) -> String {
         let mut out = String::from("{\n  \"unsafe_sites\": [");
         for (i, s) in self.unsafe_inventory.iter().enumerate() {
@@ -256,9 +261,12 @@ impl Report {
         }
         let _ = write!(
             out,
-            "],\n  \"unsafe_count\": {},\n  \"lock_count\": {}\n}}\n",
+            "],\n  \"unsafe_count\": {},\n  \"lock_count\": {},\n  \
+             \"taint_sources\": {},\n  \"taint_sinks\": {}\n}}\n",
             self.unsafe_inventory.len(),
             self.lock_inventory.len(),
+            self.taint_sources,
+            self.taint_sinks,
         );
         out
     }

@@ -33,7 +33,7 @@ impl Explanation {
     }
 }
 
-static EXPLANATIONS: [Explanation; 7] = [
+static EXPLANATIONS: [Explanation; 11] = [
     Explanation {
         code: "L1-SAFETY",
         title: "every unsafe site carries a SAFETY justification",
@@ -132,6 +132,63 @@ static EXPLANATIONS: [Explanation; 7] = [
                     window so the entry cannot excuse future bare accesses.",
     },
     Explanation {
+        code: "L7-ALLOC",
+        title: "no allocations sized by unvalidated wire input",
+        rationale: "A length or count decoded from the network is attacker-chosen: \
+                    passing it to `Vec::with_capacity`/`reserve`/`resize`/`vec![..; n]` \
+                    lets one frame demand gigabytes before any payload arrives — a \
+                    remote allocation bomb. Every wire size must be rejected against \
+                    a named MAX_* bound (or clamped) before it reaches an allocator.",
+        approximations: "Taint starts at byte/string decoders (`from_le_bytes`, \
+                    `from_str_radix`, `.parse()`, ...) in the configured protocol \
+                    modules and flows through lets, assignments, arithmetic, casts, \
+                    and resolved calls (return and parameter summaries to fixpoint). \
+                    Struct fields, collections, closures, and `while` bounds are \
+                    invisible (false negatives); `checked_*`/`try_into` kill taint \
+                    even when they bound overflow rather than magnitude.",
+        allow_policy: "No allowlist escape by default — add the bounds check; the \
+                    guard `if n > MAX_X { return Err(..) }` is recognized and is \
+                    also the real fix.",
+    },
+    Explanation {
+        code: "L7-INDEX",
+        title: "no slice indexing by unvalidated wire input",
+        rationale: "`buf[n]` or `buf[..n]` with an attacker-chosen `n` panics on \
+                    the first malformed frame — a remote denial of service through \
+                    the panic path L2 keeps out of hot modules. Use `.get(..)` or \
+                    compare against the buffer length and bail first.",
+        approximations: "Same dataflow engine as L7-ALLOC. Indexing through a \
+                    method return (`foo().1[n]`) or a struct field index expression \
+                    may be missed; `get(..)` is always clean by construction.",
+        allow_policy: "No allowlist escape by default — bounds-check or `.get()`.",
+    },
+    Explanation {
+        code: "L7-LOOP",
+        title: "no loop bounds from unvalidated wire input",
+        rationale: "`for _ in 0..n` with a wire-decoded `n` lets a 12-byte frame \
+                    buy u32::MAX iterations of decode work (and usually that many \
+                    pushes) — asymmetric CPU/memory cost an attacker controls. \
+                    Reject the count against a protocol MAX_* before iterating.",
+        approximations: "Only `for` range upper bounds are checked; `while i < n` \
+                    and iterator combinators (`take(n)`, `chunks(n)`) are out of \
+                    scope for now (false negatives).",
+        allow_policy: "No allowlist escape by default — validate the count first.",
+    },
+    Explanation {
+        code: "L7-TRUNC",
+        title: "no narrowing casts of unvalidated wire input",
+        rationale: "`len as u16` silently wraps when the wire value exceeds the \
+                    target type, so a later bounds check validates the wrong \
+                    number — the classic length-truncation smuggling bug. Use \
+                    `try_into()` and treat failure as a protocol error.",
+        approximations: "Narrowing means a cast to u8/u16/u32/i8/i16/i32; casts \
+                    to usize/u64 propagate taint but do not fire. The pass does \
+                    not track the source's actual width, so `u8 as u32 as u16` \
+                    can fire spuriously — `try_into` is still the clean spelling.",
+        allow_policy: "No allowlist escape by default — `try_into` with error \
+                    handling both fixes and silences it.",
+    },
+    Explanation {
         code: "LINT-ALLOW",
         title: "the allowlist itself must stay sound",
         rationale: "Exemptions rot: entries outlive the code they excused, or land \
@@ -158,13 +215,17 @@ mod tests {
             "L4-LOCK-ORDER",
             "L5-SYSCALL",
             "L6-LOCKSET",
+            "L7-ALLOC",
+            "L7-INDEX",
+            "L7-LOOP",
+            "L7-TRUNC",
             "LINT-ALLOW",
         ] {
             let e = lookup(code).unwrap_or_else(|| panic!("{code} missing"));
             assert!(!e.rationale.is_empty() && !e.approximations.is_empty());
             assert!(e.render().contains(code));
         }
-        assert!(lookup("l6-lockset").is_some(), "case-insensitive lookup");
-        assert!(lookup("L7-NOPE").is_none());
+        assert!(lookup("l7-alloc").is_some(), "case-insensitive lookup");
+        assert!(lookup("L9-NOPE").is_none());
     }
 }

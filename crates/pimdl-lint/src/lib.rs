@@ -1,6 +1,6 @@
 //! pimdl-lint — the workspace static-analysis gate.
 //!
-//! Six passes over every crate's source, built on a comment/string-aware
+//! Seven passes over every crate's source, built on a comment/string-aware
 //! token scanner (no rustc, no deps, fully offline). The token-level
 //! passes run first; the concurrency passes run over a *resolution layer*
 //! ([`resolve`]) that builds a per-crate symbol table, resolves lock and
@@ -21,6 +21,10 @@
 //!   syscall shim.
 //! * **L6-LOCKSET** — lockset race heuristic: a shared struct field
 //!   written under a lock but read with no lock held is a finding.
+//! * **L7-TAINT** — untrusted-input dataflow: wire-decoded values
+//!   (frame/HTTP lengths and counts) reaching allocations, slice
+//!   indexing, loop bounds, or narrowing casts without a recognized
+//!   clamp/guard sanitizer.
 //!
 //! See DESIGN.md ("Static analysis") for each pass's known approximations
 //! and the allowlist policy, or run `pimdl-lint --explain <CODE>`.
@@ -41,14 +45,17 @@ use diag::{Diagnostic, Report};
 use model::SourceFile;
 
 /// Pass configuration: which files are hot paths (L2), which may hold
-/// raw syscalls (L5), and which concurrent modules the lockset race
-/// heuristic (L6) covers. Paths are component-guarded suffixes; L6
-/// entries without a `.rs` suffix match as directory substrings.
+/// raw syscalls (L5), which concurrent modules the lockset race
+/// heuristic (L6) covers, and which protocol modules the taint pass
+/// (L7) treats as untrusted-input sources. Paths are component-guarded
+/// suffixes; L6/L7 entries without a `.rs` suffix match as directory
+/// substrings.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
     pub hot_paths: Vec<String>,
     pub syscall_files: Vec<String>,
     pub lockset_paths: Vec<String>,
+    pub taint_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -81,6 +88,15 @@ impl Default for LintConfig {
                 "crates/pimdl-serve/src".to_string(),
                 "crates/pimdl-tensor/src/pool.rs".to_string(),
             ],
+            taint_paths: [
+                "crates/pimdl-serve/src/http.rs",
+                "crates/pimdl-serve/src/codec.rs",
+                "crates/pimdl-serve/src/fabric.rs",
+                "crates/pimdl-serve/src/supervisor.rs",
+                "crates/pimdl-serve/src/registry.rs",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }
@@ -216,6 +232,9 @@ pub fn run_lints(files: &[SourceFile], allow: &AllowList, cfg: &LintConfig) -> R
     });
     timed("L6-LOCKSET", &mut report, &mut |r| {
         passes::lockset::run(&ws, allow, &cfg.lockset_paths, r);
+    });
+    timed("L7-TAINT", &mut report, &mut |r| {
+        passes::taint::run(&ws, files, allow, &cfg.taint_paths, r);
     });
 
     // Stale exemptions are findings: the allowlist may only shrink.

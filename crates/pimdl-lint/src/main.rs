@@ -3,7 +3,7 @@
 //! ```text
 //! pimdl-lint [--format human|json|github] [--root DIR] [--file F]...
 //!            [--hot SUFFIX]... [--syscall-file SUFFIX]... [--lockset PATH]...
-//!            [--inventory PATH] [--explain CODE]
+//!            [--taint PATH]... [--inventory PATH] [--explain CODE]
 //! ```
 //!
 //! With no `--file` arguments it scans the whole workspace (`src/`,
@@ -22,7 +22,8 @@ use pimdl_lint::{discover_files, explain, lint_paths, LintConfig};
 
 const USAGE: &str = "usage: pimdl-lint [--format human|json|github] [--root DIR] \
                      [--file F]... [--hot SUFFIX]... [--syscall-file SUFFIX]... \
-                     [--lockset PATH]... [--inventory PATH] [--explain CODE]";
+                     [--lockset PATH]... [--taint PATH]... [--inventory PATH] \
+                     [--explain CODE]";
 
 enum Format {
     Human,
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
     let mut hot: Vec<String> = Vec::new();
     let mut syscall_files: Vec<String> = Vec::new();
     let mut lockset: Vec<String> = Vec::new();
+    let mut taint: Vec<String> = Vec::new();
     let mut inventory: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -84,6 +86,10 @@ fn main() -> ExitCode {
                 Some(v) => lockset.push(v),
                 None => return ExitCode::from(2),
             },
+            "--taint" => match take("--taint") {
+                Some(v) => taint.push(v),
+                None => return ExitCode::from(2),
+            },
             "--inventory" => match take("--inventory") {
                 Some(v) => inventory = Some(PathBuf::from(v)),
                 None => return ExitCode::from(2),
@@ -108,6 +114,9 @@ fn main() -> ExitCode {
     }
     if !lockset.is_empty() {
         cfg.lockset_paths = lockset;
+    }
+    if !taint.is_empty() {
+        cfg.taint_paths = taint;
     }
 
     let allow = AllowList::load(&root.join("lint-allow.toml"));

@@ -5,6 +5,7 @@ pub mod lock_order;
 pub mod lockset;
 pub mod panic_path;
 pub mod syscall_confine;
+pub mod taint;
 pub mod unsafe_audit;
 
 use crate::lexer::Tok;

@@ -1,0 +1,1294 @@
+//! L7 — untrusted-input taint/dataflow pass over the network protocol
+//! surface. Values produced by wire decoding (`from_le_bytes`,
+//! `from_str_radix`, `.parse()` in the configured protocol modules)
+//! are *untrusted*: an attacker chooses them. The pass propagates that
+//! taint through `let` bindings, assignments, arithmetic, `as` casts,
+//! and — via caller→callee summaries over the resolved call graph —
+//! function returns and parameters, then reports flows into sinks where
+//! an unclamped wire value becomes a remote allocation bomb or a panic:
+//!
+//! * **L7-ALLOC** — `Vec::with_capacity` / `reserve` / `resize` /
+//!   `vec![x; n]` sized by a tainted value;
+//! * **L7-INDEX** — slice/array indexing (`buf[n]`, `buf[..n]`) with a
+//!   tainted index (use `.get(..)` or bounds-check first);
+//! * **L7-LOOP** — `for _ in a..n` with a tainted upper bound;
+//! * **L7-TRUNC** — a narrowing `as` cast of a tainted value (silent
+//!   wrap-around; use `try_into` with error handling).
+//!
+//! Taint dies at a recognized sanitizer (conservative kill set):
+//! `.min(CONST)` / `.clamp(..)` against a constant-like bound,
+//! `try_into()` / `checked_*()` (callers must handle the `Err`/`None`
+//! for the code to compile), and the guard idiom
+//! `if n > MAX_* { return/break/continue ... }`, which proves an upper
+//! bound on every path that survives the guard.
+//!
+//! Known approximations (DESIGN.md §10): taint through struct fields,
+//! collections, and closure captures is invisible (false negatives), as
+//! are `while i < n` bounds and inverse guards (`if ok {..} else
+//! {return}`). Kills are flow-approximate: a guard kill applies from
+//! the end of the `if` block to the end of the function, which
+//! over-trusts re-assignment inside loops.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::allow::{suffix_match, AllowList};
+use crate::diag::{Diagnostic, Report};
+use crate::hir::SelfKind;
+use crate::lexer::{Tok, TokKind};
+use crate::model::SourceFile;
+use crate::resolve::{match_braces, Event, Workspace};
+
+pub const ALLOC: &str = "L7-ALLOC";
+pub const INDEX: &str = "L7-INDEX";
+pub const LOOP: &str = "L7-LOOP";
+pub const TRUNC: &str = "L7-TRUNC";
+
+/// Calls whose *result* is attacker-controlled when they appear in a
+/// configured protocol module: byte-level decoders and string parsers.
+const SOURCES: [&str; 5] = [
+    "from_le_bytes",
+    "from_be_bytes",
+    "from_ne_bytes",
+    "from_str_radix",
+    "parse",
+];
+
+/// Methods that kill taint when their bound argument is constant-like.
+const CLAMP_SANITIZERS: [&str; 2] = ["min", "clamp"];
+
+/// Allocation sinks: the argument at index 0 is an element count.
+const ALLOC_SINKS: [&str; 5] = [
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+];
+
+/// Integer types an `as` cast can silently truncate into.
+const NARROW_CASTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Statement/expression keywords that never start a value chain.
+const KEYWORDS: [&str; 26] = [
+    "let", "if", "else", "for", "while", "loop", "match", "return", "break", "continue", "in",
+    "as", "fn", "pub", "use", "mod", "impl", "struct", "enum", "trait", "where", "move", "ref",
+    "mut", "unsafe", "dyn",
+];
+
+/// Whether `path` is inside the configured taint scope (same semantics
+/// as the lockset scope: `.rs` entries are component-guarded suffixes,
+/// directory entries substring prefixes). Sources are only recognized
+/// inside the scope; sinks fire wherever the taint reaches.
+fn in_scope(path: &str, scope: &[String]) -> bool {
+    scope.iter().any(|p| {
+        if p.ends_with(".rs") {
+            suffix_match(path, p)
+        } else {
+            path.contains(p.as_str())
+        }
+    })
+}
+
+/// Where a tainted value came from, threaded through propagation so the
+/// diagnostic can name the original wire read.
+#[derive(Debug, Clone)]
+struct Taint {
+    what: String,
+    file: String,
+    line: u32,
+}
+
+impl Taint {
+    fn describe(&self) -> String {
+        format!("`{}` at {}:{}", self.what, self.file, self.line)
+    }
+}
+
+/// Interprocedural facts about one function, grown monotonically to
+/// fixpoint: does it return wire-derived data, and which of its
+/// parameters do callers pass wire-derived data into.
+#[derive(Debug, Default, Clone)]
+struct Summary {
+    ret: Option<Taint>,
+    params: Vec<Option<Taint>>,
+}
+
+/// One finding, pre-diagnostic (so the fixpoint rounds stay silent).
+struct Finding {
+    code: &'static str,
+    line: u32,
+    callee: String,
+    message: String,
+}
+
+/// Everything the per-function walker needs that outlives one round.
+struct FnCtx<'a> {
+    file: &'a SourceFile,
+    /// Body token range (inside the braces).
+    start: usize,
+    end: usize,
+    /// Call-site token index -> resolved target fn indices.
+    calls: HashMap<usize, Vec<usize>>,
+    /// Flattened resolved callees, for the fixpoint relevance gate.
+    callees: Vec<usize>,
+    /// Token ranges of nested `fn` items (walked as their own functions).
+    nested: Vec<(usize, usize)>,
+    /// `{` -> `}` map for guard-kill scoping.
+    close_of: HashMap<usize, usize>,
+    sources_active: bool,
+    params: &'a [String],
+    name: &'a str,
+    path: &'a str,
+}
+
+pub fn run(
+    ws: &Workspace,
+    files: &[SourceFile],
+    allow: &AllowList,
+    scope: &[String],
+    report: &mut Report,
+) {
+    // Build per-function contexts once. Functions without a body or in
+    // test regions are skipped entirely (decoding in tests is the test's
+    // business); nested fns are analyzed as their own entries.
+    let mut ctxs: Vec<Option<FnCtx>> = Vec::with_capacity(ws.fns.len());
+    for f in &ws.fns {
+        let file = &files[f.file_idx];
+        let span = &file.fns()[f.span_idx];
+        if span.body_start >= span.end || file.in_test(span.fn_tok) {
+            ctxs.push(None);
+            continue;
+        }
+        let mut calls: HashMap<usize, Vec<usize>> = HashMap::new();
+        for e in &f.events {
+            if let Event::Call { targets, tok, .. } = e {
+                calls
+                    .entry(*tok)
+                    .or_default()
+                    .extend(targets.iter().copied());
+            }
+        }
+        let callees: Vec<usize> = calls.values().flatten().copied().collect();
+        let nested: Vec<(usize, usize)> = file
+            .fns()
+            .iter()
+            .enumerate()
+            .filter(|(si, s)| *si != f.span_idx && s.fn_tok > span.fn_tok && s.end <= span.end)
+            .map(|(_, s)| (s.fn_tok, s.end))
+            .collect();
+        ctxs.push(Some(FnCtx {
+            file,
+            start: span.body_start + 1,
+            end: span.end.saturating_sub(1),
+            calls,
+            callees,
+            nested,
+            close_of: match_braces(&file.tokens),
+            sources_active: in_scope(&f.file, scope),
+            params: &f.params,
+            name: &f.name,
+            path: &f.file,
+        }));
+    }
+
+    let mut summaries: Vec<Summary> = ws
+        .fns
+        .iter()
+        .map(|f| Summary {
+            ret: None,
+            params: vec![None; f.params.len()],
+        })
+        .collect();
+
+    // Caller→callee fixpoint: each round analyzes every function with the
+    // current summaries; argument taint is pushed into callee parameter
+    // slots and return taint recorded. Slots only go None→Some, so this
+    // terminates.
+    loop {
+        let mut changed = false;
+        for (gi, ctx) in ctxs.iter().enumerate() {
+            let Some(ctx) = ctx else { continue };
+            // Relevance gate: a function can only produce or forward
+            // taint if it hosts sources, received a tainted parameter,
+            // or calls something whose return is tainted. Everything
+            // else is skipped — this is what keeps the fixpoint cheap
+            // on a workspace where taint lives in a handful of files.
+            let relevant = ctx.sources_active
+                || summaries[gi].params.iter().any(|p| p.is_some())
+                || ctx.callees.iter().any(|&g| summaries[g].ret.is_some());
+            if !relevant {
+                continue;
+            }
+            let (ret, pushes) = {
+                let mut a = Analyzer::new(ctx, ws, &summaries, gi, false);
+                a.walk_fn();
+                (a.ret.take(), std::mem::take(&mut a.pushes))
+            };
+            if summaries[gi].ret.is_none() {
+                if let Some(t) = ret {
+                    summaries[gi].ret = Some(t);
+                    changed = true;
+                }
+            }
+            for (g, p, t) in pushes {
+                if let Some(slot) = summaries[g].params.get_mut(p) {
+                    if slot.is_none() {
+                        *slot = Some(t);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting round: same analysis, findings kept. Only in-scope
+    // functions report — the scope files ARE the trust boundary, and the
+    // lint enforces that they validate wire values before handing them
+    // downstream; sinks past the boundary are out of scope by design
+    // (documented FN, DESIGN.md §10).
+    let mut source_sites: BTreeSet<(String, u32)> = BTreeSet::new();
+    let mut sink_sites: BTreeSet<(String, u32)> = BTreeSet::new();
+    let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+    for (gi, ctx) in ctxs.iter().enumerate() {
+        let Some(ctx) = ctx else { continue };
+        if !ctx.sources_active {
+            continue;
+        }
+        let mut a = Analyzer::new(ctx, ws, &summaries, gi, true);
+        a.walk_fn();
+        for t in a.source_toks {
+            source_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
+        }
+        for t in a.sink_toks {
+            sink_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
+        }
+        for f in a.findings {
+            if !seen.insert((ctx.path.to_string(), f.line, f.code)) {
+                continue;
+            }
+            if allow.permits(f.code, ctx.path, Some(ctx.name), &f.callee, f.line) {
+                continue;
+            }
+            report.diagnostics.push(Diagnostic::new(
+                f.code,
+                std::path::Path::new(ctx.path),
+                f.line,
+                f.message,
+            ));
+        }
+    }
+    report.taint_sources = source_sites.len();
+    report.taint_sinks = sink_sites.len();
+}
+
+struct Analyzer<'a> {
+    ctx: &'a FnCtx<'a>,
+    ws: &'a Workspace,
+    summaries: &'a [Summary],
+    /// Local variable -> taint provenance.
+    tainted: HashMap<String, Taint>,
+    /// Guard kills pending: once the walk passes `tok`, the variable is
+    /// proven bounded and drops out of the tainted set.
+    kills: Vec<(usize, String)>,
+    ret: Option<Taint>,
+    /// (callee fn index, param index, taint) facts for the driver.
+    pushes: Vec<(usize, usize, Taint)>,
+    findings: Vec<Finding>,
+    /// Token indices of recognized source / checked sink sites.
+    source_toks: BTreeSet<usize>,
+    sink_toks: BTreeSet<usize>,
+    reporting: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(
+        ctx: &'a FnCtx<'a>,
+        ws: &'a Workspace,
+        summaries: &'a [Summary],
+        gi: usize,
+        reporting: bool,
+    ) -> Analyzer<'a> {
+        let mut tainted = HashMap::new();
+        for (pi, pname) in ctx.params.iter().enumerate() {
+            if let Some(t) = summaries[gi].params.get(pi).and_then(|t| t.clone()) {
+                tainted.insert(pname.clone(), t);
+            }
+        }
+        Analyzer {
+            ctx,
+            ws,
+            summaries,
+            tainted,
+            kills: Vec::new(),
+            ret: None,
+            pushes: Vec::new(),
+            findings: Vec::new(),
+            source_toks: BTreeSet::new(),
+            sink_toks: BTreeSet::new(),
+            reporting,
+        }
+    }
+
+    fn toks(&self) -> &'a [Tok] {
+        &self.ctx.file.tokens
+    }
+
+    /// Top-level statement walk over the function body, tracking the
+    /// trailing expression for return-taint.
+    fn walk_fn(&mut self) {
+        let end = self.ctx.end;
+        let mut stmt_start = self.ctx.start;
+        let mut depth = 0i32;
+        let mut i = self.ctx.start;
+        while i < end {
+            self.apply_kills(i);
+            if let Some(&(_, ne)) = self.ctx.nested.iter().find(|&&(ns, ne)| ns <= i && i < ne) {
+                i = ne;
+                stmt_start = i;
+                continue;
+            }
+            if self.ctx.file.in_attr(i) || self.ctx.file.in_test(i) {
+                i += 1;
+                continue;
+            }
+            let t = &self.toks()[i];
+            match &t.kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                    depth += 1;
+                    i += 1;
+                }
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    // Blocks entered via handle_if/handle_for leave their
+                    // `}` unmatched here; clamp so `;` boundary detection
+                    // stays at depth 0 afterwards.
+                    depth = (depth - 1).max(0);
+                    i += 1;
+                }
+                TokKind::Punct(';') => {
+                    if depth == 0 {
+                        stmt_start = i + 1;
+                    }
+                    i += 1;
+                }
+                TokKind::Ident(name) => {
+                    if is_chain_seg(self.toks(), i) {
+                        i += 1;
+                        continue;
+                    }
+                    i = match name.as_str() {
+                        "let" => self.handle_let(i),
+                        "if" => self.handle_if(i),
+                        "for" => self.handle_for(i),
+                        "while" | "match" => self.eval_head(i + 1),
+                        "return" => {
+                            let e = self.stmt_end(i + 1);
+                            let t = self.eval_expr(i + 1, e);
+                            if self.ret.is_none() {
+                                self.ret = t;
+                            }
+                            e
+                        }
+                        n if KEYWORDS.contains(&n) => i + 1,
+                        "vec" if self.is_macro(i) => self.handle_macro(i),
+                        _ if self.is_macro(i) => self.skip_macro(i),
+                        _ => self.eval_stmt_chain(i),
+                    };
+                }
+                _ => i += 1,
+            }
+        }
+        // Tail expression: whatever follows the last top-level `;` is the
+        // function's return value (approximate — covers the `Ok(..)` tail
+        // the decoders use).
+        if stmt_start < end {
+            let t = self.eval_expr(stmt_start, end);
+            if self.ret.is_none() {
+                self.ret = t;
+            }
+        }
+    }
+
+    fn apply_kills(&mut self, now: usize) {
+        let mut k = 0;
+        while k < self.kills.len() {
+            if self.kills[k].0 <= now {
+                let (_, name) = self.kills.remove(k);
+                self.tainted.remove(&name);
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    fn is_macro(&self, i: usize) -> bool {
+        self.toks().get(i + 1).is_some_and(|t| t.is_punct('!'))
+    }
+
+    /// `x = ..` or `x op= ..` on a bare ident (not `==`, not `=>`).
+    fn is_assignment(&self, i: usize) -> bool {
+        let toks = self.toks();
+        let Some(t1) = toks.get(i + 1) else {
+            return false;
+        };
+        if t1.is_punct('=') {
+            return !toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct('=') || t.is_punct('>'));
+        }
+        matches!(
+            t1.kind,
+            TokKind::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+        ) && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+    }
+
+    /// `vec![elem; len]` is an allocation sink; every other macro body is
+    /// skipped whole (format!/assert! interiors are noise, not dataflow).
+    fn handle_macro(&mut self, i: usize) -> usize {
+        let toks = self.toks();
+        if toks.get(i + 2).is_some_and(|t| t.is_punct('[')) {
+            let close = skip_group(toks, i + 2, '[', ']');
+            // Find the `;` separating element from count, at depth 1.
+            let mut d = 0i32;
+            for j in i + 2..close.saturating_sub(1) {
+                match &toks[j].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+                    TokKind::Punct(';') if d == 1 => {
+                        let (ls, le) = (j + 1, close - 1);
+                        if range_has_ident(toks, ls, le) {
+                            self.sink_toks.insert(i);
+                        }
+                        if let Some(t) = self.eval_expr(ls, le) {
+                            self.finding(
+                                ALLOC,
+                                toks[i].line,
+                                "vec!",
+                                format!(
+                                    "`vec![..; n]` sized by untrusted input ({}) — clamp \
+                                     against a named MAX_* bound before allocating",
+                                    t.describe()
+                                ),
+                            );
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            close
+        } else {
+            self.skip_macro(i)
+        }
+    }
+
+    fn skip_macro(&self, i: usize) -> usize {
+        let toks = self.toks();
+        match toks.get(i + 2).map(|t| &t.kind) {
+            Some(TokKind::Punct('(')) => skip_group(toks, i + 2, '(', ')'),
+            Some(TokKind::Punct('[')) => skip_group(toks, i + 2, '[', ']'),
+            Some(TokKind::Punct('{')) => skip_group(toks, i + 2, '{', '}'),
+            _ => i + 2,
+        }
+    }
+
+    /// `let [mut] PAT [: TY] = INIT ;` — binds the pattern's single
+    /// ident (plain, `Some(x)`-style, or flat tuples) to the init taint.
+    fn handle_let(&mut self, let_idx: usize) -> usize {
+        let toks = self.toks();
+        let end = self.ctx.end;
+        let mut j = let_idx + 1;
+        if toks.get(j).is_some_and(|t| t.ident() == Some("mut")) {
+            j += 1;
+        }
+        let mut names: Vec<String> = Vec::new();
+        if let Some(n) = toks.get(j).and_then(|t| t.ident()) {
+            // `Variant ( [mut] x )` single-binding pattern (walk over a
+            // path prefix like `Frame::Execute`).
+            let mut p = j;
+            while path_sep(toks, p + 1) {
+                match toks.get(p + 2).and_then(|t| t.ident()) {
+                    Some(_) => p += 2,
+                    None => break,
+                }
+            }
+            if toks.get(p + 1).is_some_and(|t| t.is_punct('(')) {
+                let close = skip_group(toks, p + 1, '(', ')');
+                let mut inner: Vec<String> = Vec::new();
+                let mut k = p + 2;
+                while k + 1 < close {
+                    match toks[k].ident() {
+                        Some("mut") => k += 1,
+                        Some(x) => {
+                            inner.push(x.to_string());
+                            k += 1;
+                            if toks.get(k).is_some_and(|t| t.is_punct(',')) {
+                                k += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                if inner.len() == 1 && k + 1 >= close {
+                    names = inner;
+                }
+                j = close - 1;
+            } else {
+                names.push(n.to_string());
+            }
+        } else if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            // Flat tuple `let (a, b) = ..`: taint every bound name.
+            let close = skip_group(toks, j, '(', ')');
+            let mut k = j + 1;
+            while k + 1 < close {
+                match toks[k].ident() {
+                    Some("mut") => k += 1,
+                    Some(x) => {
+                        names.push(x.to_string());
+                        k += 1;
+                        if toks.get(k).is_some_and(|t| t.is_punct(',')) {
+                            k += 1;
+                        }
+                    }
+                    None => {
+                        names.clear();
+                        break;
+                    }
+                }
+            }
+            j = close - 1;
+        }
+        // Find `=` at depth 0 (skipping the type annotation).
+        let mut d = 0i32;
+        let mut k = j + 1;
+        while k < end {
+            match &toks[k].kind {
+                TokKind::Punct('<') if !arrow_half(toks, k) => d += 1,
+                TokKind::Punct('>') if d > 0 && !arrow_half(toks, k) => d -= 1,
+                TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                TokKind::Punct('=')
+                    if d == 0 && !toks.get(k + 1).is_some_and(|t| t.is_punct('=')) =>
+                {
+                    break
+                }
+                TokKind::Punct(';') | TokKind::Punct('{') if d == 0 => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= end {
+            return end;
+        }
+        let init_start = k + 1;
+        let init_end = self.stmt_end(init_start);
+        let t = self.eval_expr(init_start, init_end);
+        for name in names {
+            match &t {
+                Some(t) => {
+                    self.tainted.insert(name, t.clone());
+                }
+                None => {
+                    self.tainted.remove(&name);
+                }
+            }
+        }
+        init_end
+    }
+
+    /// `if COND {` — recognizes the bound-guard sanitizer
+    /// (`if n > MAX_* { return/break/continue .. }` proves `n <= MAX_*`
+    /// afterwards) and `if let PAT = EXPR` bindings; the condition itself
+    /// is evaluated for sinks. Returns the index just past the `{`, so
+    /// the block body is walked as statements.
+    fn handle_if(&mut self, if_idx: usize) -> usize {
+        let toks = self.toks();
+        if toks
+            .get(if_idx + 1)
+            .is_some_and(|t| t.ident() == Some("let"))
+        {
+            return self.handle_let(if_idx + 1);
+        }
+        let Some(brace) = self.find_block_open(if_idx + 1) else {
+            return if_idx + 1;
+        };
+        self.eval_expr(if_idx + 1, brace);
+        if let Some(&close) = self.ctx.close_of.get(&brace) {
+            if block_diverges(toks, brace, close) {
+                // Split the condition on top-level `||`: every disjunct
+                // that is a plain upper-bound comparison kills its
+                // variable once the guard block is behind us.
+                for (cs, ce) in split_on_or(toks, if_idx + 1, brace) {
+                    if let Some(name) = upper_bound_guard(toks, cs, ce, &self.tainted) {
+                        self.kills.push((close, name));
+                    }
+                }
+            }
+        }
+        brace + 1
+    }
+
+    /// `for PAT in RANGE {` — a tainted range upper bound is a sink: the
+    /// attacker picks the iteration count.
+    fn handle_for(&mut self, for_idx: usize) -> usize {
+        let toks = self.toks();
+        let Some(brace) = self.find_block_open(for_idx + 1) else {
+            return for_idx + 1;
+        };
+        let Some(in_idx) = (for_idx + 1..brace).find(|&j| toks[j].ident() == Some("in")) else {
+            return brace + 1;
+        };
+        // Top-level `..` / `..=` split.
+        let mut d = 0i32;
+        let mut dots = None;
+        for j in in_idx + 1..brace.saturating_sub(1) {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+                TokKind::Punct('.') if d == 0 && toks[j + 1].is_punct('.') => {
+                    dots = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match dots {
+            Some(j) => {
+                self.eval_expr(in_idx + 1, j);
+                let mut us = j + 2;
+                if toks.get(us).is_some_and(|t| t.is_punct('=')) {
+                    us += 1;
+                }
+                if range_has_ident(toks, us, brace) {
+                    self.sink_toks.insert(for_idx);
+                }
+                if let Some(t) = self.eval_expr(us, brace) {
+                    self.finding(
+                        LOOP,
+                        toks[for_idx].line,
+                        "for",
+                        format!(
+                            "loop upper bound flows from untrusted input ({}) — reject \
+                             counts above a named MAX_* bound before iterating",
+                            t.describe()
+                        ),
+                    );
+                }
+            }
+            None => {
+                self.eval_expr(in_idx + 1, brace);
+            }
+        }
+        brace + 1
+    }
+
+    /// Evaluates a `while`/`match` head up to its `{` and enters the block.
+    fn eval_head(&mut self, from: usize) -> usize {
+        let Some(brace) = self.find_block_open(from) else {
+            return from;
+        };
+        self.eval_expr(from, brace);
+        brace + 1
+    }
+
+    /// A statement beginning with an ident chain: plain assignments
+    /// (`x = ..`, `x += ..`) update the taint state; everything else is
+    /// an expression evaluated for sinks.
+    fn eval_stmt_chain(&mut self, i: usize) -> usize {
+        let toks = self.toks();
+        let bare = toks[i].ident().is_some()
+            && !toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('.') || t.is_punct('[') || t.is_punct(':'));
+        if bare {
+            let name = toks[i].ident().unwrap_or("").to_string();
+            // `x = RHS` (not `==`, `=>`).
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && !toks
+                    .get(i + 2)
+                    .is_some_and(|t| t.is_punct('=') || t.is_punct('>'))
+            {
+                let e = self.stmt_end(i + 2);
+                let t = self.eval_expr(i + 2, e);
+                match t {
+                    Some(t) => {
+                        self.tainted.insert(name, t);
+                    }
+                    None => {
+                        self.tainted.remove(&name);
+                    }
+                }
+                return e;
+            }
+            // `x op= RHS` merges: the old value still contributes.
+            if matches!(
+                toks.get(i + 1).map(|t| &t.kind),
+                Some(
+                    TokKind::Punct('+')
+                        | TokKind::Punct('-')
+                        | TokKind::Punct('*')
+                        | TokKind::Punct('/')
+                        | TokKind::Punct('%')
+                        | TokKind::Punct('&')
+                        | TokKind::Punct('|')
+                        | TokKind::Punct('^')
+                )
+            ) && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+            {
+                let e = self.stmt_end(i + 3);
+                if let Some(t) = self.eval_expr(i + 3, e) {
+                    self.tainted.entry(name).or_insert(t);
+                }
+                return e;
+            }
+        }
+        let (_, next) = self.eval_chain(i);
+        next.max(i + 1)
+    }
+
+    /// Scans `[s, e)` left to right, evaluating every chain; returns the
+    /// first taint found (provenance of the whole expression). Block
+    /// expressions (`match` arms, `if`/`for` bodies inside a `let` init)
+    /// carry full statements, so the statement keywords dispatch to the
+    /// same handlers the top-level walker uses.
+    fn eval_expr(&mut self, s: usize, e: usize) -> Option<Taint> {
+        let mut out: Option<Taint> = None;
+        let mut i = s;
+        while i < e {
+            self.apply_kills(i);
+            if let Some(&(_, ne)) = self.ctx.nested.iter().find(|&&(ns, ne)| ns <= i && i < ne) {
+                i = ne;
+                continue;
+            }
+            if self.ctx.file.in_attr(i) {
+                i += 1;
+                continue;
+            }
+            let t = &self.toks()[i];
+            match &t.kind {
+                TokKind::Ident(name) => {
+                    if is_chain_seg(self.toks(), i) {
+                        i += 1;
+                        continue;
+                    }
+                    let next = match name.as_str() {
+                        "let" => self.handle_let(i),
+                        "if" => self.handle_if(i),
+                        "for" => self.handle_for(i),
+                        "while" | "match" => self.eval_head(i + 1),
+                        "return" => {
+                            let se = self.stmt_end(i + 1);
+                            let t = self.eval_expr(i + 1, se);
+                            if self.ret.is_none() {
+                                self.ret = t;
+                            }
+                            se
+                        }
+                        n if KEYWORDS.contains(&n) => i + 1,
+                        "vec" if self.is_macro(i) => self.handle_macro(i),
+                        _ if self.is_macro(i) => self.skip_macro(i),
+                        _ if self.is_assignment(i) => self.eval_stmt_chain(i),
+                        _ => {
+                            let (t, next) = self.eval_chain(i);
+                            if out.is_none() {
+                                out = t;
+                            }
+                            next
+                        }
+                    };
+                    i = next.max(i + 1);
+                }
+                _ => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Evaluates one chain starting at the ident `base`: path or method
+    /// calls, field/tuple segments, indexing (an L7-INDEX sink when the
+    /// index is tainted), `?`, and trailing `as` casts (an L7-TRUNC sink
+    /// when narrowing a tainted value).
+    fn eval_chain(&mut self, base: usize) -> (Option<Taint>, usize) {
+        let toks = self.toks();
+        let name = toks[base].ident().unwrap_or("");
+        let mut taint = self.tainted.get(name).cloned();
+        let mut cur = base + 1;
+
+        if path_sep(toks, cur) {
+            // Path `A::b::c` — the resolver records path calls at the
+            // *head* token.
+            let mut last = name.to_string();
+            while path_sep(toks, cur) {
+                if toks.get(cur + 1).is_some_and(|t| t.is_punct('<')) {
+                    // Turbofish `::<T>`.
+                    cur = skip_angle(toks, cur + 1) + 1;
+                    continue;
+                }
+                match toks.get(cur + 2).and_then(|t| t.ident()) {
+                    Some(s) => {
+                        last = s.to_string();
+                        cur += 3;
+                    }
+                    None => break,
+                }
+            }
+            taint = None; // `Ordering::Relaxed`, `MAX` consts: not locals.
+            if toks.get(cur).is_some_and(|t| t.is_punct('(')) {
+                let close = skip_group(toks, cur, '(', ')');
+                taint = self.handle_call(&last, base, base, cur, close, None, true);
+                cur = close;
+            }
+        } else if toks.get(cur).is_some_and(|t| t.is_punct('(')) {
+            // Free call `f(..)`.
+            let close = skip_group(toks, cur, '(', ')');
+            taint = self.handle_call(name, base, base, cur, close, None, false);
+            cur = close;
+        }
+
+        while let Some(t) = toks.get(cur) {
+            if cur >= self.ctx.end {
+                break;
+            }
+            match &t.kind {
+                TokKind::Punct('?') => cur += 1,
+                TokKind::Punct('[') => {
+                    let close = skip_group(toks, cur, '[', ']');
+                    if range_has_ident(toks, cur + 1, close - 1) {
+                        self.sink_toks.insert(cur);
+                    }
+                    if let Some(it) = self.eval_expr(cur + 1, close - 1) {
+                        self.finding(
+                            INDEX,
+                            toks[cur].line,
+                            "[]",
+                            format!(
+                                "slice index/range derived from untrusted input ({}) — \
+                                 bounds-check it against the buffer or use `.get(..)`",
+                                it.describe()
+                            ),
+                        );
+                    }
+                    cur = close;
+                }
+                TokKind::Punct('.') => {
+                    let seg_idx = cur + 1;
+                    match toks.get(seg_idx).map(|t| &t.kind) {
+                        Some(TokKind::Ident(seg)) => {
+                            let mut open = seg_idx + 1;
+                            if toks.get(open).is_some_and(|t| t.is_punct(':')) {
+                                // Turbofish `.parse::<u16>()`.
+                                if path_sep(toks, open) {
+                                    open = if toks.get(open + 2).is_some_and(|t| t.is_punct('<')) {
+                                        skip_angle(toks, open + 2) + 1
+                                    } else {
+                                        open + 2
+                                    };
+                                } else {
+                                    cur = seg_idx + 1;
+                                    continue;
+                                }
+                            }
+                            if toks.get(open).is_some_and(|t| t.is_punct('(')) {
+                                let close = skip_group(toks, open, '(', ')');
+                                taint = self
+                                    .handle_call(seg, seg_idx, seg_idx, open, close, taint, false);
+                                cur = close;
+                            } else {
+                                // Field access: a field of a tainted value
+                                // stays tainted.
+                                cur = seg_idx + 1;
+                            }
+                        }
+                        Some(TokKind::Literal) => cur = seg_idx + 1, // tuple `.0`
+                        _ => break,
+                    }
+                }
+                TokKind::Ident(k) if k == "as" => {
+                    if let Some(ty) = toks.get(cur + 1).and_then(|t| t.ident()) {
+                        if NARROW_CASTS.contains(&ty) {
+                            if let Some(t) = &taint {
+                                let msg = format!(
+                                    "narrowing `as {ty}` cast of untrusted input ({}) wraps \
+                                     silently — use `try_into()` and handle the error",
+                                    t.describe()
+                                );
+                                self.finding(TRUNC, toks[cur].line, "as", msg);
+                            }
+                        }
+                        cur += 2;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        (taint, cur)
+    }
+
+    /// One call segment: sources, sanitizers, summaries, arg pushes, and
+    /// allocation sinks. `recv_taint` is the receiver's taint for method
+    /// segments; `path_call` marks `A::b(..)` forms (where a `self`-taking
+    /// callee's first argument is the receiver).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_call(
+        &mut self,
+        m: &str,
+        name_tok: usize,
+        call_tok: usize,
+        open: usize,
+        close: usize,
+        recv_taint: Option<Taint>,
+        path_call: bool,
+    ) -> Option<Taint> {
+        let toks = self.toks();
+        let args = split_args(toks, open + 1, close - 1);
+        // Sanitizers first: they kill the receiver's taint outright, and
+        // their arguments are bounds, not payloads.
+        if CLAMP_SANITIZERS.contains(&m) {
+            if let Some(&(a0s, a0e)) = args.first() {
+                if const_like(toks, a0s, a0e, &self.tainted) {
+                    return None;
+                }
+            }
+            // `.min(other_tainted)` keeps the smaller taint.
+            let arg_t = args.iter().find_map(|&(s, e)| self.eval_expr(s, e));
+            return recv_taint.or(arg_t);
+        }
+        if m == "try_into" || m == "try_from" || m.starts_with("checked_") {
+            for &(s, e) in &args {
+                self.eval_expr(s, e);
+            }
+            return None;
+        }
+
+        let arg_taints: Vec<Option<Taint>> =
+            args.iter().map(|&(s, e)| self.eval_expr(s, e)).collect();
+
+        let mut out = recv_taint;
+        if self.ctx.sources_active && SOURCES.contains(&m) {
+            self.source_toks.insert(name_tok);
+            if out.is_none() {
+                out = Some(Taint {
+                    what: m.to_string(),
+                    file: self.ctx.path.to_string(),
+                    line: toks[name_tok].line,
+                });
+            }
+        }
+
+        if let Some(targets) = self.ctx.calls.get(&call_tok) {
+            for &g in targets {
+                if out.is_none() {
+                    out = self.summaries[g].ret.clone();
+                }
+                let callee = &self.ws.fns[g];
+                let skip_recv = path_call && callee.self_kind != SelfKind::None;
+                for (j, at) in arg_taints.iter().enumerate() {
+                    let Some(at) = at else { continue };
+                    let pj = if skip_recv {
+                        match j.checked_sub(1) {
+                            Some(p) => p,
+                            None => continue,
+                        }
+                    } else {
+                        j
+                    };
+                    if pj < callee.params.len() {
+                        self.pushes.push((g, pj, at.clone()));
+                    }
+                }
+            }
+        } else if out.is_none() {
+            // Unresolved callee (std conversions like `usize::from`,
+            // `.to_vec()`, `.unwrap_or(..)`): propagate argument taint —
+            // a value computed from wire data is wire data.
+            out = arg_taints.into_iter().flatten().next();
+        }
+
+        if ALLOC_SINKS.contains(&m) {
+            if args
+                .first()
+                .is_some_and(|&(s, e)| range_has_ident(toks, s, e))
+            {
+                self.sink_toks.insert(name_tok);
+            }
+            if let Some(&(s, e)) = args.first() {
+                if let Some(t) = self.eval_expr(s, e) {
+                    self.finding(
+                        ALLOC,
+                        toks[name_tok].line,
+                        m,
+                        format!(
+                            "allocation sized by untrusted input ({}) reaches `{m}` — \
+                             reject sizes above a named MAX_* bound first",
+                            t.describe()
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    fn finding(&mut self, code: &'static str, line: u32, callee: &str, message: String) {
+        if self.reporting {
+            self.findings.push(Finding {
+                code,
+                line,
+                callee: callee.to_string(),
+                message,
+            });
+        }
+    }
+
+    /// First `{` at bracket depth 0 after `from` (a block opener, not a
+    /// struct literal — good enough for `if`/`for`/`while`/`match` heads,
+    /// where the walker treats a struct-literal `{` identically).
+    fn find_block_open(&self, from: usize) -> Option<usize> {
+        let toks = self.toks();
+        let mut d = 0i32;
+        let mut j = from;
+        while j < self.ctx.end {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') => d -= 1,
+                TokKind::Punct('{') if d == 0 => return Some(j),
+                TokKind::Punct(';') if d == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// One past the statement: the `;` at depth 0, or the enclosing
+    /// block's end.
+    fn stmt_end(&self, from: usize) -> usize {
+        let toks = self.toks();
+        let mut d = 0i32;
+        let mut j = from;
+        while j < self.ctx.end {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                    if d == 0 {
+                        return j;
+                    }
+                    d -= 1;
+                }
+                TokKind::Punct(';') if d == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.ctx.end
+    }
+}
+
+/// Whether the ident at `i` continues a chain already being evaluated:
+/// a `.seg` method/field segment (but not a `..`-range endpoint, where
+/// the previous two tokens are both dots) or a `::seg` path segment
+/// (but not a single `:` — struct-literal field values start chains).
+fn is_chain_seg(toks: &[Tok], i: usize) -> bool {
+    let Some(p1) = i.checked_sub(1) else {
+        return false;
+    };
+    if toks[p1].is_punct('.') {
+        return !p1.checked_sub(1).is_some_and(|p2| toks[p2].is_punct('.'));
+    }
+    toks[p1].is_punct(':') && p1.checked_sub(1).is_some_and(|p2| toks[p2].is_punct(':'))
+}
+
+/// `toks[i], toks[i+1]` are `::`.
+fn path_sep(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(':')) && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+}
+
+fn arrow_half(toks: &[Tok], i: usize) -> bool {
+    toks[i].is_punct('>') && i > 0 && toks[i - 1].is_punct('-')
+}
+
+/// One past the group opened at `open_idx`.
+fn skip_group(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the `>` closing the `<` at `open_idx` (arrow-aware).
+fn skip_angle(toks: &[Tok], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('<') if !arrow_half(toks, j) => depth += 1,
+            TokKind::Punct('>') if !arrow_half(toks, j) => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            TokKind::Punct('(') => j = skip_group(toks, j, '(', ')') - 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Splits `[s, e)` at top-level commas.
+fn split_args(toks: &[Tok], s: usize, e: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut d = 0i32;
+    let mut start = s;
+    let mut j = s;
+    while j < e {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+            TokKind::Punct('<') if !arrow_half(toks, j) => d += 1,
+            TokKind::Punct('>') if d > 0 && !arrow_half(toks, j) => d -= 1,
+            TokKind::Punct(',') if d == 0 => {
+                if start < j {
+                    out.push((start, j));
+                }
+                start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if start < e {
+        out.push((start, e));
+    }
+    out
+}
+
+fn range_has_ident(toks: &[Tok], s: usize, e: usize) -> bool {
+    toks[s.min(toks.len())..e.min(toks.len())]
+        .iter()
+        .any(|t| t.ident().is_some())
+}
+
+/// Whether `[s, e)` is a constant-like bound: it must contain an anchor
+/// (a literal, an UPPER_SNAKE const, a `len()` call, or an ident naming
+/// a max/limit/cap) and no currently-tainted ident.
+fn const_like(toks: &[Tok], s: usize, e: usize, tainted: &HashMap<String, Taint>) -> bool {
+    let mut anchor = false;
+    for t in &toks[s.min(toks.len())..e.min(toks.len())] {
+        match &t.kind {
+            TokKind::Literal => anchor = true,
+            TokKind::Ident(id) => {
+                if tainted.contains_key(id) {
+                    return false;
+                }
+                let upper = id.len() > 1
+                    && id
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                    && id.chars().any(|c| c.is_ascii_uppercase());
+                let lower = id.to_ascii_lowercase();
+                if upper
+                    || id == "len"
+                    || lower.contains("max")
+                    || lower.contains("limit")
+                    || lower.contains("cap")
+                {
+                    anchor = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    anchor
+}
+
+/// Whether the block `{ .. }` opened at `brace` diverges (contains an
+/// early exit), making a preceding bound comparison a real guard.
+fn block_diverges(toks: &[Tok], brace: usize, close: usize) -> bool {
+    toks[brace..=close.min(toks.len() - 1)]
+        .iter()
+        .any(|t| matches!(t.ident(), Some("return" | "break" | "continue")))
+}
+
+/// Splits a condition on top-level `||`.
+fn split_on_or(toks: &[Tok], s: usize, e: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut d = 0i32;
+    let mut start = s;
+    let mut j = s;
+    while j < e {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+            TokKind::Punct('|') if d == 0 && toks.get(j + 1).is_some_and(|t| t.is_punct('|')) => {
+                out.push((start, j));
+                start = j + 2;
+                j += 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out.push((start, e));
+    out
+}
+
+/// Recognizes `NAME > BOUND` / `NAME >= BOUND` / `BOUND < NAME` /
+/// `BOUND <= NAME` with a constant-like bound; returns the variable the
+/// guard proves an upper bound for.
+fn upper_bound_guard(
+    toks: &[Tok],
+    s: usize,
+    e: usize,
+    tainted: &HashMap<String, Taint>,
+) -> Option<String> {
+    // `NAME > BOUND` form.
+    if let Some(name) = toks.get(s).and_then(|t| t.ident()) {
+        if toks.get(s + 1).is_some_and(|t| t.is_punct('>')) {
+            let bs = if toks.get(s + 2).is_some_and(|t| t.is_punct('=')) {
+                s + 3
+            } else {
+                s + 2
+            };
+            if bs < e && const_like(toks, bs, e, tainted) {
+                return Some(name.to_string());
+            }
+        }
+    }
+    // `BOUND < NAME` form: the comparison is the last two/three tokens.
+    if e >= 2 {
+        if let Some(name) = toks.get(e - 1).and_then(|t| t.ident()) {
+            let lt = e - 2;
+            let cmp_at = if toks.get(lt).is_some_and(|t| t.is_punct('=')) && lt > s {
+                lt - 1
+            } else {
+                lt
+            };
+            if toks.get(cmp_at).is_some_and(|t| t.is_punct('<'))
+                && cmp_at > s
+                && const_like(toks, s, cmp_at, tainted)
+                && !toks.get(e - 2).is_some_and(|t| t.is_punct('.'))
+            {
+                return Some(name.to_string());
+            }
+        }
+    }
+    None
+}

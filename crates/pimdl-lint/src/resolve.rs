@@ -238,6 +238,14 @@ pub struct FnEvents {
     pub self_kind: SelfKind,
     /// Constructor heuristic: returns `Self`/the impl type.
     pub ret_self: bool,
+    /// Index into the `files` slice `build` was called with.
+    pub file_idx: usize,
+    /// Index into that file's `fns()` span list.
+    pub span_idx: usize,
+    /// Typed value-parameter names, in declaration order (`self` excluded)
+    /// — positionally parallel to call-site arguments, which is what the
+    /// taint pass needs to push caller facts into callees.
+    pub params: Vec<String>,
     pub events: Vec<Event>,
 }
 
@@ -477,6 +485,9 @@ pub fn build(files: &[SourceFile]) -> Workspace {
             krate,
             self_kind: sig.self_kind,
             ret_self: sig.ret_self,
+            file_idx: fi,
+            span_idx: si,
+            params: sig.params.iter().map(|(n, _)| n.clone()).collect(),
             events: w.events,
         });
     }

@@ -17,13 +17,15 @@ fn fixture(name: &str) -> PathBuf {
 /// Lints one fixture. The L2 fixtures are configured as hot paths (the
 /// l4/l6 ones must not be: their `.lock().unwrap()` chains are lock
 /// material, not L2 material), `fixtures/reactor.rs` as the syscall
-/// shim, and the l6 fixtures as the lockset scope, so L2/L5/L6 apply to
-/// the corpus the way they apply to the real modules.
+/// shim, the l6 fixtures as the lockset scope, and the l7 fixtures as
+/// the taint scope, so L2/L5/L6/L7 apply to the corpus the way they
+/// apply to the real modules.
 fn lint_fixture(name: &str, allow_toml: &str) -> pimdl_lint::diag::Report {
     let cfg = LintConfig {
         hot_paths: vec!["l2_bad.rs".to_string(), "l2_clean.rs".to_string()],
         syscall_files: vec!["fixtures/reactor.rs".to_string()],
         lockset_paths: vec!["l6_bad.rs".to_string(), "l6_clean.rs".to_string()],
+        taint_paths: vec!["l7_bad.rs".to_string(), "l7_clean.rs".to_string()],
     };
     let allow = AllowList::parse(allow_toml);
     lint_paths(&[fixture(name)], &allow, &cfg).expect("fixture must be readable")
@@ -63,6 +65,7 @@ fn clean_fixtures_pass() {
         "l4_clean.rs",
         "l4_alias_clean.rs",
         "l6_clean.rs",
+        "l7_clean.rs",
         "reactor.rs",
     ] {
         let report = lint_fixture(name, "");
@@ -72,6 +75,35 @@ fn clean_fixtures_pass() {
             report.render_human()
         );
     }
+}
+
+/// The bad L7 fixture seeds one flow per sink kind (plus the
+/// interprocedural and `vec!` forms); the pass must report exactly that
+/// (code, line) set — no misses, no extras.
+#[test]
+fn l7_bad_fixture_reports_every_seeded_flow() {
+    let report = lint_fixture("l7_bad.rs", "");
+    let got: Vec<(&str, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.lint.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("L7-ALLOC", 27), // decode_alloc: Vec::with_capacity(n)
+            ("L7-LOOP", 36),  // decode_loop: for _ in 0..count
+            ("L7-INDEX", 45), // decode_index: payload[at]
+            ("L7-TRUNC", 51), // decode_trunc: len as u16
+            ("L7-ALLOC", 55), // scratch: with_capacity(len) via summary
+            ("L7-ALLOC", 56), // scratch: buf.resize(len, 0)
+            ("L7-ALLOC", 69), // decode_vec_macro: vec![0u8; len]
+        ],
+        "got:\n{}",
+        report.render_human()
+    );
+    assert!(report.taint_sources > 0, "source sites counted");
+    assert!(report.taint_sinks > 0, "sink sites counted");
 }
 
 #[test]
@@ -149,6 +181,7 @@ fn binary_exit_codes_match_fixture_corpus() {
         ("l4_alias_bad.rs", "L4-LOCK-ORDER"),
         ("l5_bad.rs", "L5-SYSCALL"),
         ("l6_bad.rs", "L6-LOCKSET"),
+        ("l7_bad.rs", "L7-ALLOC"),
     ] {
         let out = Command::new(bin)
             .args([
@@ -159,6 +192,8 @@ fn binary_exit_codes_match_fixture_corpus() {
                 "fixtures/reactor.rs",
                 "--lockset",
                 "l6_bad.rs",
+                "--taint",
+                "l7_bad.rs",
                 "--file",
             ])
             .arg(fixture(name))
@@ -177,6 +212,8 @@ fn binary_exit_codes_match_fixture_corpus() {
         "fixtures/reactor.rs",
         "--lockset",
         "l6_clean.rs",
+        "--taint",
+        "l7_clean.rs",
     ]);
     for name in [
         "l1_clean.rs",
@@ -186,6 +223,7 @@ fn binary_exit_codes_match_fixture_corpus() {
         "l4_clean.rs",
         "l4_alias_clean.rs",
         "l6_clean.rs",
+        "l7_clean.rs",
         "reactor.rs",
     ] {
         clean.arg("--file").arg(fixture(name));
@@ -240,6 +278,14 @@ fn binary_explain_and_github_format() {
     assert!(text.contains("lockset") && text.contains("Allowlist policy"));
 
     let out = Command::new(bin)
+        .args(["--explain", "L7-ALLOC"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("allocation") && text.contains("MAX_"));
+
+    let out = Command::new(bin)
         .args(["--explain", "L9-NOPE"])
         .output()
         .expect("binary runs");
@@ -280,4 +326,6 @@ fn binary_writes_inventory_json() {
     let _ = std::fs::remove_file(&path);
     assert!(json.contains("\"unsafe_sites\""), "{json}");
     assert!(json.contains("Guarded::m"), "lock identity listed: {json}");
+    assert!(json.contains("\"taint_sources\""), "{json}");
+    assert!(json.contains("\"taint_sinks\""), "{json}");
 }

@@ -1,0 +1,70 @@
+//! L7 fixture: every value decoded from the wire flows into a sink with
+//! no clamp, guard, or checked conversion — one seeded flow per sink
+//! kind, plus the interprocedural (summary) and `vec!` forms. The
+//! expected (code, line) set is pinned in tests/fixtures.rs.
+
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+}
+
+pub fn decode_alloc(payload: &[u8]) -> Vec<u64> {
+    let mut c = Cursor::new(payload);
+    let n = c.u32() as usize;
+    let mut out = Vec::with_capacity(n);
+    out.push(n as u64);
+    out
+}
+
+pub fn decode_loop(payload: &[u8]) -> u64 {
+    let mut c = Cursor::new(payload);
+    let count = c.u32();
+    let mut total = 0u64;
+    for _ in 0..count {
+        total += 1;
+    }
+    total
+}
+
+pub fn decode_index(payload: &[u8]) -> u8 {
+    let mut c = Cursor::new(payload);
+    let at = c.u32() as usize;
+    payload[at]
+}
+
+pub fn decode_trunc(payload: &[u8]) -> u16 {
+    let mut c = Cursor::new(payload);
+    let len = c.u32();
+    len as u16
+}
+
+fn scratch(len: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(len);
+    buf.resize(len, 0);
+    buf
+}
+
+pub fn decode_param(payload: &[u8]) -> Vec<u8> {
+    let mut c = Cursor::new(payload);
+    let len = c.u32() as usize;
+    scratch(len)
+}
+
+pub fn decode_vec_macro(payload: &[u8]) -> Vec<u8> {
+    let mut c = Cursor::new(payload);
+    let len = c.u32() as usize;
+    vec![0u8; len]
+}

@@ -1,0 +1,68 @@
+//! L7 fixture: the same wire-decoded flows as l7_bad.rs, each passing a
+//! recognized sanitizer before its sink — the pass must stay silent.
+
+const MAX_ITEMS: usize = 1024;
+
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+}
+
+pub fn decode_clamped(payload: &[u8]) -> Vec<u64> {
+    let mut c = Cursor::new(payload);
+    let n = c.u32() as usize;
+    let mut out = Vec::with_capacity(n.min(MAX_ITEMS));
+    out.push(0);
+    out
+}
+
+pub fn decode_guarded(payload: &[u8]) -> Result<Vec<u64>, String> {
+    let mut c = Cursor::new(payload);
+    let n = c.u32() as usize;
+    if n > MAX_ITEMS {
+        return Err("count exceeds MAX_ITEMS".to_string());
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(u64::from(c.u32()));
+    }
+    Ok(out)
+}
+
+pub fn decode_checked_cast(payload: &[u8]) -> u16 {
+    let mut c = Cursor::new(payload);
+    let len = c.u32();
+    match u16::try_from(len) {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn decode_get(payload: &[u8]) -> u8 {
+    let mut c = Cursor::new(payload);
+    let at = c.u32() as usize;
+    payload.get(at).copied().unwrap_or(0)
+}
+
+fn fill(len: usize) -> Vec<u8> {
+    vec![0u8; len]
+}
+
+pub fn decode_clamped_param(payload: &[u8]) -> Vec<u8> {
+    let mut c = Cursor::new(payload);
+    let n = c.u32() as usize;
+    fill(n.min(MAX_ITEMS))
+}

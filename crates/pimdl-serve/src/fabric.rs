@@ -74,6 +74,14 @@ pub const FRAME_VERSION: u8 = 1;
 /// Hard per-frame payload cap (1 MiB): bounds decoder buffering against
 /// corrupt or hostile length fields.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+/// Cap on the request count in an `Execute` frame; batching policies top
+/// out far below this, so a larger count is a corrupt or hostile frame.
+pub const MAX_EXECUTE_REQUESTS: usize = 1024;
+/// Cap on the per-request index count in an `Execute` frame (the full
+/// `u16` index space — indices address LUT rows and travel as `u16`).
+pub const MAX_REQUEST_INDICES: usize = 1 << 16;
+/// Cap on the flag count in an `ExecDone` frame (one flag per request).
+pub const MAX_EXEC_FLAGS: usize = MAX_EXECUTE_REQUESTS;
 
 const HEADER_LEN: usize = 8;
 const TRAILER_LEN: usize = 4;
@@ -356,17 +364,24 @@ fn decode_payload(kind: u8, payload: &[u8]) -> std::result::Result<Frame, FrameE
             let service_s = c.f64()?;
             let table = c.str_()?;
             let n = c.u32()? as usize;
-            let mut requests = Vec::with_capacity(n.min(1024));
+            if n > MAX_EXECUTE_REQUESTS {
+                return Err(FrameError::new(format!(
+                    "request count {n} exceeds MAX_EXECUTE_REQUESTS"
+                )));
+            }
+            let mut requests = Vec::with_capacity(n);
             for _ in 0..n {
                 let id = c.u64()?;
                 let arrival_s = c.f64()?;
                 let deadline_s = c.f64()?;
                 let expected_checksum = c.f64()?;
                 let k = c.u32()? as usize;
-                let raw = c.take(
-                    k.checked_mul(2)
-                        .ok_or_else(|| FrameError::new("index count overflows"))?,
-                )?;
+                if k > MAX_REQUEST_INDICES {
+                    return Err(FrameError::new(format!(
+                        "index count {k} exceeds MAX_REQUEST_INDICES"
+                    )));
+                }
+                let raw = c.take(k * 2)?;
                 let indices = raw
                     .chunks_exact(2)
                     .map(|p| u16::from_le_bytes([p[0], p[1]]))
@@ -389,6 +404,11 @@ fn decode_payload(kind: u8, payload: &[u8]) -> std::result::Result<Frame, FrameE
         KIND_EXEC_DONE => {
             let batch_id = c.u64()?;
             let n = c.u32()? as usize;
+            if n > MAX_EXEC_FLAGS {
+                return Err(FrameError::new(format!(
+                    "flag count {n} exceeds MAX_EXEC_FLAGS"
+                )));
+            }
             let raw = c.take(n)?;
             let flags = raw.iter().map(|&b| b != 0).collect();
             Frame::ExecDone { batch_id, flags }

@@ -33,6 +33,12 @@ pub const MAX_HEADER_BYTES: usize = 8 * 1024;
 pub const MAX_BODY_BYTES: usize = 256 * 1024;
 /// Cap on the number of header fields per request.
 pub const MAX_HEADER_FIELDS: usize = 64;
+/// Cap on a single chunk in a chunked response the client reads; a
+/// server announcing more is framing garbage, not a bigger buffer.
+pub const MAX_CLIENT_CHUNK_BYTES: usize = 1024 * 1024;
+/// Cap on a response body the client buffers, whether announced via
+/// Content-Length or accumulated across chunks.
+pub const MAX_CLIENT_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// Parser resource limits (the flood-control half of the state machine).
 #[derive(Debug, Clone, Copy)]
@@ -713,6 +719,11 @@ impl HttpClient {
                     usize::from_str_radix(size_line.trim(), 16).map_err(|_| ServeError::Io {
                         detail: format!("bad chunk size: {size_line:?}"),
                     })?;
+                if size > MAX_CLIENT_CHUNK_BYTES {
+                    return Err(ServeError::Io {
+                        detail: format!("chunk of {size} bytes exceeds MAX_CLIENT_CHUNK_BYTES"),
+                    });
+                }
                 let mut chunk = vec![0u8; size + 2]; // data + CRLF
                 self.reader
                     .read_exact(&mut chunk)
@@ -722,8 +733,18 @@ impl HttpClient {
                 }
                 chunk.truncate(size);
                 body.extend_from_slice(&chunk);
+                if body.len() > MAX_CLIENT_BODY_BYTES {
+                    return Err(ServeError::Io {
+                        detail: "chunked body exceeds MAX_CLIENT_BODY_BYTES".to_string(),
+                    });
+                }
             }
         } else if let Some(len) = content_length {
+            if len > MAX_CLIENT_BODY_BYTES {
+                return Err(ServeError::Io {
+                    detail: format!("body of {len} bytes exceeds MAX_CLIENT_BODY_BYTES"),
+                });
+            }
             body = vec![0u8; len];
             self.reader
                 .read_exact(&mut body)

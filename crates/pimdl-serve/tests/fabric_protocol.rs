@@ -232,6 +232,173 @@ proptest! {
     }
 }
 
+/// CRC32/IEEE as a hostile-but-checksumming peer would compute it, so
+/// adversarial frames below pass the CRC gate and reach the payload
+/// decoder.
+fn crc32_ieee(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let mut x = (c ^ u32::from(b)) & 0xFF;
+        for _ in 0..8 {
+            x = if x & 1 == 1 {
+                0xEDB8_8320 ^ (x >> 1)
+            } else {
+                x >> 1
+            };
+        }
+        c = x ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A raw frame image with a correct header and trailer around an
+/// arbitrary payload: magic, version 1, `kind`, little-endian length,
+/// payload, CRC32/IEEE over everything before the trailer.
+fn raw_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(8 + payload.len() + 4);
+    bytes.extend_from_slice(&[0xAB, 0x1E, 1, kind]);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let crc = crc32_ieee(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Regression: a length header claiming a ~4 GiB payload must be refused
+/// from the header alone — one error naming the cap, no buffering toward
+/// the claimed length, then `Ok(None)` forever. Before the cap existed a
+/// hostile 8-byte header could park the decoder waiting on (and a naive
+/// decoder allocating) 4 GiB.
+#[test]
+fn oversized_length_header_cannot_cause_a_large_allocation() {
+    let mut header = vec![0xAB, 0x1E, 1, 4];
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut dec = FrameDecoder::new();
+    dec.push(&header);
+    let err = dec.next_frame().expect_err("4 GiB length must be refused");
+    assert!(
+        err.detail.contains("cap"),
+        "refusal names the cap: {}",
+        err.detail
+    );
+    assert_eq!(dec.pending(), 0, "poisoned decoder holds no bytes");
+    dec.push(&vec![0u8; 4096]);
+    assert!(matches!(dec.next_frame(), Ok(None)), "poisoned forever");
+    assert_eq!(
+        dec.pending(),
+        0,
+        "post-poison pushes are dropped, not buffered"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Adversarial payload counts inside a CRC-valid frame: `Execute`
+    /// request counts near `u32::MAX`, per-request index counts whose
+    /// byte size would overflow, `ExecDone` flag counts beyond the cap,
+    /// and counts that merely exceed the bytes actually present must all
+    /// surface as exactly one malformed-payload error — no panic, no
+    /// count-sized allocation — and poison the decoder. Peak allocation
+    /// stays bounded by the (tiny) frame actually sent: the decoder never
+    /// buffers past it and drops everything on poisoning.
+    #[test]
+    fn hostile_payload_counts_poison_without_allocating(
+        seed in 0u64..100_000,
+        case in 0usize..4,
+    ) {
+        let mut rng = TestRng::deterministic(&format!("fabric-hostile-{seed}"));
+        let noise = rng.next_u64() as u32 % 1024;
+        let payload = match case {
+            0 => {
+                // Execute with a request count near u32::MAX.
+                let mut p = Vec::new();
+                p.extend_from_slice(&rng.next_u64().to_le_bytes()); // batch_id
+                p.extend_from_slice(&1e-3f64.to_le_bytes()); // service_s
+                p.extend_from_slice(&1u16.to_le_bytes()); // table name len
+                p.push(b't');
+                p.extend_from_slice(&(u32::MAX - noise).to_le_bytes());
+                p
+            }
+            1 => {
+                // Execute whose single request carries an index count whose
+                // 2-byte element size would overflow the length arithmetic.
+                let mut p = Vec::new();
+                p.extend_from_slice(&rng.next_u64().to_le_bytes());
+                p.extend_from_slice(&1e-3f64.to_le_bytes());
+                p.extend_from_slice(&1u16.to_le_bytes());
+                p.push(b't');
+                p.extend_from_slice(&1u32.to_le_bytes()); // one request
+                p.extend_from_slice(&rng.next_u64().to_le_bytes()); // id
+                p.extend_from_slice(&0f64.to_le_bytes()); // arrival_s
+                p.extend_from_slice(&1f64.to_le_bytes()); // deadline_s
+                p.extend_from_slice(&0f64.to_le_bytes()); // checksum
+                p.extend_from_slice(&(u32::MAX - noise).to_le_bytes());
+                p
+            }
+            2 => {
+                // ExecDone with a flag count near u32::MAX.
+                let mut p = Vec::new();
+                p.extend_from_slice(&rng.next_u64().to_le_bytes());
+                p.extend_from_slice(&(u32::MAX - noise).to_le_bytes());
+                p
+            }
+            _ => {
+                // Execute whose request count is within the cap but claims
+                // more requests than the payload holds a single byte of.
+                let mut p = Vec::new();
+                p.extend_from_slice(&rng.next_u64().to_le_bytes());
+                p.extend_from_slice(&1e-3f64.to_le_bytes());
+                p.extend_from_slice(&1u16.to_le_bytes());
+                p.push(b't');
+                p.extend_from_slice(&(2 + noise % 1000).to_le_bytes());
+                p
+            }
+        };
+        let kind = if case == 2 { 5 } else { 4 }; // ExecDone vs Execute
+        let bytes = raw_frame(kind, &payload);
+        prop_assert!(bytes.len() < 128, "the hostile frame itself is tiny");
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let err = match dec.next_frame() {
+            Err(e) => e,
+            other => return Err(TestCaseError::fail(format!(
+                "hostile counts must error, got {other:?}"
+            ))),
+        };
+        prop_assert!(
+            err.detail.contains("exceeds") || err.detail.contains("truncated"),
+            "error names the cap or the truncation: {}",
+            err.detail
+        );
+        prop_assert_eq!(dec.pending(), 0, "poisoned decoder buffers nothing");
+        dec.push(&Frame::Shutdown.encode().expect("encodable"));
+        prop_assert!(matches!(dec.next_frame(), Ok(None)), "and stays poisoned");
+    }
+
+    /// The HTTP front end under the same attack: a declared body length
+    /// anywhere between just-over-the-cap and `u32::MAX` must be refused
+    /// as 413 from the headers alone — before any body byte arrives or
+    /// any body-sized buffer exists — and the parser must poison.
+    #[test]
+    fn hostile_content_lengths_refuse_as_413_before_allocating(extra in 0u64..u32::MAX as u64) {
+        let len = (pimdl_serve::http::MAX_BODY_BYTES as u64 + 1).saturating_add(extra);
+        let head = format!("POST /v1/predict HTTP/1.1\r\nContent-Length: {len}\r\n\r\n");
+        let mut p = HttpParser::default();
+        p.push(head.as_bytes());
+        let err = match p.next_request() {
+            Err(e) => e,
+            other => return Err(TestCaseError::fail(format!(
+                "oversized declared body must be refused, got {other:?}"
+            ))),
+        };
+        prop_assert_eq!(err.status, 413, "{}", err.detail);
+        prop_assert!(err.detail.contains("exceeds"), "{}", err.detail);
+        p.push(b"GET / HTTP/1.1\r\n\r\n");
+        prop_assert!(matches!(p.next_request(), Ok(None)), "parser poisons");
+    }
+}
+
 /// The shared poisoning contract, pinned for the fabric decoder: garbage
 /// that fails the magic check yields one error, then `Ok(None)` forever,
 /// even across later pushes of valid frames.

@@ -16,20 +16,31 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 
 # Static analysis: unsafe audit, panic-path, atomic-ordering, lock-order,
-# syscall-confinement, and the lockset race heuristic over the whole
-# workspace (hard gate; exemptions live in lint-allow.toml and must carry
-# justifications). The human report ends with a per-pass finding-count /
-# wall-time summary; the unsafe-site and lock-identity inventories land
-# in results/lint_inventory.json for drift review. Under GitHub Actions
-# the findings come out as ::error annotations instead.
+# syscall-confinement, the lockset race heuristic, and the L7 untrusted-
+# input taint pass over the whole workspace (hard gate; exemptions live
+# in lint-allow.toml and must carry justifications). The human report
+# ends with a per-pass finding-count / wall-time summary; the unsafe-site,
+# lock-identity, and taint source/sink inventories land in
+# results/lint_inventory.json for drift review. Under GitHub Actions the
+# findings come out as ::error annotations instead. The wall-time budget
+# (2x the pre-L7 baseline of 1.4s) flags creeping pass cost without
+# failing the gate.
 echo "==> pimdl-lint"
 LINT_FORMAT=human
 if [[ "${GITHUB_ACTIONS:-}" == "1" || "${GITHUB_ACTIONS:-}" == "true" ]]; then
     LINT_FORMAT=github
 fi
 mkdir -p results
+LINT_BUDGET_US="${LINT_BUDGET_US:-2800000}"
+lint_start_ns=$(date +%s%N)
 cargo run --offline -q -p pimdl-lint -- \
     --format "${LINT_FORMAT}" --inventory results/lint_inventory.json
+lint_elapsed_us=$(( ($(date +%s%N) - lint_start_ns) / 1000 ))
+echo "pimdl-lint wall time: ${lint_elapsed_us}us (budget ${LINT_BUDGET_US}us)"
+if (( lint_elapsed_us > LINT_BUDGET_US )); then
+    echo "WARNING: pimdl-lint exceeded its wall-time budget" \
+        "(${lint_elapsed_us}us > ${LINT_BUDGET_US}us)" >&2
+fi
 
 for crate in "${WORKSPACE_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} -- -D warnings"
