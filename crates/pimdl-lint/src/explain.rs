@@ -33,7 +33,7 @@ impl Explanation {
     }
 }
 
-static EXPLANATIONS: [Explanation; 11] = [
+static EXPLANATIONS: [Explanation; 12] = [
     Explanation {
         code: "L1-SAFETY",
         title: "every unsafe site carries a SAFETY justification",
@@ -142,10 +142,16 @@ static EXPLANATIONS: [Explanation; 11] = [
         approximations: "Taint starts at byte/string decoders (`from_le_bytes`, \
                     `from_str_radix`, `.parse()`, ...) in the configured protocol \
                     modules and flows through lets, assignments, arithmetic, casts, \
-                    and resolved calls (return and parameter summaries to fixpoint). \
-                    Struct fields, collections, closures, and `while` bounds are \
-                    invisible (false negatives); `checked_*`/`try_into` kill taint \
-                    even when they bound overflow rather than magnitude.",
+                    and resolved calls (return and parameter summaries to fixpoint), \
+                    paired with an interval [lo, hi] per value. A sink only accepts \
+                    a sanitizer whose bound is *proved*: `.min(MAX)`/`.clamp(..)` \
+                    and `if n > MAX {..}` guards narrow the interval, and the sink \
+                    checks hi <= 2^24 (or a symbolic `<= buf.len()` bound) — \
+                    `.min(HUGE)` taint-theater still fires. Struct fields, \
+                    collections, closures, and `while` bounds are invisible (false \
+                    negatives); `checked_*`/`try_into` kill taint even when they \
+                    bound overflow rather than magnitude. `--taint-ranges off` \
+                    reverts to purely syntactic clamp recognition.",
         allow_policy: "No allowlist escape by default — add the bounds check; the \
                     guard `if n > MAX_X { return Err(..) }` is recognized and is \
                     also the real fix.",
@@ -181,12 +187,37 @@ static EXPLANATIONS: [Explanation; 11] = [
                     target type, so a later bounds check validates the wrong \
                     number — the classic length-truncation smuggling bug. Use \
                     `try_into()` and treat failure as a protocol error.",
-        approximations: "Narrowing means a cast to u8/u16/u32/i8/i16/i32; casts \
-                    to usize/u64 propagate taint but do not fire. The pass does \
-                    not track the source's actual width, so `u8 as u32 as u16` \
-                    can fire spuriously — `try_into` is still the clean spelling.",
+        approximations: "Fires when the value's *proved* interval exceeds the \
+                    cast target's range (u8/u16/u32/i8/i16/i32 targets); casts to \
+                    usize/u64 propagate taint but do not fire. Interval tracking \
+                    knows source widths, so `u8::from_le_bytes(..) as u16` is \
+                    clean and a clamped value casts cleanly below its bound; a \
+                    symbolically bounded value (`<= buf.len()`) is trusted not to \
+                    truncate (false negative on 32-bit-address hosts). With \
+                    `--taint-ranges off`, any tainted cast to a narrow type fires.",
         allow_policy: "No allowlist escape by default — `try_into` with error \
                     handling both fixes and silences it.",
+    },
+    Explanation {
+        code: "L8-OVERFLOW",
+        title: "no wrapping arithmetic on unvalidated wire input",
+        rationale: "`length * count` frame math in release mode wraps silently: a \
+                    u32 multiply of two attacker-chosen 16-bit values can exceed \
+                    u32::MAX, so the wrapped product passes every later bounds \
+                    check while the attacker keeps the real (huge) value in mind — \
+                    offset smuggling through arithmetic. The same applies to \
+                    accumulating offsets (`pos += len`) and shifts. Use \
+                    `checked_*`/`saturating_*` or widen to u64 before the math.",
+        approximations: "Fires on `+`, `*`, `<<` (and their `op=` forms) where a \
+                    tainted operand's proved interval exceeds the u8/u16/u32 \
+                    operand type; u64/usize arithmetic is exempt (a 64-bit wrap \
+                    needs ~2^32 iterations of accumulation, and unknown-width \
+                    operands would drown the report in noise — false negatives). \
+                    Operand types come from source widths, `as` casts, and \
+                    `uN::from` widenings; untyped literals adopt the other \
+                    operand's width. Requires `--taint-ranges on` (the default).",
+        allow_policy: "No allowlist escape by default — `checked_mul`/`u64::from` \
+                    both fix and silence it.",
     },
     Explanation {
         code: "LINT-ALLOW",
@@ -219,6 +250,7 @@ mod tests {
             "L7-INDEX",
             "L7-LOOP",
             "L7-TRUNC",
+            "L8-OVERFLOW",
             "LINT-ALLOW",
         ] {
             let e = lookup(code).unwrap_or_else(|| panic!("{code} missing"));

@@ -21,11 +21,14 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// A token plus its 1-based source line.
+/// A token plus its 1-based source line. Integer literals additionally
+/// carry their parsed value (`num`), which feeds the interval domain in
+/// `passes::range`; string/char/float literals leave it `None`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     pub kind: TokKind,
     pub line: u32,
+    pub num: Option<u128>,
 }
 
 impl Tok {
@@ -120,6 +123,7 @@ pub fn lex(source: &str) -> Lexed {
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
                     line,
+                    num: None,
                 });
                 i = end;
             }
@@ -129,6 +133,7 @@ pub fn lex(source: &str) -> Lexed {
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
                     line,
+                    num: None,
                 });
                 i = end;
             }
@@ -146,6 +151,7 @@ pub fn lex(source: &str) -> Lexed {
                     out.tokens.push(Tok {
                         kind: TokKind::Lifetime,
                         line,
+                        num: None,
                     });
                     i = j;
                 } else {
@@ -159,6 +165,7 @@ pub fn lex(source: &str) -> Lexed {
                     out.tokens.push(Tok {
                         kind: TokKind::Literal,
                         line,
+                        num: None,
                     });
                     i = (j + 1).min(n);
                 }
@@ -176,9 +183,11 @@ pub fn lex(source: &str) -> Lexed {
                         j += 1;
                     }
                 }
+                let text: String = bytes[i..j].iter().collect();
                 out.tokens.push(Tok {
                     kind: TokKind::Literal,
                     line,
+                    num: parse_int_literal(&text),
                 });
                 i = j;
             }
@@ -190,6 +199,7 @@ pub fn lex(source: &str) -> Lexed {
                 out.tokens.push(Tok {
                     kind: TokKind::Ident(bytes[i..j].iter().collect()),
                     line,
+                    num: None,
                 });
                 i = j;
             }
@@ -197,12 +207,54 @@ pub fn lex(source: &str) -> Lexed {
                 out.tokens.push(Tok {
                     kind: TokKind::Punct(c),
                     line,
+                    num: None,
                 });
                 i += 1;
             }
         }
     }
     out
+}
+
+/// Parses an integer literal's value: decimal, `0x`/`0o`/`0b` radix
+/// prefixes, `_` separators, and trailing type suffixes (`42u32`,
+/// `7usize`). Floats and out-of-range values yield `None` — the interval
+/// passes treat those as unknown.
+fn parse_int_literal(text: &str) -> Option<u128> {
+    let (radix, digits) = match text.as_bytes() {
+        [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+        [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+        [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+        rest => (10, rest),
+    };
+    let mut value: u128 = 0;
+    let mut any = false;
+    let mut it = digits.iter().copied().peekable();
+    while let Some(b) = it.next() {
+        if b == b'_' {
+            continue;
+        }
+        let d = match (b as char).to_digit(radix) {
+            Some(d) => d,
+            None => {
+                // A type suffix (`u32`, `i64`, `usize`) ends the digits;
+                // `.`, `e`/`E` in decimal mean a float.
+                if radix == 10 && (b == b'.' || b == b'e' || b == b'E') {
+                    return None;
+                }
+                let rest: Vec<u8> = std::iter::once(b).chain(it).collect();
+                return match rest.as_slice() {
+                    s if s.starts_with(b"u") || s.starts_with(b"i") => any.then_some(value),
+                    _ => None,
+                };
+            }
+        };
+        any = true;
+        value = value
+            .checked_mul(radix as u128)?
+            .checked_add(u128::from(d))?;
+    }
+    any.then_some(value)
 }
 
 /// Whether position `i` starts a raw/byte string prefix (`r"`, `r#`, `b"`,
@@ -350,6 +402,26 @@ mod tests {
         let l = lex("for i in 0..total { let x = 1.5e3; }");
         let puncts = l.tokens.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(puncts, 2, "0..total keeps both dots: {:?}", l.tokens);
+    }
+
+    #[test]
+    fn integer_literals_carry_values() {
+        let l =
+            lex("let x = 1_024; let y = 0xFF_u32; let z = 1 << 20; let f = 1.5; let s = \"9\";");
+        let nums: Vec<Option<u128>> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.num)
+            .collect();
+        assert_eq!(nums, [Some(1024), Some(255), Some(1), Some(20), None, None]);
+        assert_eq!(
+            lex("0b1010 0o17 42usize 99i64").tokens[..4]
+                .iter()
+                .map(|t| t.num)
+                .collect::<Vec<_>>(),
+            [Some(10), Some(15), Some(42), Some(99)]
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! pimdl-lint — the workspace static-analysis gate.
 //!
-//! Seven passes over every crate's source, built on a comment/string-aware
+//! Eight passes over every crate's source, built on a comment/string-aware
 //! token scanner (no rustc, no deps, fully offline). The token-level
 //! passes run first; the concurrency passes run over a *resolution layer*
 //! ([`resolve`]) that builds a per-crate symbol table, resolves lock and
@@ -23,8 +23,11 @@
 //!   written under a lock but read with no lock held is a finding.
 //! * **L7-TAINT** — untrusted-input dataflow: wire-decoded values
 //!   (frame/HTTP lengths and counts) reaching allocations, slice
-//!   indexing, loop bounds, or narrowing casts without a recognized
-//!   clamp/guard sanitizer.
+//!   indexing, loop bounds, or narrowing casts without a sanitizer whose
+//!   bound is *proved* by interval abstract interpretation ([`passes::range`]).
+//! * **L8-OVERFLOW** — `+`/`*`/`<<` on a tainted `u8`/`u16`/`u32` whose
+//!   proved interval exceeds the operand type's range: the release-mode
+//!   wrap fabricates an attacker-steered value before any bounds check.
 //!
 //! See DESIGN.md ("Static analysis") for each pass's known approximations
 //! and the allowlist policy, or run `pimdl-lint --explain <CODE>`.
@@ -49,13 +52,17 @@ use model::SourceFile;
 /// heuristic (L6) covers, and which protocol modules the taint pass
 /// (L7) treats as untrusted-input sources. Paths are component-guarded
 /// suffixes; L6/L7 entries without a `.rs` suffix match as directory
-/// substrings.
+/// substrings. `taint_ranges` enables the interval abstract
+/// interpretation layer (proved sanitizer bounds + L8-OVERFLOW);
+/// turning it off (`--taint-ranges off`) reverts L7 to the purely
+/// syntactic clamp/guard kills and disables L8.
 #[derive(Debug, Clone)]
 pub struct LintConfig {
     pub hot_paths: Vec<String>,
     pub syscall_files: Vec<String>,
     pub lockset_paths: Vec<String>,
     pub taint_paths: Vec<String>,
+    pub taint_ranges: bool,
 }
 
 impl Default for LintConfig {
@@ -97,6 +104,7 @@ impl Default for LintConfig {
             ]
             .map(String::from)
             .to_vec(),
+            taint_ranges: true,
         }
     }
 }
@@ -233,8 +241,17 @@ pub fn run_lints(files: &[SourceFile], allow: &AllowList, cfg: &LintConfig) -> R
     timed("L6-LOCKSET", &mut report, &mut |r| {
         passes::lockset::run(&ws, allow, &cfg.lockset_paths, r);
     });
+    // L7 and L8 share one dataflow engine: the interprocedural fixpoint
+    // and reporting walk run under L7's clock; L8 drains the overflow
+    // findings that walk stashed.
+    let mut taint_engine =
+        passes::taint::Engine::new(&ws, files, &cfg.taint_paths, cfg.taint_ranges);
     timed("L7-TAINT", &mut report, &mut |r| {
-        passes::taint::run(&ws, files, allow, &cfg.taint_paths, r);
+        taint_engine.fixpoint();
+        taint_engine.report(allow, r);
+    });
+    timed("L8-OVERFLOW", &mut report, &mut |r| {
+        taint_engine.report_l8(allow, r);
     });
 
     // Stale exemptions are findings: the allowlist may only shrink.

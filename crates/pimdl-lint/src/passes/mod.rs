@@ -4,6 +4,7 @@ pub mod atomic_order;
 pub mod lock_order;
 pub mod lockset;
 pub mod panic_path;
+pub mod range;
 pub mod syscall_confine;
 pub mod taint;
 pub mod unsafe_audit;

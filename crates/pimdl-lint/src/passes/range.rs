@@ -1,0 +1,366 @@
+//! Interval abstract domain for the taint engine (L7 range-aware
+//! sanitizers) and the L8-OVERFLOW pass.
+//!
+//! Values are unsigned intervals `[lo, hi]` over `u128` — wide enough
+//! that every `u64`/`usize` computation folds without wrapping, so the
+//! transfer functions can detect when a result exceeds the *operand
+//! type's* range (release-mode wrap) before clamping back. `TOP` is
+//! `[0, u128::MAX]`: "any value", indistinguishable from an unknown.
+//!
+//! The domain is deliberately unsigned: the wire-decode surface this
+//! lint guards (`u16`/`u32` lengths, counts, offsets) is unsigned
+//! end-to-end, and modeling signed ranges would double the lattice for
+//! code that never goes negative. Signed arithmetic degrades to `TOP`
+//! (a documented false-negative class, DESIGN.md §10).
+//!
+//! Soundness contract (checked by the proptest oracle in
+//! `tests/interval_props.rs`): for every transfer function `op#`,
+//! if `a ∈ A` and `b ∈ B` then `op(a, b) ∈ op#(A, B)` — where `op` is
+//! the mathematical (unbounded) result for arithmetic, so callers see
+//! pre-wrap magnitudes, and the *wrapped* result for `cast`.
+
+/// An inclusive unsigned interval. `Ival::TOP` means "unknown".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ival {
+    pub lo: u128,
+    pub hi: u128,
+}
+
+/// Join thresholds for widening: once a summary slot keeps growing, its
+/// bound jumps to the next "type-shaped" plateau instead of climbing one
+/// fixpoint round at a time. Chosen to match the capacities the sink
+/// checks compare against, so widening never turns a provable bound
+/// into an unprovable one unless the value really is unbounded.
+const WIDEN_STEPS: [u128; 5] = [
+    u8::MAX as u128,
+    u16::MAX as u128,
+    u32::MAX as u128,
+    u64::MAX as u128,
+    u128::MAX,
+];
+
+impl Ival {
+    pub const TOP: Ival = Ival {
+        lo: 0,
+        hi: u128::MAX,
+    };
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: u128) -> Ival {
+        Ival { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`, normalizing an inverted pair to `TOP` (a crossed
+    /// bound means the analysis lost track — never invent bottom).
+    pub fn new(lo: u128, hi: u128) -> Ival {
+        if lo <= hi {
+            Ival { lo, hi }
+        } else {
+            Ival::TOP
+        }
+    }
+
+    pub fn is_top(&self) -> bool {
+        *self == Ival::TOP
+    }
+
+    pub fn contains(&self, v: u128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &Ival) -> Ival {
+        Ival {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Widening: like `join`, but a growing upper bound jumps to the
+    /// next step in `WIDEN_STEPS` and a shrinking lower bound drops to
+    /// 0, guaranteeing the fixpoint terminates in O(steps) growths.
+    pub fn widen(&self, next: &Ival) -> Ival {
+        let lo = if next.lo < self.lo { 0 } else { self.lo };
+        let hi = if next.hi > self.hi {
+            *WIDEN_STEPS
+                .iter()
+                .find(|&&s| s >= next.hi)
+                .unwrap_or(&u128::MAX)
+        } else {
+            self.hi
+        };
+        Ival { lo, hi }
+    }
+}
+
+/// Width of an unsigned operand type, for cast saturation and the L8
+/// overflow check. Signed and 128-bit types are not modeled (`None`
+/// upstream): `usize` counts as 64-bit — the paper's serving targets
+/// are 64-bit hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Width {
+    W8,
+    W16,
+    W32,
+    W64,
+}
+
+impl Width {
+    /// The type's maximum value.
+    pub fn max(self) -> u128 {
+        match self {
+            Width::W8 => u8::MAX as u128,
+            Width::W16 => u16::MAX as u128,
+            Width::W32 => u32::MAX as u128,
+            Width::W64 => u64::MAX as u128,
+        }
+    }
+
+    /// The wider of two widths (named to avoid the inherent `max`
+    /// shadowing `Ord::max`).
+    pub fn wider(self, other: Width) -> Width {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Parses an unsigned integer type name; signed types are
+    /// deliberately `None` (the domain is unsigned).
+    pub fn of_type(name: &str) -> Option<Width> {
+        match name {
+            "u8" => Some(Width::W8),
+            "u16" => Some(Width::W16),
+            "u32" => Some(Width::W32),
+            "u64" | "usize" => Some(Width::W64),
+            _ => None,
+        }
+    }
+}
+
+/// Upper bound a narrowing `as` cast can hold, for the L7-TRUNC check.
+/// Signed targets keep their positive half: a wire length cast `as i32`
+/// still truncates anything above `i32::MAX`.
+pub fn cast_bound(ty: &str) -> Option<u128> {
+    match ty {
+        "u8" => Some(u8::MAX as u128),
+        "u16" => Some(u16::MAX as u128),
+        "u32" => Some(u32::MAX as u128),
+        "i8" => Some(i8::MAX as u128),
+        "i16" => Some(i16::MAX as u128),
+        "i32" => Some(i32::MAX as u128),
+        _ => None,
+    }
+}
+
+// ---- Transfer functions ------------------------------------------------
+//
+// Arithmetic saturates at u128 bounds instead of wrapping: the result is
+// a sound over-approximation of the *mathematical* value, which is what
+// the overflow check needs (wrap detection compares the mathematical hi
+// against the operand width before the caller clamps).
+
+pub fn add(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.saturating_add(b.lo),
+        hi: a.hi.saturating_add(b.hi),
+    }
+}
+
+/// Unsigned subtraction: `lo - hi` can go negative, which in the
+/// unsigned domain floors at 0 (release-mode `a - b` with `b > a` wraps
+/// huge, but the taint engine flags that via the guard machinery, not
+/// here — modeling it as `TOP.hi` would poison every `len - pos`).
+pub fn sub(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.saturating_sub(b.hi),
+        hi: a.hi.saturating_sub(b.lo),
+    }
+}
+
+pub fn mul(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.saturating_mul(b.lo),
+        hi: a.hi.saturating_mul(b.hi),
+    }
+}
+
+/// Division by an interval containing 0 uses divisor 1 for the hi bound
+/// (the mathematical sup as the divisor approaches its smallest nonzero
+/// value; an actual divide-by-zero panics, which is not this lint's
+/// concern).
+pub fn div(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo / b.hi.max(1),
+        hi: a.hi / b.lo.max(1),
+    }
+}
+
+/// `a % b < b` always (for nonzero `b`), and never exceeds `a`.
+pub fn rem(a: &Ival, b: &Ival) -> Ival {
+    if b.hi == 0 {
+        return Ival::TOP; // Certain divide-by-zero: unreachable code.
+    }
+    Ival {
+        lo: 0,
+        hi: a.hi.min(b.hi - 1),
+    }
+}
+
+pub fn shl(a: &Ival, b: &Ival) -> Ival {
+    let sat = |v: u128, by: u128| -> u128 {
+        match u32::try_from(by) {
+            Ok(by) if by < 128 => {
+                if v != 0 && by > v.leading_zeros() {
+                    u128::MAX
+                } else {
+                    v << by
+                }
+            }
+            _ => {
+                if v == 0 {
+                    0
+                } else {
+                    u128::MAX
+                }
+            }
+        }
+    };
+    Ival {
+        lo: sat(a.lo, b.lo),
+        hi: sat(a.hi, b.hi),
+    }
+}
+
+pub fn shr(a: &Ival, b: &Ival) -> Ival {
+    let sh = |v: u128, by: u128| -> u128 {
+        match u32::try_from(by) {
+            Ok(by) if by < 128 => v >> by,
+            _ => 0,
+        }
+    };
+    Ival {
+        lo: sh(a.lo, b.hi),
+        hi: sh(a.hi, b.lo),
+    }
+}
+
+pub fn min_(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.min(b.lo),
+        hi: a.hi.min(b.hi),
+    }
+}
+
+pub fn max_(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.max(b.lo),
+        hi: a.hi.max(b.hi),
+    }
+}
+
+/// `x.clamp(lo, hi)`: the result lands inside `[lo.lo, hi.hi]` and
+/// inside `max(x, lo) ∩ min(x, hi)` — composing min/max is exact.
+pub fn clamp(x: &Ival, lo: &Ival, hi: &Ival) -> Ival {
+    min_(&max_(x, lo), hi)
+}
+
+pub fn bitand(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: 0,
+        hi: a.hi.min(b.hi),
+    }
+}
+
+/// `|` and `^` share a bound: the result cannot exceed the all-ones
+/// value at the wider operand's bit length. For `|` the lo additionally
+/// keeps the larger operand's floor (`a | b >= max(a, b)`).
+pub fn bitor(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: a.lo.max(b.lo),
+        hi: ones_cover(a.hi.max(b.hi)),
+    }
+}
+
+pub fn bitxor(a: &Ival, b: &Ival) -> Ival {
+    Ival {
+        lo: 0,
+        hi: ones_cover(a.hi.max(b.hi)),
+    }
+}
+
+/// Smallest all-ones value `>= v` (`0b1011 -> 0b1111`).
+fn ones_cover(v: u128) -> u128 {
+    if v == 0 {
+        0
+    } else {
+        u128::MAX >> v.leading_zeros()
+    }
+}
+
+/// `as` cast to an unsigned width: a value proved to fit passes through
+/// unchanged; anything that might wrap saturates the interval to the
+/// full target range (the wrapped value is unpredictable bit salad).
+pub fn cast(a: &Ival, w: Width) -> Ival {
+    if a.hi <= w.max() {
+        *a
+    } else {
+        Ival { lo: 0, hi: w.max() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_widen_grow_monotonically() {
+        let a = Ival::new(10, 20);
+        let b = Ival::new(5, 300);
+        assert_eq!(a.join(&b), Ival::new(5, 300));
+        // Widening jumps the growing hi to the next type plateau.
+        let w = a.widen(&b);
+        assert_eq!(w.lo, 0);
+        assert_eq!(w.hi, u16::MAX as u128);
+        // No growth -> unchanged.
+        assert_eq!(a.widen(&Ival::new(12, 15)), a);
+    }
+
+    #[test]
+    fn transfer_functions_cover_edges() {
+        let small = Ival::new(2, 10);
+        let big = Ival::new(0, u32::MAX as u128);
+        assert_eq!(add(&small, &small), Ival::new(4, 20));
+        assert_eq!(sub(&small, &small), Ival::new(0, 8));
+        assert_eq!(mul(&small, &small), Ival::new(4, 100));
+        assert_eq!(div(&big, &small), Ival::new(0, u32::MAX as u128 / 2));
+        assert_eq!(rem(&big, &small).hi, 9);
+        assert_eq!(shl(&Ival::point(1), &Ival::point(20)).hi, 1 << 20);
+        assert_eq!(shl(&Ival::point(1), &Ival::point(4000)).hi, u128::MAX);
+        assert_eq!(shr(&big, &Ival::point(16)).hi, u16::MAX as u128);
+        assert_eq!(min_(&big, &small).hi, 10);
+        assert_eq!(max_(&big, &small).lo, 2);
+        assert_eq!(
+            clamp(&big, &Ival::point(4), &Ival::point(100)),
+            Ival::new(4, 100)
+        );
+        assert_eq!(bitand(&big, &Ival::point(0xFF)).hi, 0xFF);
+        assert_eq!(bitor(&small, &Ival::point(0x10)).hi, 0x1F);
+        assert_eq!(bitor(&small, &Ival::point(0x10)).lo, 0x10);
+        assert_eq!(bitxor(&small, &small).hi, 0xF);
+    }
+
+    #[test]
+    fn casts_saturate_only_when_needed() {
+        assert_eq!(cast(&Ival::new(0, 200), Width::W8), Ival::new(0, 200));
+        assert_eq!(cast(&Ival::new(0, 300), Width::W8), Ival::new(0, 255));
+        assert_eq!(cast(&Ival::new(0, 200), Width::W16), Ival::new(0, 200));
+        assert_eq!(cast(&Ival::TOP, Width::W32), Ival::new(0, u32::MAX as u128));
+        assert_eq!(cast_bound("u16"), Some(65535));
+        assert_eq!(cast_bound("i16"), Some(32767));
+        assert_eq!(cast_bound("u64"), None);
+        assert_eq!(Width::of_type("usize"), Some(Width::W64));
+        assert_eq!(Width::of_type("i32"), None);
+    }
+}

@@ -1,11 +1,13 @@
 //! L7 — untrusted-input taint/dataflow pass over the network protocol
-//! surface. Values produced by wire decoding (`from_le_bytes`,
-//! `from_str_radix`, `.parse()` in the configured protocol modules)
-//! are *untrusted*: an attacker chooses them. The pass propagates that
-//! taint through `let` bindings, assignments, arithmetic, `as` casts,
-//! and — via caller→callee summaries over the resolved call graph —
-//! function returns and parameters, then reports flows into sinks where
-//! an unclamped wire value becomes a remote allocation bomb or a panic:
+//! surface, and L8 — overflow detection on the same dataflow. Values
+//! produced by wire decoding (`from_le_bytes`, `from_str_radix`,
+//! `.parse()` in the configured protocol modules) are *untrusted*: an
+//! attacker chooses them. The engine propagates that taint — now paired
+//! with an interval `[lo, hi]` from `passes::range` — through `let`
+//! bindings, assignments, arithmetic, `as` casts, and — via
+//! caller→callee summaries over the resolved call graph — function
+//! returns and parameters, then reports flows into sinks where an
+//! unclamped wire value becomes a remote allocation bomb or a panic:
 //!
 //! * **L7-ALLOC** — `Vec::with_capacity` / `reserve` / `resize` /
 //!   `vec![x; n]` sized by a tainted value;
@@ -13,21 +15,27 @@
 //!   tainted index (use `.get(..)` or bounds-check first);
 //! * **L7-LOOP** — `for _ in a..n` with a tainted upper bound;
 //! * **L7-TRUNC** — a narrowing `as` cast of a tainted value (silent
-//!   wrap-around; use `try_into` with error handling).
+//!   wrap-around; use `try_into` with error handling);
+//! * **L8-OVERFLOW** — `+`/`*`/`<<` on a tainted `u8`/`u16`/`u32`
+//!   operand whose proved interval exceeds the type's range: the
+//!   release-mode wrap silently fabricates a new (attacker-influenced)
+//!   value before any downstream bounds check sees it.
 //!
-//! Taint dies at a recognized sanitizer (conservative kill set):
-//! `.min(CONST)` / `.clamp(..)` against a constant-like bound,
-//! `try_into()` / `checked_*()` (callers must handle the `Err`/`None`
-//! for the code to compile), and the guard idiom
-//! `if n > MAX_* { return/break/continue ... }`, which proves an upper
-//! bound on every path that survives the guard.
+//! With intervals on (the default; `--taint-ranges off` reverts to the
+//! syntactic behavior), a sanitizer only discharges a sink when the
+//! *proved* interval fits: `.min(MAX)`/`.clamp(..)` narrow the interval
+//! and keep the taint, and the sink checks `hi <= capacity` (or a
+//! symbolic `len()` bound). `checked_*`/`try_into`/`try_from` still
+//! kill taint outright (the caller must handle the failure), as does a
+//! recognized guard whose bound cannot be folded to a number.
 //!
 //! Known approximations (DESIGN.md §10): taint through struct fields,
 //! collections, and closure captures is invisible (false negatives), as
 //! are `while i < n` bounds and inverse guards (`if ok {..} else
-//! {return}`). Kills are flow-approximate: a guard kill applies from
-//! the end of the `if` block to the end of the function, which
-//! over-trusts re-assignment inside loops.
+//! {return}`). Kills/refinements are flow-approximate: a guard applies
+//! from the end of the `if` block to the end of the function, which
+//! over-trusts re-assignment inside loops. The interval domain is
+//! unsigned; signed arithmetic degrades to unknown.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -36,12 +44,20 @@ use crate::diag::{Diagnostic, Report};
 use crate::hir::SelfKind;
 use crate::lexer::{Tok, TokKind};
 use crate::model::SourceFile;
+use crate::passes::range::{self, cast_bound, Ival, Width};
 use crate::resolve::{match_braces, Event, Workspace};
 
 pub const ALLOC: &str = "L7-ALLOC";
 pub const INDEX: &str = "L7-INDEX";
 pub const LOOP: &str = "L7-LOOP";
 pub const TRUNC: &str = "L7-TRUNC";
+pub const OVERFLOW: &str = "L8-OVERFLOW";
+
+/// Largest interval upper bound that counts as *proved sanitized* at an
+/// allocation/loop/index sink: 1 << 24 (16 MiB of bytes, 16M
+/// iterations) — the ceiling of the named caps in the serving crate. A
+/// clamp against a bigger bound is taint-theater and still reports.
+pub(crate) const MAX_PROVED_CAPACITY: u128 = 1 << 24;
 
 /// Calls whose *result* is attacker-controlled when they appear in a
 /// configured protocol module: byte-level decoders and string parsers.
@@ -53,7 +69,8 @@ const SOURCES: [&str; 5] = [
     "parse",
 ];
 
-/// Methods that kill taint when their bound argument is constant-like.
+/// Methods that bound their receiver (and, with ranges off, kill taint
+/// when the bound argument is constant-like).
 const CLAMP_SANITIZERS: [&str; 2] = ["min", "clamp"];
 
 /// Allocation sinks: the argument at index 0 is an element count.
@@ -65,7 +82,9 @@ const ALLOC_SINKS: [&str; 5] = [
     "resize_with",
 ];
 
-/// Integer types an `as` cast can silently truncate into.
+/// Integer types an `as` cast can silently truncate into (the
+/// ranges-off TRUNC trigger; ranges-on compares the interval against
+/// `range::cast_bound`).
 const NARROW_CASTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Statement/expression keywords that never start a value chain.
@@ -104,13 +123,105 @@ impl Taint {
     }
 }
 
+/// The abstract value the analyzer tracks per local: taint provenance,
+/// an unsigned interval, the operand type width when known, and an
+/// optional symbolic `len()` bound (value proved `<=` some buffer's
+/// length — acceptable at allocation-shaped sinks).
+#[derive(Debug, Clone)]
+struct Val {
+    taint: Option<Taint>,
+    iv: Ival,
+    w: Option<Width>,
+    sym: Option<String>,
+}
+
+impl Val {
+    fn unknown() -> Val {
+        Val {
+            taint: None,
+            iv: Ival::TOP,
+            w: None,
+            sym: None,
+        }
+    }
+
+    fn constant(v: u128) -> Val {
+        Val {
+            taint: None,
+            iv: Ival::point(v),
+            w: None,
+            sym: None,
+        }
+    }
+}
+
 /// Interprocedural facts about one function, grown monotonically to
-/// fixpoint: does it return wire-derived data, and which of its
-/// parameters do callers pass wire-derived data into.
-#[derive(Debug, Default, Clone)]
+/// fixpoint: does it return wire-derived data (and in what interval),
+/// and which of its parameters do callers pass wire-derived data into.
+#[derive(Debug, Clone)]
 struct Summary {
     ret: Option<Taint>,
+    ret_iv: Ival,
+    ret_w: Option<Width>,
+    ret_grow: u8,
     params: Vec<Option<Taint>>,
+    param_ivs: Vec<Ival>,
+    param_ws: Vec<Option<Width>>,
+    param_grow: Vec<u8>,
+}
+
+impl Summary {
+    fn new(nparams: usize) -> Summary {
+        Summary {
+            ret: None,
+            ret_iv: Ival::TOP,
+            ret_w: None,
+            ret_grow: 0,
+            params: vec![None; nparams],
+            param_ivs: vec![Ival::TOP; nparams],
+            param_ws: vec![None; nparams],
+            param_grow: vec![0; nparams],
+        }
+    }
+}
+
+/// Joins a tainted observation `v` into one summary slot. The first
+/// observation sets interval and width outright; later ones plain-join
+/// for two growths, then widen, so cross-round joins terminate. Returns
+/// whether anything grew (drives the fixpoint `changed` flag).
+fn join_slot(
+    taint: &mut Option<Taint>,
+    iv: &mut Ival,
+    w: &mut Option<Width>,
+    grow: &mut u8,
+    v: &Val,
+) -> bool {
+    if taint.is_none() {
+        *taint = v.taint.clone();
+        *iv = v.iv;
+        *w = v.w;
+        return true;
+    }
+    let mut changed = false;
+    let joined = if *grow >= 2 {
+        iv.widen(&iv.join(&v.iv))
+    } else {
+        iv.join(&v.iv)
+    };
+    if joined != *iv {
+        *iv = joined;
+        *grow = grow.saturating_add(1);
+        changed = true;
+    }
+    let nw = match (*w, v.w) {
+        (Some(a), Some(b)) => Some(a.wider(b)),
+        _ => None,
+    };
+    if nw != *w {
+        *w = nw;
+        changed = true;
+    }
+    changed
 }
 
 /// One finding, pre-diagnostic (so the fixpoint rounds stay silent).
@@ -119,6 +230,17 @@ struct Finding {
     line: u32,
     callee: String,
     message: String,
+}
+
+/// A pending guard refinement: once the walk passes the token index,
+/// the named variable is either fully trusted (`Kill`, the legacy
+/// behavior and the fallback for unfoldable bounds) or keeps its taint
+/// with the interval capped at the proved bound.
+enum Refine {
+    Kill,
+    /// Proved numeric upper bound, plus the symbolic `len()` marker when
+    /// the guard compared against a buffer length.
+    Bound(u128, Option<String>),
 }
 
 /// Everything the per-function walker needs that outlives one round.
@@ -141,134 +263,210 @@ struct FnCtx<'a> {
     path: &'a str,
 }
 
-pub fn run(
-    ws: &Workspace,
-    files: &[SourceFile],
-    allow: &AllowList,
-    scope: &[String],
-    report: &mut Report,
-) {
-    // Build per-function contexts once. Functions without a body or in
-    // test regions are skipped entirely (decoding in tests is the test's
-    // business); nested fns are analyzed as their own entries.
-    let mut ctxs: Vec<Option<FnCtx>> = Vec::with_capacity(ws.fns.len());
-    for f in &ws.fns {
-        let file = &files[f.file_idx];
-        let span = &file.fns()[f.span_idx];
-        if span.body_start >= span.end || file.in_test(span.fn_tok) {
-            ctxs.push(None);
-            continue;
-        }
-        let mut calls: HashMap<usize, Vec<usize>> = HashMap::new();
-        for e in &f.events {
-            if let Event::Call { targets, tok, .. } = e {
-                calls
-                    .entry(*tok)
-                    .or_default()
-                    .extend(targets.iter().copied());
-            }
-        }
-        let callees: Vec<usize> = calls.values().flatten().copied().collect();
-        let nested: Vec<(usize, usize)> = file
-            .fns()
-            .iter()
-            .enumerate()
-            .filter(|(si, s)| *si != f.span_idx && s.fn_tok > span.fn_tok && s.end <= span.end)
-            .map(|(_, s)| (s.fn_tok, s.end))
-            .collect();
-        ctxs.push(Some(FnCtx {
-            file,
-            start: span.body_start + 1,
-            end: span.end.saturating_sub(1),
-            calls,
-            callees,
-            nested,
-            close_of: match_braces(&file.tokens),
-            sources_active: in_scope(&f.file, scope),
-            params: &f.params,
-            name: &f.name,
-            path: &f.file,
-        }));
-    }
+/// The shared L7/L8 engine: `new` builds per-function contexts,
+/// `fixpoint` runs the interprocedural summary iteration, `report`
+/// replays the in-scope functions for L7 diagnostics (stashing L8
+/// findings), and `report_l8` drains the stash — so each pass gets its
+/// own wall-clock line while the dataflow runs once.
+pub struct Engine<'a> {
+    ws: &'a Workspace,
+    ranges: bool,
+    ctxs: Vec<Option<FnCtx<'a>>>,
+    summaries: Vec<Summary>,
+    /// (ctx index, finding) stash filled by `report`, drained by `report_l8`.
+    l8: Vec<(usize, Finding)>,
+}
 
-    let mut summaries: Vec<Summary> = ws
-        .fns
-        .iter()
-        .map(|f| Summary {
-            ret: None,
-            params: vec![None; f.params.len()],
-        })
-        .collect();
-
-    // Caller→callee fixpoint: each round analyzes every function with the
-    // current summaries; argument taint is pushed into callee parameter
-    // slots and return taint recorded. Slots only go None→Some, so this
-    // terminates.
-    loop {
-        let mut changed = false;
-        for (gi, ctx) in ctxs.iter().enumerate() {
-            let Some(ctx) = ctx else { continue };
-            // Relevance gate: a function can only produce or forward
-            // taint if it hosts sources, received a tainted parameter,
-            // or calls something whose return is tainted. Everything
-            // else is skipped — this is what keeps the fixpoint cheap
-            // on a workspace where taint lives in a handful of files.
-            let relevant = ctx.sources_active
-                || summaries[gi].params.iter().any(|p| p.is_some())
-                || ctx.callees.iter().any(|&g| summaries[g].ret.is_some());
-            if !relevant {
+impl<'a> Engine<'a> {
+    pub fn new(
+        ws: &'a Workspace,
+        files: &'a [SourceFile],
+        scope: &'a [String],
+        ranges: bool,
+    ) -> Engine<'a> {
+        // Build per-function contexts once. Functions without a body or
+        // in test regions are skipped entirely (decoding in tests is the
+        // test's business); nested fns are analyzed as their own entries.
+        let mut ctxs: Vec<Option<FnCtx>> = Vec::with_capacity(ws.fns.len());
+        for f in &ws.fns {
+            let file = &files[f.file_idx];
+            let span = &file.fns()[f.span_idx];
+            if span.body_start >= span.end || file.in_test(span.fn_tok) {
+                ctxs.push(None);
                 continue;
             }
-            let (ret, pushes) = {
-                let mut a = Analyzer::new(ctx, ws, &summaries, gi, false);
-                a.walk_fn();
-                (a.ret.take(), std::mem::take(&mut a.pushes))
-            };
-            if summaries[gi].ret.is_none() {
-                if let Some(t) = ret {
-                    summaries[gi].ret = Some(t);
-                    changed = true;
+            let mut calls: HashMap<usize, Vec<usize>> = HashMap::new();
+            for e in &f.events {
+                if let Event::Call { targets, tok, .. } = e {
+                    calls
+                        .entry(*tok)
+                        .or_default()
+                        .extend(targets.iter().copied());
                 }
             }
-            for (g, p, t) in pushes {
-                if let Some(slot) = summaries[g].params.get_mut(p) {
-                    if slot.is_none() {
-                        *slot = Some(t);
+            let callees: Vec<usize> = calls.values().flatten().copied().collect();
+            let nested: Vec<(usize, usize)> = file
+                .fns()
+                .iter()
+                .enumerate()
+                .filter(|(si, s)| *si != f.span_idx && s.fn_tok > span.fn_tok && s.end <= span.end)
+                .map(|(_, s)| (s.fn_tok, s.end))
+                .collect();
+            ctxs.push(Some(FnCtx {
+                file,
+                start: span.body_start + 1,
+                end: span.end.saturating_sub(1),
+                calls,
+                callees,
+                nested,
+                close_of: match_braces(&file.tokens),
+                sources_active: in_scope(&f.file, scope),
+                params: &f.params,
+                name: &f.name,
+                path: &f.file,
+            }));
+        }
+        let summaries = ws
+            .fns
+            .iter()
+            .map(|f| Summary::new(f.params.len()))
+            .collect();
+        Engine {
+            ws,
+            ranges,
+            ctxs,
+            summaries,
+            l8: Vec::new(),
+        }
+    }
+
+    /// Caller→callee fixpoint: each round analyzes every function with
+    /// the current summaries; argument facts are pushed into callee
+    /// parameter slots and return facts recorded. Taint slots go
+    /// None→Some and intervals widen after two growths, so this
+    /// terminates.
+    pub fn fixpoint(&mut self) {
+        let Engine {
+            ws,
+            ranges,
+            ctxs,
+            summaries,
+            ..
+        } = self;
+        loop {
+            let mut changed = false;
+            for (gi, ctx) in ctxs.iter().enumerate() {
+                let Some(ctx) = ctx else { continue };
+                // Relevance gate: a function can only produce or forward
+                // taint if it hosts sources, received a tainted parameter,
+                // or calls something whose return is tainted. Everything
+                // else is skipped — this is what keeps the fixpoint cheap
+                // on a workspace where taint lives in a handful of files.
+                let relevant = ctx.sources_active
+                    || summaries[gi].params.iter().any(|p| p.is_some())
+                    || ctx.callees.iter().any(|&g| summaries[g].ret.is_some());
+                if !relevant {
+                    continue;
+                }
+                let (ret, pushes) = {
+                    let mut a = Analyzer::new(ctx, ws, &*summaries, gi, false, *ranges);
+                    a.walk_fn();
+                    (a.ret_val.take(), std::mem::take(&mut a.pushes))
+                };
+                if let Some(rv) = ret {
+                    if rv.taint.is_some() {
+                        let sm = &mut summaries[gi];
+                        if join_slot(
+                            &mut sm.ret,
+                            &mut sm.ret_iv,
+                            &mut sm.ret_w,
+                            &mut sm.ret_grow,
+                            &rv,
+                        ) {
+                            changed = true;
+                        }
+                    }
+                }
+                for (g, p, v) in pushes {
+                    let sm = &mut summaries[g];
+                    if p >= sm.params.len() {
+                        continue;
+                    }
+                    let (params, ivs, ws_, grows) = (
+                        &mut sm.params,
+                        &mut sm.param_ivs,
+                        &mut sm.param_ws,
+                        &mut sm.param_grow,
+                    );
+                    if join_slot(&mut params[p], &mut ivs[p], &mut ws_[p], &mut grows[p], &v) {
                         changed = true;
                     }
                 }
             }
-        }
-        if !changed {
-            break;
+            if !changed {
+                break;
+            }
         }
     }
 
-    // Reporting round: same analysis, findings kept. Only in-scope
-    // functions report — the scope files ARE the trust boundary, and the
-    // lint enforces that they validate wire values before handing them
-    // downstream; sinks past the boundary are out of scope by design
-    // (documented FN, DESIGN.md §10).
-    let mut source_sites: BTreeSet<(String, u32)> = BTreeSet::new();
-    let mut sink_sites: BTreeSet<(String, u32)> = BTreeSet::new();
-    let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
-    for (gi, ctx) in ctxs.iter().enumerate() {
-        let Some(ctx) = ctx else { continue };
-        if !ctx.sources_active {
-            continue;
-        }
-        let mut a = Analyzer::new(ctx, ws, &summaries, gi, true);
-        a.walk_fn();
-        for t in a.source_toks {
-            source_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
-        }
-        for t in a.sink_toks {
-            sink_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
-        }
-        for f in a.findings {
-            if !seen.insert((ctx.path.to_string(), f.line, f.code)) {
+    /// Reporting round: same analysis, findings kept. Only in-scope
+    /// functions report — the scope files ARE the trust boundary, and
+    /// the lint enforces that they validate wire values before handing
+    /// them downstream; sinks past the boundary are out of scope by
+    /// design (documented FN, DESIGN.md §10). L8 findings are stashed
+    /// for `report_l8`.
+    pub fn report(&mut self, allow: &AllowList, report: &mut Report) {
+        let Engine {
+            ws,
+            ranges,
+            ctxs,
+            summaries,
+            l8,
+        } = self;
+        let mut source_sites: BTreeSet<(String, u32)> = BTreeSet::new();
+        let mut sink_sites: BTreeSet<(String, u32)> = BTreeSet::new();
+        let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+        for (gi, ctx) in ctxs.iter().enumerate() {
+            let Some(ctx) = ctx else { continue };
+            if !ctx.sources_active {
                 continue;
             }
+            let mut a = Analyzer::new(ctx, ws, &*summaries, gi, true, *ranges);
+            a.walk_fn();
+            for t in a.source_toks {
+                source_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
+            }
+            for t in a.sink_toks {
+                sink_sites.insert((ctx.path.to_string(), ctx.file.tokens[t].line));
+            }
+            for f in a.findings {
+                if !seen.insert((ctx.path.to_string(), f.line, f.code)) {
+                    continue;
+                }
+                if f.code == OVERFLOW {
+                    l8.push((gi, f));
+                    continue;
+                }
+                if allow.permits(f.code, ctx.path, Some(ctx.name), &f.callee, f.line) {
+                    continue;
+                }
+                report.diagnostics.push(Diagnostic::new(
+                    f.code,
+                    std::path::Path::new(ctx.path),
+                    f.line,
+                    f.message,
+                ));
+            }
+        }
+        report.taint_sources = source_sites.len();
+        report.taint_sinks = sink_sites.len();
+    }
+
+    /// Drains the L8-OVERFLOW findings stashed by `report` (empty when
+    /// ranges are off — the overflow check needs the interval domain).
+    pub fn report_l8(&mut self, allow: &AllowList, report: &mut Report) {
+        for (gi, f) in std::mem::take(&mut self.l8) {
+            let Some(ctx) = &self.ctxs[gi] else { continue };
             if allow.permits(f.code, ctx.path, Some(ctx.name), &f.callee, f.line) {
                 continue;
             }
@@ -280,27 +478,30 @@ pub fn run(
             ));
         }
     }
-    report.taint_sources = source_sites.len();
-    report.taint_sinks = sink_sites.len();
 }
 
 struct Analyzer<'a> {
     ctx: &'a FnCtx<'a>,
     ws: &'a Workspace,
     summaries: &'a [Summary],
-    /// Local variable -> taint provenance.
-    tainted: HashMap<String, Taint>,
-    /// Guard kills pending: once the walk passes `tok`, the variable is
-    /// proven bounded and drops out of the tainted set.
-    kills: Vec<(usize, String)>,
-    ret: Option<Taint>,
-    /// (callee fn index, param index, taint) facts for the driver.
-    pushes: Vec<(usize, usize, Taint)>,
+    /// Local variable -> abstract value.
+    vars: HashMap<String, Val>,
+    /// Guard refinements pending: once the walk passes the token index,
+    /// the variable is proven bounded (or fully trusted).
+    refines: Vec<(usize, String, Refine)>,
+    ret_val: Option<Val>,
+    /// (callee fn index, param index, value) facts for the driver.
+    pushes: Vec<(usize, usize, Val)>,
     findings: Vec<Finding>,
     /// Token indices of recognized source / checked sink sites.
     source_toks: BTreeSet<usize>,
     sink_toks: BTreeSet<usize>,
     reporting: bool,
+    /// Interval mode (`--taint-ranges`); off = legacy syntactic kills.
+    ranges: bool,
+    /// Re-evaluation of an already-walked range (guard bounds): suppress
+    /// findings and summary pushes.
+    quiet: bool,
 }
 
 impl<'a> Analyzer<'a> {
@@ -310,25 +511,37 @@ impl<'a> Analyzer<'a> {
         summaries: &'a [Summary],
         gi: usize,
         reporting: bool,
+        ranges: bool,
     ) -> Analyzer<'a> {
-        let mut tainted = HashMap::new();
+        let mut vars = HashMap::new();
+        let sm = &summaries[gi];
         for (pi, pname) in ctx.params.iter().enumerate() {
-            if let Some(t) = summaries[gi].params.get(pi).and_then(|t| t.clone()) {
-                tainted.insert(pname.clone(), t);
+            if let Some(t) = sm.params.get(pi).and_then(|t| t.clone()) {
+                vars.insert(
+                    pname.clone(),
+                    Val {
+                        taint: Some(t),
+                        iv: sm.param_ivs[pi],
+                        w: sm.param_ws[pi],
+                        sym: None,
+                    },
+                );
             }
         }
         Analyzer {
             ctx,
             ws,
             summaries,
-            tainted,
-            kills: Vec::new(),
-            ret: None,
+            vars,
+            refines: Vec::new(),
+            ret_val: None,
             pushes: Vec::new(),
             findings: Vec::new(),
             source_toks: BTreeSet::new(),
             sink_toks: BTreeSet::new(),
             reporting,
+            ranges,
+            quiet: false,
         }
     }
 
@@ -336,15 +549,44 @@ impl<'a> Analyzer<'a> {
         &self.ctx.file.tokens
     }
 
+    /// Whether `v` is proved small enough (or symbolically bounded by a
+    /// buffer length) to discharge an allocation/loop/index sink.
+    fn proved(&self, v: &Val) -> bool {
+        self.ranges && (v.iv.hi <= MAX_PROVED_CAPACITY || v.sym.is_some())
+    }
+
+    /// Joins a return-site value into the function's return fact. Values
+    /// with no information (untainted, unbounded) are skipped so error
+    /// paths (`return Err(..)`) don't poison the Ok-value interval.
+    fn note_ret(&mut self, v: Val) {
+        if v.taint.is_none() && v.iv.is_top() {
+            return;
+        }
+        match &mut self.ret_val {
+            None => self.ret_val = Some(v),
+            Some(cur) => {
+                if cur.taint.is_none() {
+                    cur.taint = v.taint;
+                }
+                cur.iv = cur.iv.join(&v.iv);
+                cur.w = match (cur.w, v.w) {
+                    (Some(a), Some(b)) => Some(a.wider(b)),
+                    _ => None,
+                };
+                cur.sym = None;
+            }
+        }
+    }
+
     /// Top-level statement walk over the function body, tracking the
-    /// trailing expression for return-taint.
+    /// trailing expression for return facts.
     fn walk_fn(&mut self) {
         let end = self.ctx.end;
         let mut stmt_start = self.ctx.start;
         let mut depth = 0i32;
         let mut i = self.ctx.start;
         while i < end {
-            self.apply_kills(i);
+            self.apply_refines(i);
             if let Some(&(_, ne)) = self.ctx.nested.iter().find(|&&(ns, ne)| ns <= i && i < ne) {
                 i = ne;
                 stmt_start = i;
@@ -385,10 +627,8 @@ impl<'a> Analyzer<'a> {
                         "while" | "match" => self.eval_head(i + 1),
                         "return" => {
                             let e = self.stmt_end(i + 1);
-                            let t = self.eval_expr(i + 1, e);
-                            if self.ret.is_none() {
-                                self.ret = t;
-                            }
+                            let v = self.eval_arith(i + 1, e);
+                            self.note_ret(v);
                             e
                         }
                         n if KEYWORDS.contains(&n) => i + 1,
@@ -404,19 +644,36 @@ impl<'a> Analyzer<'a> {
         // function's return value (approximate — covers the `Ok(..)` tail
         // the decoders use).
         if stmt_start < end {
-            let t = self.eval_expr(stmt_start, end);
-            if self.ret.is_none() {
-                self.ret = t;
-            }
+            let v = self.eval_arith(stmt_start, end);
+            self.note_ret(v);
         }
     }
 
-    fn apply_kills(&mut self, now: usize) {
+    fn apply_refines(&mut self, now: usize) {
         let mut k = 0;
-        while k < self.kills.len() {
-            if self.kills[k].0 <= now {
-                let (_, name) = self.kills.remove(k);
-                self.tainted.remove(&name);
+        while k < self.refines.len() {
+            if self.refines[k].0 <= now {
+                let (_, name, refine) = self.refines.remove(k);
+                // A guard can name something that was never bound locally
+                // (a const, a field): seed the entry from the const table
+                // so the refinement narrows the real value instead of
+                // shadowing it with an unknown.
+                let seed = self
+                    .ws
+                    .consts
+                    .get(&name)
+                    .map(|&v| Val::constant(v))
+                    .unwrap_or_else(Val::unknown);
+                let entry = self.vars.entry(name).or_insert(seed);
+                match refine {
+                    Refine::Kill => entry.taint = None,
+                    Refine::Bound(b, sym) => {
+                        entry.iv = Ival::new(entry.iv.lo.min(b), entry.iv.hi.min(b));
+                        if entry.sym.is_none() {
+                            entry.sym = sym;
+                        }
+                    }
+                }
             } else {
                 k += 1;
             }
@@ -461,17 +718,21 @@ impl<'a> Analyzer<'a> {
                         if range_has_ident(toks, ls, le) {
                             self.sink_toks.insert(i);
                         }
-                        if let Some(t) = self.eval_expr(ls, le) {
-                            self.finding(
-                                ALLOC,
-                                toks[i].line,
-                                "vec!",
-                                format!(
-                                    "`vec![..; n]` sized by untrusted input ({}) — clamp \
-                                     against a named MAX_* bound before allocating",
-                                    t.describe()
-                                ),
-                            );
+                        let v = self.eval_arith(ls, le);
+                        if let Some(t) = v.taint.clone() {
+                            if !self.proved(&v) {
+                                self.finding(
+                                    ALLOC,
+                                    toks[i].line,
+                                    "vec!",
+                                    format!(
+                                        "`vec![..; n]` sized by untrusted input ({}){} — clamp \
+                                         against a named MAX_* bound before allocating",
+                                        t.describe(),
+                                        self.range_note(&v),
+                                    ),
+                                );
+                            }
                         }
                         break;
                     }
@@ -494,8 +755,18 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// Suffix for range-aware messages: the proved interval, when it is
+    /// tighter than unknown (so legacy-mode messages are unchanged).
+    fn range_note(&self, v: &Val) -> String {
+        if self.ranges && !v.iv.is_top() {
+            format!(" despite proved range [{}, {}]", v.iv.lo, v.iv.hi)
+        } else {
+            String::new()
+        }
+    }
+
     /// `let [mut] PAT [: TY] = INIT ;` — binds the pattern's single
-    /// ident (plain, `Some(x)`-style, or flat tuples) to the init taint.
+    /// ident (plain, `Some(x)`-style, or flat tuples) to the init value.
     fn handle_let(&mut self, let_idx: usize) -> usize {
         let toks = self.toks();
         let end = self.ctx.end;
@@ -541,7 +812,7 @@ impl<'a> Analyzer<'a> {
                 names.push(n.to_string());
             }
         } else if toks.get(j).is_some_and(|t| t.is_punct('(')) {
-            // Flat tuple `let (a, b) = ..`: taint every bound name.
+            // Flat tuple `let (a, b) = ..`: bind every name.
             let close = skip_group(toks, j, '(', ')');
             let mut k = j + 1;
             while k + 1 < close {
@@ -586,16 +857,9 @@ impl<'a> Analyzer<'a> {
         }
         let init_start = k + 1;
         let init_end = self.stmt_end(init_start);
-        let t = self.eval_expr(init_start, init_end);
+        let v = self.eval_arith(init_start, init_end);
         for name in names {
-            match &t {
-                Some(t) => {
-                    self.tainted.insert(name, t.clone());
-                }
-                None => {
-                    self.tainted.remove(&name);
-                }
-            }
+            self.vars.insert(name, v.clone());
         }
         init_end
     }
@@ -620,11 +884,26 @@ impl<'a> Analyzer<'a> {
         if let Some(&close) = self.ctx.close_of.get(&brace) {
             if block_diverges(toks, brace, close) {
                 // Split the condition on top-level `||`: every disjunct
-                // that is a plain upper-bound comparison kills its
-                // variable once the guard block is behind us.
+                // that is a plain upper-bound comparison refines its
+                // variable once the guard block is behind us. A bound
+                // that folds to a number caps the interval (taint
+                // retained — the sinks check the proof); anything
+                // constant-like but unfoldable keeps the legacy kill.
                 for (cs, ce) in split_on_or(toks, if_idx + 1, brace) {
-                    if let Some(name) = upper_bound_guard(toks, cs, ce, &self.tainted) {
-                        self.kills.push((close, name));
+                    if let Some((name, bs, be)) = upper_bound_guard(toks, cs, ce, &self.vars) {
+                        let refine = if self.ranges {
+                            let q = std::mem::replace(&mut self.quiet, true);
+                            let b = self.eval_arith(bs, be);
+                            self.quiet = q;
+                            if b.taint.is_none() && (b.iv.hi < u128::MAX || b.sym.is_some()) {
+                                Refine::Bound(b.iv.hi, b.sym)
+                            } else {
+                                Refine::Kill
+                            }
+                        } else {
+                            Refine::Kill
+                        };
+                        self.refines.push((close, name, refine));
                     }
                 }
             }
@@ -666,17 +945,21 @@ impl<'a> Analyzer<'a> {
                 if range_has_ident(toks, us, brace) {
                     self.sink_toks.insert(for_idx);
                 }
-                if let Some(t) = self.eval_expr(us, brace) {
-                    self.finding(
-                        LOOP,
-                        toks[for_idx].line,
-                        "for",
-                        format!(
-                            "loop upper bound flows from untrusted input ({}) — reject \
-                             counts above a named MAX_* bound before iterating",
-                            t.describe()
-                        ),
-                    );
+                let v = self.eval_arith(us, brace);
+                if let Some(t) = v.taint.clone() {
+                    if !self.proved(&v) {
+                        self.finding(
+                            LOOP,
+                            toks[for_idx].line,
+                            "for",
+                            format!(
+                                "loop upper bound flows from untrusted input ({}){} — reject \
+                                 counts above a named MAX_* bound before iterating",
+                                t.describe(),
+                                self.range_note(&v),
+                            ),
+                        );
+                    }
                 }
             }
             None => {
@@ -696,8 +979,8 @@ impl<'a> Analyzer<'a> {
     }
 
     /// A statement beginning with an ident chain: plain assignments
-    /// (`x = ..`, `x += ..`) update the taint state; everything else is
-    /// an expression evaluated for sinks.
+    /// (`x = ..`, `x += ..`) update the abstract state; everything else
+    /// is an expression evaluated for sinks.
     fn eval_stmt_chain(&mut self, i: usize) -> usize {
         let toks = self.toks();
         let bare = toks[i].ident().is_some()
@@ -713,37 +996,24 @@ impl<'a> Analyzer<'a> {
                     .is_some_and(|t| t.is_punct('=') || t.is_punct('>'))
             {
                 let e = self.stmt_end(i + 2);
-                let t = self.eval_expr(i + 2, e);
-                match t {
-                    Some(t) => {
-                        self.tainted.insert(name, t);
-                    }
-                    None => {
-                        self.tainted.remove(&name);
-                    }
-                }
+                let v = self.eval_arith(i + 2, e);
+                self.vars.insert(name, v);
                 return e;
             }
-            // `x op= RHS` merges: the old value still contributes.
-            if matches!(
-                toks.get(i + 1).map(|t| &t.kind),
-                Some(
-                    TokKind::Punct('+')
-                        | TokKind::Punct('-')
-                        | TokKind::Punct('*')
-                        | TokKind::Punct('/')
-                        | TokKind::Punct('%')
-                        | TokKind::Punct('&')
-                        | TokKind::Punct('|')
-                        | TokKind::Punct('^')
-                )
-            ) && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
-            {
-                let e = self.stmt_end(i + 3);
-                if let Some(t) = self.eval_expr(i + 3, e) {
-                    self.tainted.entry(name).or_insert(t);
+            // `x op= RHS` applies the operator transfer function, so
+            // `total += len` accumulation runs through the L8 check.
+            if let Some(op) = toks.get(i + 1).and_then(|t| match t.kind {
+                TokKind::Punct(c @ ('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')) => Some(c),
+                _ => None,
+            }) {
+                if toks.get(i + 2).is_some_and(|t| t.is_punct('=')) {
+                    let e = self.stmt_end(i + 3);
+                    let rhs = self.eval_arith(i + 3, e);
+                    let cur = self.vars.get(&name).cloned().unwrap_or_else(Val::unknown);
+                    let v = self.apply_op(op, cur, rhs, toks[i + 1].line);
+                    self.vars.insert(name, v);
+                    return e;
                 }
-                return e;
             }
         }
         let (_, next) = self.eval_chain(i);
@@ -759,7 +1029,7 @@ impl<'a> Analyzer<'a> {
         let mut out: Option<Taint> = None;
         let mut i = s;
         while i < e {
-            self.apply_kills(i);
+            self.apply_refines(i);
             if let Some(&(_, ne)) = self.ctx.nested.iter().find(|&&(ns, ne)| ns <= i && i < ne) {
                 i = ne;
                 continue;
@@ -782,10 +1052,8 @@ impl<'a> Analyzer<'a> {
                         "while" | "match" => self.eval_head(i + 1),
                         "return" => {
                             let se = self.stmt_end(i + 1);
-                            let t = self.eval_expr(i + 1, se);
-                            if self.ret.is_none() {
-                                self.ret = t;
-                            }
+                            let v = self.eval_arith(i + 1, se);
+                            self.note_ret(v);
                             se
                         }
                         n if KEYWORDS.contains(&n) => i + 1,
@@ -793,9 +1061,9 @@ impl<'a> Analyzer<'a> {
                         _ if self.is_macro(i) => self.skip_macro(i),
                         _ if self.is_assignment(i) => self.eval_stmt_chain(i),
                         _ => {
-                            let (t, next) = self.eval_chain(i);
+                            let (v, next) = self.eval_chain(i);
                             if out.is_none() {
-                                out = t;
+                                out = v.taint;
                             }
                             next
                         }
@@ -808,19 +1076,222 @@ impl<'a> Analyzer<'a> {
         out
     }
 
+    /// Interval-aware expression evaluation over `[s, e)`: a precedence
+    /// parser over `* / % + - << >> & ^ |` whose atoms are chains,
+    /// literals, and parenthesized subexpressions. Anything structurally
+    /// outside that grammar (comparisons, ranges, blocks, closures)
+    /// falls back to the plain `eval_expr` scan, preserving taint with
+    /// an unknown interval — precision degrades, soundness doesn't.
+    fn eval_arith(&mut self, s: usize, e: usize) -> Val {
+        if s >= e {
+            return Val::unknown();
+        }
+        let mut pos = s;
+        match self.parse_arith(&mut pos, e, 0) {
+            Some(v) if pos >= e => v,
+            Some(v) => {
+                // Trailing structure (comparison, `..`, struct literal):
+                // scan the rest for sinks; the interval no longer applies.
+                let rest = self.eval_expr(pos, e);
+                Val {
+                    taint: v.taint.or(rest),
+                    iv: Ival::TOP,
+                    w: None,
+                    sym: None,
+                }
+            }
+            None => {
+                let taint = self.eval_expr(s, e);
+                Val {
+                    taint,
+                    iv: Ival::TOP,
+                    w: None,
+                    sym: None,
+                }
+            }
+        }
+    }
+
+    /// Precedence climbing over the arithmetic operators; `None` means
+    /// the shape was not arithmetic and the caller should fall back.
+    fn parse_arith(&mut self, pos: &mut usize, e: usize, min_bp: u8) -> Option<Val> {
+        let mut lhs = self.parse_atom(pos, e)?;
+        loop {
+            let Some((bp, op, width_toks)) = peek_arith_op(self.toks(), *pos, e) else {
+                return Some(lhs);
+            };
+            if bp < min_bp {
+                return Some(lhs);
+            }
+            let line = self.toks()[*pos].line;
+            *pos += width_toks;
+            let rhs = self.parse_arith(pos, e, bp + 1)?;
+            lhs = self.apply_op(op, lhs, rhs, line);
+        }
+    }
+
+    /// One operand: a prefix (`& * - !`), a literal, a parenthesized
+    /// subexpression, an array literal, or an ident chain — each with
+    /// its postfix tail (`.m(..)`, `[..]`, `?`, `as T`).
+    fn parse_atom(&mut self, pos: &mut usize, e: usize) -> Option<Val> {
+        if *pos >= e {
+            return None;
+        }
+        let toks = self.toks();
+        match &toks[*pos].kind {
+            TokKind::Punct('&') => {
+                *pos += 1;
+                if toks.get(*pos).is_some_and(|t| t.ident() == Some("mut")) {
+                    *pos += 1;
+                }
+                self.parse_atom(pos, e)
+            }
+            TokKind::Punct('*') => {
+                *pos += 1;
+                self.parse_atom(pos, e)
+            }
+            TokKind::Punct('-') | TokKind::Punct('!') => {
+                *pos += 1;
+                let v = self.parse_atom(pos, e)?;
+                // Negation leaves the unsigned domain; keep the taint.
+                Some(Val {
+                    taint: v.taint,
+                    iv: Ival::TOP,
+                    w: v.w,
+                    sym: None,
+                })
+            }
+            TokKind::Punct('(') => {
+                let close = skip_group(toks, *pos, '(', ')');
+                let v = self.eval_arith(*pos + 1, close.saturating_sub(1));
+                let (v, next) = self.chain_tail(v, close);
+                *pos = next.max(close);
+                Some(v)
+            }
+            TokKind::Punct('[') => {
+                let close = skip_group(toks, *pos, '[', ']');
+                let taint = self.eval_expr(*pos + 1, close.saturating_sub(1));
+                let (v, next) = self.chain_tail(
+                    Val {
+                        taint,
+                        iv: Ival::TOP,
+                        w: None,
+                        sym: None,
+                    },
+                    close,
+                );
+                *pos = next.max(close);
+                Some(v)
+            }
+            TokKind::Literal => {
+                let v = Val {
+                    taint: None,
+                    iv: toks[*pos].num.map(Ival::point).unwrap_or(Ival::TOP),
+                    w: None,
+                    sym: None,
+                };
+                let (v, next) = self.chain_tail(v, *pos + 1);
+                *pos = next.max(*pos + 1);
+                Some(v)
+            }
+            TokKind::Ident(name) => {
+                if KEYWORDS.contains(&name.as_str()) || self.is_macro(*pos) {
+                    return None; // Statement-shaped: let eval_expr handle it.
+                }
+                let (v, next) = self.eval_chain(*pos);
+                *pos = next.max(*pos + 1);
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// One binary transfer-function application, running the L8 overflow
+    /// check: if the operand type is a narrow unsigned width and the
+    /// pre-wrap interval exceeds it, tainted operands mean an attacker
+    /// can steer the wrap.
+    fn apply_op(&mut self, op: char, a: Val, b: Val, line: u32) -> Val {
+        let taint = a.taint.clone().or_else(|| b.taint.clone());
+        let w = match (a.w, b.w) {
+            (Some(x), Some(y)) => Some(x.wider(y)),
+            (Some(x), None) => Some(x),
+            (None, y) => y,
+        };
+        // The runtime operands are bounded by their type even when the
+        // abstract interval isn't; clamp before the math so the pre-wrap
+        // magnitude is the mathematical result of in-type operands.
+        let (ai, bi) = match w {
+            Some(w) => (range::cast(&a.iv, w), range::cast(&b.iv, w)),
+            None => (a.iv, b.iv),
+        };
+        let raw = match op {
+            '+' => range::add(&ai, &bi),
+            '-' => range::sub(&ai, &bi),
+            '*' => range::mul(&ai, &bi),
+            '/' => range::div(&ai, &bi),
+            '%' => range::rem(&ai, &bi),
+            '«' => range::shl(&ai, &bi),
+            '»' => range::shr(&ai, &bi),
+            '&' => range::bitand(&ai, &bi),
+            '|' => range::bitor(&ai, &bi),
+            '^' => range::bitxor(&ai, &bi),
+            _ => Ival::TOP,
+        };
+        // Shrinking ops keep a symbolic `<= len` bound; growing ops lose it.
+        let sym = match op {
+            '-' | '/' | '%' | '»' | '&' => a.sym.clone(),
+            _ => None,
+        };
+        let mut iv = raw;
+        if let Some(w) = w {
+            if self.ranges && w < Width::W64 && matches!(op, '+' | '*' | '«') && raw.hi > w.max() {
+                if let Some(t) = &taint {
+                    let ty = match w {
+                        Width::W8 => "u8",
+                        Width::W16 => "u16",
+                        _ => "u32",
+                    };
+                    // `saturating_shl` does not exist in std, so the shift
+                    // suggestion names `checked_shl` alone.
+                    let (opname, fix) = match op {
+                        '+' => ("addition", "`checked_add`/`saturating_add`"),
+                        '*' => ("multiplication", "`checked_mul`/`saturating_mul`"),
+                        _ => ("shift", "`checked_shl`"),
+                    };
+                    self.finding(
+                        OVERFLOW,
+                        line,
+                        &op.to_string(),
+                        format!(
+                            "`{ty}` {opname} on untrusted input ({}) can reach {} and wrap \
+                             past {ty}::MAX in release mode — use {fix} \
+                             or widen to u64 before the arithmetic",
+                            t.describe(),
+                            raw.hi,
+                        ),
+                    );
+                }
+            }
+            iv = range::cast(&raw, w);
+        }
+        Val { taint, iv, w, sym }
+    }
+
     /// Evaluates one chain starting at the ident `base`: path or method
     /// calls, field/tuple segments, indexing (an L7-INDEX sink when the
     /// index is tainted), `?`, and trailing `as` casts (an L7-TRUNC sink
-    /// when narrowing a tainted value).
-    fn eval_chain(&mut self, base: usize) -> (Option<Taint>, usize) {
+    /// when the interval exceeds the target). Bare idents resolve
+    /// against locals first, then the workspace const table.
+    fn eval_chain(&mut self, base: usize) -> (Val, usize) {
         let toks = self.toks();
         let name = toks[base].ident().unwrap_or("");
-        let mut taint = self.tainted.get(name).cloned();
         let mut cur = base + 1;
+        let val;
 
         if path_sep(toks, cur) {
             // Path `A::b::c` — the resolver records path calls at the
             // *head* token.
+            let head = name.to_string();
             let mut last = name.to_string();
             while path_sep(toks, cur) {
                 if toks.get(cur + 1).is_some_and(|t| t.is_punct('<')) {
@@ -836,19 +1307,53 @@ impl<'a> Analyzer<'a> {
                     None => break,
                 }
             }
-            taint = None; // `Ordering::Relaxed`, `MAX` consts: not locals.
             if toks.get(cur).is_some_and(|t| t.is_punct('(')) {
                 let close = skip_group(toks, cur, '(', ')');
-                taint = self.handle_call(&last, base, base, cur, close, None, true);
+                val = self.handle_call(&last, base, base, cur, close, Val::unknown(), true);
                 cur = close;
+            } else {
+                // Path constant: `u32::MAX`, `Limits::CAP`, `Ordering::..`.
+                val = match (Width::of_type(&head), last.as_str()) {
+                    (Some(w), "MAX") => Val {
+                        taint: None,
+                        iv: Ival::point(w.max()),
+                        w: Some(w),
+                        sym: None,
+                    },
+                    (Some(w), "MIN") => Val {
+                        taint: None,
+                        iv: Ival::point(0),
+                        w: Some(w),
+                        sym: None,
+                    },
+                    _ => self
+                        .ws
+                        .consts
+                        .get(&last)
+                        .map(|&v| Val::constant(v))
+                        .unwrap_or_else(Val::unknown),
+                };
             }
         } else if toks.get(cur).is_some_and(|t| t.is_punct('(')) {
             // Free call `f(..)`.
             let close = skip_group(toks, cur, '(', ')');
-            taint = self.handle_call(name, base, base, cur, close, None, false);
+            val = self.handle_call(name, base, base, cur, close, Val::unknown(), false);
             cur = close;
+        } else {
+            val = self
+                .vars
+                .get(name)
+                .cloned()
+                .or_else(|| self.ws.consts.get(name).map(|&v| Val::constant(v)))
+                .unwrap_or_else(Val::unknown);
         }
+        self.chain_tail(val, cur)
+    }
 
+    /// The postfix tail shared by ident chains and parenthesized atoms:
+    /// `?`, indexing, `.seg`/`.m(..)` segments, and `as` casts.
+    fn chain_tail(&mut self, mut val: Val, mut cur: usize) -> (Val, usize) {
+        let toks = self.toks();
         while let Some(t) = toks.get(cur) {
             if cur >= self.ctx.end {
                 break;
@@ -860,18 +1365,15 @@ impl<'a> Analyzer<'a> {
                     if range_has_ident(toks, cur + 1, close - 1) {
                         self.sink_toks.insert(cur);
                     }
-                    if let Some(it) = self.eval_expr(cur + 1, close - 1) {
-                        self.finding(
-                            INDEX,
-                            toks[cur].line,
-                            "[]",
-                            format!(
-                                "slice index/range derived from untrusted input ({}) — \
-                                 bounds-check it against the buffer or use `.get(..)`",
-                                it.describe()
-                            ),
-                        );
-                    }
+                    self.index_sink(cur + 1, close - 1, toks[cur].line);
+                    // The element of a tainted container is tainted;
+                    // its magnitude is unknown.
+                    val = Val {
+                        taint: val.taint,
+                        iv: Ival::TOP,
+                        w: None,
+                        sym: None,
+                    };
                     cur = close;
                 }
                 TokKind::Punct('.') => {
@@ -893,45 +1395,137 @@ impl<'a> Analyzer<'a> {
                                 }
                             }
                             if toks.get(open).is_some_and(|t| t.is_punct('(')) {
+                                let seg = seg.clone();
                                 let close = skip_group(toks, open, '(', ')');
-                                taint = self
-                                    .handle_call(seg, seg_idx, seg_idx, open, close, taint, false);
+                                val = self
+                                    .handle_call(&seg, seg_idx, seg_idx, open, close, val, false);
                                 cur = close;
                             } else {
                                 // Field access: a field of a tainted value
-                                // stays tainted.
+                                // stays tainted; its magnitude is unknown.
+                                val = Val {
+                                    taint: val.taint,
+                                    iv: Ival::TOP,
+                                    w: None,
+                                    sym: None,
+                                };
                                 cur = seg_idx + 1;
                             }
                         }
-                        Some(TokKind::Literal) => cur = seg_idx + 1, // tuple `.0`
+                        Some(TokKind::Literal) => {
+                            // Tuple access `.0`: value unknown, taint kept.
+                            val.iv = Ival::TOP;
+                            val.w = None;
+                            val.sym = None;
+                            cur = seg_idx + 1;
+                        }
                         _ => break,
                     }
                 }
                 TokKind::Ident(k) if k == "as" => {
-                    if let Some(ty) = toks.get(cur + 1).and_then(|t| t.ident()) {
-                        if NARROW_CASTS.contains(&ty) {
-                            if let Some(t) = &taint {
-                                let msg = format!(
-                                    "narrowing `as {ty}` cast of untrusted input ({}) wraps \
-                                     silently — use `try_into()` and handle the error",
-                                    t.describe()
-                                );
-                                self.finding(TRUNC, toks[cur].line, "as", msg);
-                            }
-                        }
-                        cur += 2;
-                    } else {
+                    let Some(ty) = toks.get(cur + 1).and_then(|t| t.ident()) else {
                         break;
+                    };
+                    if let Some(t) = val.taint.clone() {
+                        let fires = if self.ranges {
+                            val.sym.is_none() && cast_bound(ty).is_some_and(|b| val.iv.hi > b)
+                        } else {
+                            NARROW_CASTS.contains(&ty)
+                        };
+                        if fires {
+                            self.finding(
+                                TRUNC,
+                                toks[cur].line,
+                                "as",
+                                format!(
+                                    "narrowing `as {ty}` cast of untrusted input ({}){} wraps \
+                                     silently — use `try_into()` and handle the error",
+                                    t.describe(),
+                                    self.range_note(&val),
+                                ),
+                            );
+                        }
                     }
+                    if let Some(w) = Width::of_type(ty) {
+                        if val.iv.hi > w.max() {
+                            val.sym = None; // A wrapped value outruns its bound.
+                        }
+                        val.iv = range::cast(&val.iv, w);
+                        val.w = Some(w);
+                    } else {
+                        match cast_bound(ty) {
+                            Some(b) if val.iv.hi <= b => val.w = None, // Fits signed.
+                            Some(_) => {
+                                val.iv = Ival::TOP;
+                                val.w = None;
+                                val.sym = None;
+                            }
+                            None => val.w = None, // u128/f64/pointer: lossless or non-integer.
+                        }
+                    }
+                    cur += 2;
                 }
                 _ => break,
             }
         }
-        (taint, cur)
+        (val, cur)
+    }
+
+    /// An indexing group interior `[s, e)`: splits a top-level `..` /
+    /// `..=` range and checks each endpoint as an L7-INDEX sink.
+    fn index_sink(&mut self, s: usize, e: usize, line: u32) {
+        let toks = self.toks();
+        let mut parts: Vec<(usize, usize)> = Vec::new();
+        let mut d = 0i32;
+        let mut dots = None;
+        for j in s..e.saturating_sub(1) {
+            match &toks[j].kind {
+                TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => d += 1,
+                TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => d -= 1,
+                TokKind::Punct('.') if d == 0 && toks[j + 1].is_punct('.') => {
+                    dots = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match dots {
+            Some(j) => {
+                parts.push((s, j));
+                let mut us = j + 2;
+                if toks.get(us).is_some_and(|t| t.is_punct('=')) {
+                    us += 1;
+                }
+                parts.push((us, e));
+            }
+            None => parts.push((s, e)),
+        }
+        for (ps, pe) in parts {
+            if ps >= pe {
+                continue;
+            }
+            let v = self.eval_arith(ps, pe);
+            if let Some(t) = v.taint.clone() {
+                if !self.proved(&v) {
+                    self.finding(
+                        INDEX,
+                        line,
+                        "[]",
+                        format!(
+                            "slice index/range derived from untrusted input ({}){} — \
+                             bounds-check it against the buffer or use `.get(..)`",
+                            t.describe(),
+                            self.range_note(&v),
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
     }
 
     /// One call segment: sources, sanitizers, summaries, arg pushes, and
-    /// allocation sinks. `recv_taint` is the receiver's taint for method
+    /// allocation sinks. `recv` is the receiver's value for method
     /// segments; `path_call` marks `A::b(..)` forms (where a `self`-taking
     /// callee's first argument is the receiver).
     #[allow(clippy::too_many_arguments)]
@@ -942,54 +1536,73 @@ impl<'a> Analyzer<'a> {
         call_tok: usize,
         open: usize,
         close: usize,
-        recv_taint: Option<Taint>,
+        recv: Val,
         path_call: bool,
-    ) -> Option<Taint> {
+    ) -> Val {
         let toks = self.toks();
         let args = split_args(toks, open + 1, close - 1);
-        // Sanitizers first: they kill the receiver's taint outright, and
-        // their arguments are bounds, not payloads.
+        // Sanitizers first: they bound (or kill) the receiver's taint,
+        // and their arguments are bounds, not payloads.
         if CLAMP_SANITIZERS.contains(&m) {
-            if let Some(&(a0s, a0e)) = args.first() {
-                if const_like(toks, a0s, a0e, &self.tainted) {
-                    return None;
-                }
-            }
-            // `.min(other_tainted)` keeps the smaller taint.
-            let arg_t = args.iter().find_map(|&(s, e)| self.eval_expr(s, e));
-            return recv_taint.or(arg_t);
+            return self.handle_clamp(m, &args, recv);
         }
         if m == "try_into" || m == "try_from" || m.starts_with("checked_") {
             for &(s, e) in &args {
-                self.eval_expr(s, e);
+                self.eval_arith(s, e);
             }
-            return None;
+            // The caller must handle the Err/None, so the surviving
+            // value fits its type: taint dies, the width bounds the
+            // interval.
+            return Val {
+                taint: None,
+                iv: recv.w.map(|w| Ival::new(0, w.max())).unwrap_or(Ival::TOP),
+                w: recv.w,
+                sym: None,
+            };
         }
 
-        let arg_taints: Vec<Option<Taint>> =
-            args.iter().map(|&(s, e)| self.eval_expr(s, e)).collect();
+        let arg_vals: Vec<Val> = args.iter().map(|&(s, e)| self.eval_arith(s, e)).collect();
 
-        let mut out = recv_taint;
+        // The default call result: unknown value, receiver taint flows
+        // through (a method of wire data computes wire data).
+        let mut out = Val {
+            taint: recv.taint.clone(),
+            iv: Ival::TOP,
+            w: None,
+            sym: None,
+        };
         if self.ctx.sources_active && SOURCES.contains(&m) {
             self.source_toks.insert(name_tok);
-            if out.is_none() {
-                out = Some(Taint {
+            let w = source_width(toks, name_tok, open, path_call);
+            if out.taint.is_none() {
+                out.taint = Some(Taint {
                     what: m.to_string(),
                     file: self.ctx.path.to_string(),
                     line: toks[name_tok].line,
                 });
             }
+            out.iv = w.map(|w| Ival::new(0, w.max())).unwrap_or(Ival::TOP);
+            out.w = w;
         }
 
         if let Some(targets) = self.ctx.calls.get(&call_tok) {
             for &g in targets {
-                if out.is_none() {
-                    out = self.summaries[g].ret.clone();
+                if out.taint.is_none() {
+                    if let Some(rt) = self.summaries[g].ret.clone() {
+                        out = Val {
+                            taint: Some(rt),
+                            iv: self.summaries[g].ret_iv,
+                            w: self.summaries[g].ret_w,
+                            sym: None,
+                        };
+                    }
                 }
                 let callee = &self.ws.fns[g];
                 let skip_recv = path_call && callee.self_kind != SelfKind::None;
-                for (j, at) in arg_taints.iter().enumerate() {
-                    let Some(at) = at else { continue };
+                for (j, av) in arg_vals.iter().enumerate() {
+                    if av.taint.is_none() {
+                        continue;
+                    }
                     let pj = if skip_recv {
                         match j.checked_sub(1) {
                             Some(p) => p,
@@ -998,16 +1611,86 @@ impl<'a> Analyzer<'a> {
                     } else {
                         j
                     };
-                    if pj < callee.params.len() {
-                        self.pushes.push((g, pj, at.clone()));
+                    if pj < callee.params.len() && !self.quiet {
+                        self.pushes.push((g, pj, av.clone()));
                     }
                 }
             }
-        } else if out.is_none() {
-            // Unresolved callee (std conversions like `usize::from`,
-            // `.to_vec()`, `.unwrap_or(..)`): propagate argument taint —
-            // a value computed from wire data is wire data.
-            out = arg_taints.into_iter().flatten().next();
+        } else {
+            // Unresolved callee: a handful of std identities preserve
+            // the value (and its interval); everything else propagates
+            // taint with an unknown result — a value computed from wire
+            // data is wire data.
+            match m {
+                "Ok" | "Some" => {
+                    if let Some(a0) = arg_vals.first() {
+                        out = a0.clone();
+                    }
+                }
+                "from" if path_call => {
+                    // `u64::from(x)` / `usize::from(x)`: lossless widen.
+                    if let Some(a0) = arg_vals.first() {
+                        out = a0.clone();
+                        if let Some(w) = toks[name_tok].ident().and_then(Width::of_type) {
+                            out.w = Some(w);
+                            out.iv = range::cast(&out.iv, w);
+                        }
+                    }
+                }
+                "into" | "unwrap" | "expect" | "clone" | "copied" | "to_owned"
+                    if args.is_empty() || m == "expect" =>
+                {
+                    out = recv.clone();
+                }
+                "len" if args.is_empty() && !path_call => {
+                    out = Val {
+                        taint: recv.taint.clone(),
+                        iv: Ival::new(0, u64::MAX as u128),
+                        w: Some(Width::W64),
+                        sym: Some("len".to_string()),
+                    };
+                }
+                "max" if !path_call => {
+                    if let Some(a0) = arg_vals.first() {
+                        out = Val {
+                            taint: recv.taint.clone().or_else(|| a0.taint.clone()),
+                            iv: range::max_(&recv.iv, &a0.iv),
+                            w: recv.w,
+                            sym: None,
+                        };
+                    }
+                }
+                _ if m.starts_with("saturating_") => {
+                    let a0 = arg_vals.first().cloned().unwrap_or_else(Val::unknown);
+                    let raw = match &m["saturating_".len()..] {
+                        "add" => range::add(&recv.iv, &a0.iv),
+                        "sub" => range::sub(&recv.iv, &a0.iv),
+                        "mul" => range::mul(&recv.iv, &a0.iv),
+                        _ => Ival::TOP,
+                    };
+                    let w = recv.w.or(a0.w);
+                    out = Val {
+                        taint: recv.taint.clone().or(a0.taint),
+                        iv: w.map(|w| range::cast(&raw, w)).unwrap_or(raw),
+                        w,
+                        sym: None,
+                    };
+                }
+                _ if m.starts_with("wrapping_") => {
+                    let a0 = arg_vals.first().cloned().unwrap_or_else(Val::unknown);
+                    out = Val {
+                        taint: recv.taint.clone().or(a0.taint),
+                        iv: recv.w.map(|w| Ival::new(0, w.max())).unwrap_or(Ival::TOP),
+                        w: recv.w,
+                        sym: None,
+                    };
+                }
+                _ => {
+                    if out.taint.is_none() {
+                        out.taint = arg_vals.iter().find_map(|v| v.taint.clone());
+                    }
+                }
+            }
         }
 
         if ALLOC_SINKS.contains(&m) {
@@ -1017,26 +1700,98 @@ impl<'a> Analyzer<'a> {
             {
                 self.sink_toks.insert(name_tok);
             }
-            if let Some(&(s, e)) = args.first() {
-                if let Some(t) = self.eval_expr(s, e) {
-                    self.finding(
-                        ALLOC,
-                        toks[name_tok].line,
-                        m,
-                        format!(
-                            "allocation sized by untrusted input ({}) reaches `{m}` — \
-                             reject sizes above a named MAX_* bound first",
-                            t.describe()
-                        ),
-                    );
+            if let Some(v) = arg_vals.first() {
+                if let Some(t) = v.taint.clone() {
+                    if !self.proved(v) {
+                        self.finding(
+                            ALLOC,
+                            toks[name_tok].line,
+                            m,
+                            format!(
+                                "allocation sized by untrusted input ({}){} reaches `{m}` — \
+                                 reject sizes above a named MAX_* bound first",
+                                t.describe(),
+                                self.range_note(v),
+                            ),
+                        );
+                    }
                 }
             }
         }
         out
     }
 
+    /// `.min(..)` / `.clamp(..)`: the interval narrows via the exact
+    /// transfer function and the taint survives with it — the sink
+    /// checks whether the proof is good enough. The syntactic kill is
+    /// kept only for constant-like bounds the folder cannot resolve
+    /// (cross-crate consts, `limits.max_*` fields), and for ranges-off
+    /// mode; in both cases the bound must pass the tightened
+    /// const-argument matcher (a bare `cap_hint` variable is not a
+    /// clamp — the fix for the old matcher's substring hole).
+    fn handle_clamp(&mut self, m: &str, args: &[(usize, usize)], recv: Val) -> Val {
+        let toks = self.toks();
+        let arg_vals: Vec<Val> = args.iter().map(|&(s, e)| self.eval_arith(s, e)).collect();
+        let bound_idx = if m == "clamp" {
+            arg_vals.len().saturating_sub(1)
+        } else {
+            0
+        };
+        let bval = arg_vals.get(bound_idx);
+        let mut iv = recv.iv;
+        if m == "clamp" && arg_vals.len() == 2 {
+            iv = range::clamp(&recv.iv, &arg_vals[0].iv, &arg_vals[1].iv);
+        } else if let Some(b) = arg_vals.first() {
+            iv = range::min_(&recv.iv, &b.iv);
+        }
+        let sym = recv
+            .sym
+            .clone()
+            .or_else(|| bval.and_then(|b| b.sym.clone()));
+        let bound_tainted = bval.is_some_and(|b| b.taint.is_some());
+        let bounded = !bound_tainted && bval.is_some_and(|b| b.iv.hi < u128::MAX);
+        let syntactic = !bound_tainted
+            && args
+                .get(bound_idx)
+                .is_some_and(|&(s, e)| const_bound_arg(toks, s, e, &self.vars));
+        if self.ranges {
+            if bounded || (sym.is_some() && !bound_tainted) {
+                return Val {
+                    taint: recv.taint,
+                    iv,
+                    w: recv.w,
+                    sym,
+                };
+            }
+            if syntactic {
+                return Val {
+                    taint: None,
+                    iv,
+                    w: recv.w,
+                    sym,
+                };
+            }
+        } else if syntactic {
+            return Val {
+                taint: None,
+                iv,
+                w: recv.w,
+                sym,
+            };
+        }
+        // Unproved bound: `.min(other_tainted)` keeps the smaller taint.
+        Val {
+            taint: recv
+                .taint
+                .or_else(|| arg_vals.iter().find_map(|v| v.taint.clone())),
+            iv,
+            w: recv.w,
+            sym,
+        }
+    }
+
     fn finding(&mut self, code: &'static str, line: u32, callee: &str, message: String) {
-        if self.reporting {
+        if self.reporting && !self.quiet {
             self.findings.push(Finding {
                 code,
                 line,
@@ -1088,6 +1843,43 @@ impl<'a> Analyzer<'a> {
         }
         self.ctx.end
     }
+}
+
+/// The arithmetic operator at `pos` (binding power, marker, token
+/// count); `«`/`»` stand in for the two-token `<<`/`>>`. Comparison,
+/// range, and boolean operators are deliberately absent — hitting one
+/// ends the arithmetic parse.
+fn peek_arith_op(toks: &[Tok], pos: usize, e: usize) -> Option<(u8, char, usize)> {
+    if pos >= e {
+        return None;
+    }
+    let two = |c: char| toks.get(pos + 1).is_some_and(|t| t.is_punct(c));
+    match &toks[pos].kind {
+        TokKind::Punct('*') => Some((6, '*', 1)),
+        TokKind::Punct('/') => Some((6, '/', 1)),
+        TokKind::Punct('%') => Some((6, '%', 1)),
+        TokKind::Punct('+') => Some((5, '+', 1)),
+        TokKind::Punct('-') => Some((5, '-', 1)),
+        TokKind::Punct('<') if two('<') => Some((4, '«', 2)),
+        TokKind::Punct('>') if two('>') => Some((4, '»', 2)),
+        TokKind::Punct('&') if !two('&') => Some((3, '&', 1)),
+        TokKind::Punct('^') => Some((2, '^', 1)),
+        TokKind::Punct('|') if !two('|') => Some((1, '|', 1)),
+        _ => None,
+    }
+}
+
+/// Width of a wire-decode source: the path head type
+/// (`u32::from_le_bytes`) or a turbofish (`.parse::<u16>()`).
+fn source_width(toks: &[Tok], name_tok: usize, open: usize, path_call: bool) -> Option<Width> {
+    if path_call {
+        if let Some(w) = toks[name_tok].ident().and_then(Width::of_type) {
+            return Some(w);
+        }
+    }
+    toks[name_tok + 1..open.min(toks.len())]
+        .iter()
+        .find_map(|t| t.ident().and_then(Width::of_type))
 }
 
 /// Whether the ident at `i` continues a chain already being evaluated:
@@ -1186,16 +1978,17 @@ fn range_has_ident(toks: &[Tok], s: usize, e: usize) -> bool {
         .any(|t| t.ident().is_some())
 }
 
-/// Whether `[s, e)` is a constant-like bound: it must contain an anchor
-/// (a literal, an UPPER_SNAKE const, a `len()` call, or an ident naming
-/// a max/limit/cap) and no currently-tainted ident.
-fn const_like(toks: &[Tok], s: usize, e: usize, tainted: &HashMap<String, Taint>) -> bool {
+/// Whether `[s, e)` is a constant-like bound for *guard* recognition:
+/// it must contain an anchor (a literal, an UPPER_SNAKE const, a
+/// `len()` call, or an ident naming a max/limit/cap) and no
+/// currently-tainted ident.
+fn const_like(toks: &[Tok], s: usize, e: usize, vars: &HashMap<String, Val>) -> bool {
     let mut anchor = false;
     for t in &toks[s.min(toks.len())..e.min(toks.len())] {
         match &t.kind {
             TokKind::Literal => anchor = true,
             TokKind::Ident(id) => {
-                if tainted.contains_key(id) {
+                if vars.get(id).is_some_and(|v| v.taint.is_some()) {
                     return false;
                 }
                 let upper = id.len() > 1
@@ -1209,6 +2002,45 @@ fn const_like(toks: &[Tok], s: usize, e: usize, tainted: &HashMap<String, Taint>
                     || lower.contains("max")
                     || lower.contains("limit")
                     || lower.contains("cap")
+                {
+                    anchor = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    anchor
+}
+
+/// The tightened matcher for `.min(..)`/`.clamp(..)` bound arguments:
+/// like `const_like`, but a *bare* lowercase ident does not anchor just
+/// because its name mentions max/limit/cap — `.min(cap_hint)` with an
+/// unvalidated parameter is not a clamp. A field or path segment
+/// (preceded by `.`/`::`) with such a name still anchors
+/// (`limits.max_body_bytes`), as do literals, UPPER_SNAKE consts, and
+/// `len`.
+fn const_bound_arg(toks: &[Tok], s: usize, e: usize, vars: &HashMap<String, Val>) -> bool {
+    let mut anchor = false;
+    for i in s.min(toks.len())..e.min(toks.len()) {
+        match &toks[i].kind {
+            TokKind::Literal => anchor = true,
+            TokKind::Ident(id) => {
+                if vars.get(id).is_some_and(|v| v.taint.is_some()) {
+                    return false;
+                }
+                let upper = id.len() > 1
+                    && id
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                    && id.chars().any(|c| c.is_ascii_uppercase());
+                let lower = id.to_ascii_lowercase();
+                let is_segment = i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'));
+                if upper
+                    || id == "len"
+                    || (is_segment
+                        && (lower.contains("max")
+                            || lower.contains("limit")
+                            || lower.contains("cap")))
                 {
                     anchor = true;
                 }
@@ -1252,13 +2084,14 @@ fn split_on_or(toks: &[Tok], s: usize, e: usize) -> Vec<(usize, usize)> {
 
 /// Recognizes `NAME > BOUND` / `NAME >= BOUND` / `BOUND < NAME` /
 /// `BOUND <= NAME` with a constant-like bound; returns the variable the
-/// guard proves an upper bound for.
+/// guard proves an upper bound for, plus the bound's token range (so
+/// the interval layer can try to fold it to a number).
 fn upper_bound_guard(
     toks: &[Tok],
     s: usize,
     e: usize,
-    tainted: &HashMap<String, Taint>,
-) -> Option<String> {
+    vars: &HashMap<String, Val>,
+) -> Option<(String, usize, usize)> {
     // `NAME > BOUND` form.
     if let Some(name) = toks.get(s).and_then(|t| t.ident()) {
         if toks.get(s + 1).is_some_and(|t| t.is_punct('>')) {
@@ -1267,8 +2100,8 @@ fn upper_bound_guard(
             } else {
                 s + 2
             };
-            if bs < e && const_like(toks, bs, e, tainted) {
-                return Some(name.to_string());
+            if bs < e && const_like(toks, bs, e, vars) {
+                return Some((name.to_string(), bs, e));
             }
         }
     }
@@ -1283,10 +2116,10 @@ fn upper_bound_guard(
             };
             if toks.get(cmp_at).is_some_and(|t| t.is_punct('<'))
                 && cmp_at > s
-                && const_like(toks, s, cmp_at, tainted)
+                && const_like(toks, s, cmp_at, vars)
                 && !toks.get(e - 2).is_some_and(|t| t.is_punct('.'))
             {
-                return Some(name.to_string());
+                return Some((name.to_string(), s, cmp_at));
             }
         }
     }

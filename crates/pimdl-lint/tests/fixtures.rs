@@ -25,7 +25,13 @@ fn lint_fixture(name: &str, allow_toml: &str) -> pimdl_lint::diag::Report {
         hot_paths: vec!["l2_bad.rs".to_string(), "l2_clean.rs".to_string()],
         syscall_files: vec!["fixtures/reactor.rs".to_string()],
         lockset_paths: vec!["l6_bad.rs".to_string(), "l6_clean.rs".to_string()],
-        taint_paths: vec!["l7_bad.rs".to_string(), "l7_clean.rs".to_string()],
+        taint_paths: vec![
+            "l7_bad.rs".to_string(),
+            "l7_clean.rs".to_string(),
+            "l8_bad.rs".to_string(),
+            "l8_clean.rs".to_string(),
+        ],
+        taint_ranges: true,
     };
     let allow = AllowList::parse(allow_toml);
     lint_paths(&[fixture(name)], &allow, &cfg).expect("fixture must be readable")
@@ -48,6 +54,7 @@ fn bad_fixtures_fail_with_exactly_their_lint() {
         ("l4_alias_bad.rs", "L4-LOCK-ORDER"),
         ("l5_bad.rs", "L5-SYSCALL"),
         ("l6_bad.rs", "L6-LOCKSET"),
+        ("l8_bad.rs", "L8-OVERFLOW"),
     ] {
         let report = lint_fixture(name, "");
         assert!(report.failed(), "{name} must fail");
@@ -66,6 +73,7 @@ fn clean_fixtures_pass() {
         "l4_alias_clean.rs",
         "l6_clean.rs",
         "l7_clean.rs",
+        "l8_clean.rs",
         "reactor.rs",
     ] {
         let report = lint_fixture(name, "");
@@ -98,12 +106,63 @@ fn l7_bad_fixture_reports_every_seeded_flow() {
             ("L7-ALLOC", 55), // scratch: with_capacity(len) via summary
             ("L7-ALLOC", 56), // scratch: buf.resize(len, 0)
             ("L7-ALLOC", 69), // decode_vec_macro: vec![0u8; len]
+            ("L7-ALLOC", 77), // decode_var_min: .min(cap_hint) is not a clamp
         ],
         "got:\n{}",
         report.render_human()
     );
     assert!(report.taint_sources > 0, "source sites counted");
     assert!(report.taint_sinks > 0, "sink sites counted");
+}
+
+/// The bad L8 fixture seeds one overflowing flow per operator shape
+/// (`*`, `+`, `<<`); the pass must report exactly that (code, line) set.
+#[test]
+fn l8_bad_fixture_reports_every_seeded_flow() {
+    let report = lint_fixture("l8_bad.rs", "");
+    let got: Vec<(&str, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.lint.as_str(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("L8-OVERFLOW", 36), // frame_bytes: len * count
+            ("L8-OVERFLOW", 45), // advance: pos + len
+            ("L8-OVERFLOW", 52), // scaled: n << 8
+        ],
+        "got:\n{}",
+        report.render_human()
+    );
+}
+
+/// `--taint-ranges off` reverts L7 to the syntactic clamp kills and
+/// disables L8 entirely: the overflow fixture goes quiet, and the
+/// unproved `.min(cap_hint)` flow in l7_bad.rs still fires (the
+/// tightened bound matcher applies in both modes).
+#[test]
+fn taint_ranges_off_disables_l8_and_keeps_syntactic_l7() {
+    let cfg_off = || LintConfig {
+        taint_paths: vec!["l7_bad.rs".to_string(), "l8_bad.rs".to_string()],
+        taint_ranges: false,
+        ..LintConfig::default()
+    };
+    let allow = AllowList::parse("");
+    let report = lint_paths(&[fixture("l8_bad.rs")], &allow, &cfg_off()).unwrap();
+    assert!(
+        !report.failed(),
+        "ranges off must silence L8, got:\n{}",
+        report.render_human()
+    );
+    let report = lint_paths(&[fixture("l7_bad.rs")], &allow, &cfg_off()).unwrap();
+    let lines: Vec<u32> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "L7-ALLOC")
+        .map(|d| d.line)
+        .collect();
+    assert!(lines.contains(&77), "var-arg .min still fires: {lines:?}");
 }
 
 #[test]
@@ -182,6 +241,7 @@ fn binary_exit_codes_match_fixture_corpus() {
         ("l5_bad.rs", "L5-SYSCALL"),
         ("l6_bad.rs", "L6-LOCKSET"),
         ("l7_bad.rs", "L7-ALLOC"),
+        ("l8_bad.rs", "L8-OVERFLOW"),
     ] {
         let out = Command::new(bin)
             .args([
@@ -194,6 +254,8 @@ fn binary_exit_codes_match_fixture_corpus() {
                 "l6_bad.rs",
                 "--taint",
                 "l7_bad.rs",
+                "--taint",
+                "l8_bad.rs",
                 "--file",
             ])
             .arg(fixture(name))
@@ -214,6 +276,8 @@ fn binary_exit_codes_match_fixture_corpus() {
         "l6_clean.rs",
         "--taint",
         "l7_clean.rs",
+        "--taint",
+        "l8_clean.rs",
     ]);
     for name in [
         "l1_clean.rs",
@@ -224,6 +288,7 @@ fn binary_exit_codes_match_fixture_corpus() {
         "l4_alias_clean.rs",
         "l6_clean.rs",
         "l7_clean.rs",
+        "l8_clean.rs",
         "reactor.rs",
     ] {
         clean.arg("--file").arg(fixture(name));
@@ -284,6 +349,14 @@ fn binary_explain_and_github_format() {
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8(out.stdout).expect("utf-8");
     assert!(text.contains("allocation") && text.contains("MAX_"));
+
+    let out = Command::new(bin)
+        .args(["--explain", "L8-OVERFLOW"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(text.contains("checked_") && text.contains("wrap"));
 
     let out = Command::new(bin)
         .args(["--explain", "L9-NOPE"])

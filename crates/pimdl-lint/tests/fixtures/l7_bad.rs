@@ -68,3 +68,11 @@ pub fn decode_vec_macro(payload: &[u8]) -> Vec<u8> {
     let len = c.u32() as usize;
     vec![0u8; len]
 }
+
+// `.min(cap_hint)` against an unvalidated variable is not a clamp: the
+// caller controls `cap_hint`, so the "bound" proves nothing.
+pub fn decode_var_min(payload: &[u8], cap_hint: usize) -> Vec<u8> {
+    let mut c = Cursor::new(payload);
+    let n = (c.u32() as usize).min(cap_hint);
+    Vec::with_capacity(n)
+}

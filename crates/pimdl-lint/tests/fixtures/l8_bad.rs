@@ -1,0 +1,53 @@
+//! L8 fixture: wire-decoded values flowing into narrow-width arithmetic
+//! whose proved interval exceeds the operand type — release-mode wrap
+//! the attacker steers. One seeded flow per operator shape; the expected
+//! (code, line) set is pinned in tests/fixtures.rs.
+
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 2]);
+        self.pos += 2;
+        u16::from_le_bytes(raw)
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+}
+
+/// `len * count` frame math: two u32 wire values multiply past u32::MAX.
+pub fn frame_bytes(payload: &[u8]) -> u64 {
+    let mut c = Cursor::new(payload);
+    let len = c.u32();
+    let count = c.u32();
+    let total = len * count;
+    u64::from(total)
+}
+
+/// Offset accumulation: `pos + len` where both u32 halves are wire data.
+pub fn advance(payload: &[u8]) -> u32 {
+    let mut c = Cursor::new(payload);
+    let pos = c.u32();
+    let len = c.u32();
+    pos + len
+}
+
+/// A u16 shift: 8 attacker bits shifted past the top of the type.
+pub fn scaled(payload: &[u8]) -> u16 {
+    let mut c = Cursor::new(payload);
+    let n = c.u16();
+    n << 8
+}

@@ -1,0 +1,54 @@
+//! L8 fixture: the same wire-arithmetic shapes as l8_bad.rs, each fixed
+//! the way the lint recommends — checked math, widening before the
+//! arithmetic, or a guard that provably keeps the result in range. Must
+//! produce zero findings.
+
+const MAX_SHIFT_BASE: u32 = 1 << 16;
+
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+}
+
+/// Checked multiply: the wrap becomes a decode error.
+pub fn frame_bytes(payload: &[u8]) -> Result<u32, ()> {
+    let mut c = Cursor::new(payload);
+    let len = c.u32();
+    let count = c.u32();
+    match len.checked_mul(count) {
+        Some(total) => Ok(total),
+        None => Err(()),
+    }
+}
+
+/// Widen first: u64 addition of two u32 values cannot wrap.
+pub fn advance(payload: &[u8]) -> u64 {
+    let mut c = Cursor::new(payload);
+    let pos = c.u32();
+    let len = c.u32();
+    u64::from(pos) + u64::from(len)
+}
+
+/// Guarded shift: the interval [0, 2^16] shifted by 8 stays below
+/// u32::MAX, and the lint proves it.
+pub fn scaled(payload: &[u8]) -> Result<u32, ()> {
+    let mut c = Cursor::new(payload);
+    let n = c.u32();
+    if n > MAX_SHIFT_BASE {
+        return Err(());
+    }
+    Ok(n << 8)
+}

@@ -1,0 +1,137 @@
+//! Property-based soundness oracle for the interval domain behind
+//! L7's proved sanitizers and L8-OVERFLOW (`passes::range`).
+//!
+//! The contract under test: for concrete values `x ∈ a` and `y ∈ b`,
+//! the *mathematical* (unbounded) result of every arithmetic transfer
+//! function lies inside the abstract result — except `sub`, whose
+//! documented floor-at-zero makes it sound for the saturating/checked
+//! reading (`x.saturating_sub(y)`), which is what the analyzer feeds it
+//! — and `cast`, whose contract covers the *wrapped* value. Join and
+//! widen must contain both inputs, and widening must reach a fixpoint
+//! in a bounded number of steps.
+
+use pimdl_lint::passes::range::{
+    add, bitand, bitor, bitxor, cast, clamp, div, max_, min_, mul, rem, shl, shr, sub, Ival, Width,
+};
+use proptest::prelude::*;
+
+/// An interval plus a concrete member: three u64 draws, sorted, give
+/// `[lo, hi]` and a witness `x` with `lo <= x <= hi`.
+fn arb_ival() -> impl Strategy<Value = (Ival, u128)> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c)| {
+        let mut v = [a as u128, b as u128, c as u128];
+        v.sort_unstable();
+        (Ival::new(v[0], v[2]), v[1])
+    })
+}
+
+/// Small shift amounts so the mathematical `<<` stays inside u128.
+fn arb_shift() -> impl Strategy<Value = (Ival, u128)> {
+    (0u64..=80, 0u64..=80).prop_map(|(a, b)| {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let x = lo + (hi - lo) / 2;
+        (Ival::new(lo as u128, hi as u128), x as u128)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every binary transfer function contains the concrete result of
+    /// its operation on members of the input intervals.
+    #[test]
+    fn transfers_contain_concrete_results(lhs in arb_ival(), rhs in arb_ival()) {
+        let ((a, x), (b, y)) = (lhs, rhs);
+        prop_assert!(add(&a, &b).contains(x + y));
+        prop_assert!(mul(&a, &b).contains(x * y));
+        // sub models the saturating/floor reading by contract.
+        prop_assert!(sub(&a, &b).contains(x.saturating_sub(y)));
+        if let (Some(q), Some(r)) = (x.checked_div(y), x.checked_rem(y)) {
+            prop_assert!(div(&a, &b).contains(q));
+            prop_assert!(rem(&a, &b).contains(r));
+        }
+        prop_assert!(bitand(&a, &b).contains(x & y));
+        prop_assert!(bitor(&a, &b).contains(x | y));
+        prop_assert!(bitxor(&a, &b).contains(x ^ y));
+        prop_assert!(min_(&a, &b).contains(x.min(y)));
+        prop_assert!(max_(&a, &b).contains(x.max(y)));
+        prop_assert!(shr(&a, &b).contains(x >> y.min(127)));
+    }
+
+    /// Shifts: the mathematical (pre-wrap) result is covered, which is
+    /// exactly what the L8 overflow check needs.
+    #[test]
+    fn shl_contains_math_result(lhs in arb_shift(), rhs in arb_shift()) {
+        let ((a, x), (b, y)) = (lhs, rhs);
+        prop_assert!(shl(&a, &b).contains(x << y));
+    }
+
+    /// clamp(x, lo, hi) for concrete members lands inside the transfer
+    /// result (degenerate lo > hi draws are skipped — `clamp` panics on
+    /// them in real code, so the analyzer never sees that shape).
+    #[test]
+    fn clamp_contains_concrete_results(v in arb_ival(), lo in arb_ival(), hi in arb_ival()) {
+        let ((a, x), (b, y), (c, z)) = (v, lo, hi);
+        prop_assume!(y <= z);
+        prop_assert!(clamp(&a, &b, &c).contains(x.clamp(y, z)));
+    }
+
+    /// `as` casts: the *wrapped* concrete value is always inside the
+    /// cast interval, at every modeled width — including the edge where
+    /// the interval exactly fits and passes through unchanged.
+    #[test]
+    fn cast_contains_wrapped_value(v in arb_ival()) {
+        let (a, x) = v;
+        for w in [Width::W8, Width::W16, Width::W32, Width::W64] {
+            let wrapped = x % (w.max() + 1);
+            prop_assert!(cast(&a, w).contains(wrapped), "width {:?}", w);
+            // Saturation only when needed: a fitting interval is exact.
+            if a.hi <= w.max() {
+                prop_assert_eq!(cast(&a, w), a);
+            }
+        }
+    }
+
+    /// Join contains both inputs; widen contains the join and reaches a
+    /// fixpoint within the widening ladder's length.
+    #[test]
+    fn join_and_widen_are_sound(lhs in arb_ival(), rhs in arb_ival()) {
+        let ((a, x), (b, y)) = (lhs, rhs);
+        let j = a.join(&b);
+        prop_assert!(j.contains(x) && j.contains(y));
+        let w = a.widen(&j);
+        prop_assert!(w.contains(x) && w.contains(y));
+        // Iterated widening stabilizes fast (the step ladder has 5 rungs).
+        let mut cur = a;
+        for _ in 0..6 {
+            let next = cur.widen(&cur.join(&b));
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        prop_assert_eq!(cur, cur.widen(&cur.join(&b)));
+    }
+}
+
+/// Deterministic edge pins proptest's generators are unlikely to hit:
+/// the exact type-boundary values where cast saturation flips.
+#[test]
+fn cast_saturation_boundaries() {
+    for w in [Width::W8, Width::W16, Width::W32] {
+        let fits = Ival::new(0, w.max());
+        assert_eq!(cast(&fits, w), fits, "{w:?} exact fit passes through");
+        let over = Ival::new(0, w.max() + 1);
+        assert_eq!(
+            cast(&over, w),
+            Ival::new(0, w.max()),
+            "{w:?} over saturates"
+        );
+        let point_over = Ival::point(w.max() + 1);
+        assert_eq!(
+            cast(&point_over, w),
+            Ival::new(0, w.max()),
+            "{w:?} wrap loses the point"
+        );
+    }
+}
